@@ -1,0 +1,129 @@
+//! IS: NAS-style integer sort (bucket ranking), an extra benchmark
+//! beyond the paper's Table 1 ("experiments with more and larger codes
+//! … ongoing work", §5.4).
+//!
+//! Each node generates its share of keys, builds a per-node bucket
+//! histogram in shared memory, computes global bucket offsets from all
+//! nodes' histograms, and scatters its keys into the globally sorted
+//! output. All-to-all bulk traffic plus two barriers per phase — a
+//! communication pattern none of the Table 1 codes has.
+
+use crate::matmult::FLOP_NS;
+use crate::report::BenchResult;
+use crate::world::World;
+use memwire::Distribution;
+
+const BUCKETS: usize = 512;
+
+fn key(seed: usize, i: usize) -> u32 {
+    // Deterministic pseudo-random keys.
+    let x = (seed.wrapping_mul(0x9E3779B9) ^ i.wrapping_mul(0x85EBCA6B)) as u32;
+    x.wrapping_mul(2654435761) >> 8
+}
+
+/// Run IS over `total_keys` keys. Returns the node's result; the
+/// checksum covers a sample of the sorted output.
+pub fn is<W: World>(w: &W, total_keys: usize) -> BenchResult {
+    let p = w.nprocs();
+    let me = w.rank();
+    let per = total_keys.div_ceil(p);
+    let (lo, hi) = (me * per, ((me + 1) * per).min(total_keys));
+
+    // Shared: per-node histograms and the sorted output.
+    let hist = w.alloc_dist(p * BUCKETS * 8, Distribution::Block);
+    let out = w.alloc_dist(total_keys * 8, Distribution::Block);
+    let hist_row = |n: usize| hist.add((n * BUCKETS * 8) as u32);
+
+    w.barrier(1);
+    let t0 = w.now_ns();
+
+    // Generate and bucket my keys.
+    let mut mine: Vec<u32> = (lo..hi).map(|i| key(7, i)).collect();
+    let bucket_of = |k: u32| (k as usize * BUCKETS) >> 24;
+    let mut counts = vec![0u64; BUCKETS];
+    for &k in &mine {
+        counts[bucket_of(k)] += 1;
+    }
+    w.compute(mine.len() as u64 * 4 * FLOP_NS);
+
+    // Publish my histogram row (home-local).
+    {
+        let mut buf = Vec::with_capacity(BUCKETS * 8);
+        for c in &counts {
+            buf.extend_from_slice(&c.to_le_bytes());
+        }
+        w.write_bytes(hist_row(me), &buf);
+    }
+    w.barrier(2);
+
+    // Pull everyone's histograms; compute my keys' output offsets:
+    // bucket b starts after all keys of buckets < b, and within bucket
+    // b my keys follow those of lower-ranked nodes.
+    let mut all = vec![0u64; p * BUCKETS];
+    {
+        let mut buf = vec![0u8; p * BUCKETS * 8];
+        w.read_bytes(hist, &mut buf);
+        for (i, v) in all.iter_mut().enumerate() {
+            *v = u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
+        }
+    }
+    let mut my_offset = vec![0u64; BUCKETS];
+    let mut base = 0u64;
+    for b in 0..BUCKETS {
+        let mut off = base;
+        for n in 0..p {
+            if n == me {
+                my_offset[b] = off;
+            }
+            off += all[n * BUCKETS + b];
+        }
+        base = off;
+    }
+    w.compute((p * BUCKETS) as u64 * 2 * FLOP_NS);
+
+    // Scatter: sort my keys by bucket locally, then one bulk write per
+    // bucket run into the shared output.
+    mine.sort_unstable_by_key(|&k| bucket_of(k));
+    w.compute((mine.len() as f64 * (mine.len() as f64).log2().max(1.0)) as u64 * FLOP_NS);
+    let mut i = 0;
+    while i < mine.len() {
+        let b = bucket_of(mine[i]);
+        let mut j = i;
+        while j < mine.len() && bucket_of(mine[j]) == b {
+            j += 1;
+        }
+        let mut buf = Vec::with_capacity((j - i) * 8);
+        let mut run: Vec<u64> = mine[i..j].iter().map(|&k| k as u64).collect();
+        run.sort_unstable();
+        for k in run {
+            buf.extend_from_slice(&k.to_le_bytes());
+        }
+        w.write_bytes(out.add(my_offset[b] as u32 * 8), &buf);
+        i = j;
+    }
+    w.barrier(3);
+    let total_ns = w.now_ns() - t0;
+
+    // Verification: buckets are globally ordered and the key multiset
+    // is preserved (checked through a sampled checksum all nodes agree
+    // on).
+    let mut checksum = 0u64;
+    let step = (total_keys / 64).max(1);
+    let mut prev_bucket = 0usize;
+    for i in (0..total_keys).step_by(step) {
+        let v = w.read_u64(out.add((i * 8) as u32));
+        let b = (v as usize * BUCKETS) >> 24;
+        assert!(b >= prev_bucket, "output not bucket-ordered at {i}");
+        prev_bucket = b;
+        checksum = crate::report::checksum_f64(checksum, v as f64);
+    }
+    w.barrier(4);
+    BenchResult { total_ns, phases: Default::default(), checksum }
+}
+
+/// Sequential reference: the fully sorted keys (for tests).
+pub fn reference(total_keys: usize) -> Vec<u32> {
+    let mut keys: Vec<u32> = (0..total_keys).map(|i| key(7, i)).collect();
+    keys.sort_unstable();
+    keys
+}

@@ -1,0 +1,95 @@
+//! MatMult: dense matrix multiplication, C = A × B (Table 1:
+//! 1024×1024).
+//!
+//! The memory-bound benchmark of the suite: each C row streams the
+//! whole of B through the node's memory system, which is what makes the
+//! two-node cluster (two memory buses) beat the dual-CPU SMP (one bus)
+//! in the paper's Figure 4.
+
+use crate::report::{checksum_f64, BenchResult};
+use crate::world::World;
+use memwire::Distribution;
+
+/// Cost of one floating-point operation (matches
+/// `sim::MachineCost::xeon_450`).
+pub const FLOP_NS: u64 = 2;
+
+fn a_elem(i: usize, j: usize) -> f64 {
+    ((i * 7 + j * 3) % 13) as f64 - 6.0
+}
+
+fn b_elem(i: usize, j: usize) -> f64 {
+    ((i * 5 + j * 11) % 17) as f64 - 8.0
+}
+
+/// Run MatMult for `n`×`n` matrices. Every node executes this; the
+/// returned result is that node's view (merge with
+/// [`BenchResult::merge`]).
+pub fn matmult<W: World>(w: &W, n: usize) -> BenchResult {
+    let bytes = n * n * 8;
+    let a = w.alloc_dist(bytes, Distribution::Block);
+    let b = w.alloc_dist(bytes, Distribution::Block);
+    let c = w.alloc_dist(bytes, Distribution::Block);
+    let row = |base: memwire::GlobalAddr, i: usize| base.add((i * n * 8) as u32);
+
+    // Initialization: each node fills its block rows of A and B.
+    let (lo, hi) = w.my_block(n);
+    let mut buf = vec![0.0f64; n];
+    for i in lo..hi {
+        for (j, v) in buf.iter_mut().enumerate() {
+            *v = a_elem(i, j);
+        }
+        w.write_f64s(row(a, i), &buf);
+        for (j, v) in buf.iter_mut().enumerate() {
+            *v = b_elem(i, j);
+        }
+        w.write_f64s(row(b, i), &buf);
+    }
+    w.barrier(1);
+
+    let t0 = w.now_ns();
+
+    // Pull B into private memory once (bulk transfers; remote halves
+    // cross the interconnect exactly once).
+    let mut b_priv = vec![0.0f64; n * n];
+    for i in 0..n {
+        w.read_f64s(row(b, i), &mut b_priv[i * n..(i + 1) * n]);
+    }
+
+    // Compute my block rows of C. Each row streams all of B through
+    // the memory system (no cache reuse at this working-set size).
+    let mut a_row = vec![0.0f64; n];
+    let mut c_row = vec![0.0f64; n];
+    for i in lo..hi {
+        w.read_f64s(row(a, i), &mut a_row);
+        c_row.fill(0.0);
+        for (k, &aik) in a_row.iter().enumerate() {
+            let brow = &b_priv[k * n..(k + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(brow) {
+                *cv += aik * bv;
+            }
+        }
+        w.compute(2 * (n * n) as u64 * FLOP_NS);
+        w.private_traffic((n * n * 8) as u64);
+        w.write_f64s(row(c, i), &c_row);
+    }
+    w.barrier(2);
+    let total_ns = w.now_ns() - t0;
+
+    // Verification: every node checksums the same sample rows.
+    let mut checksum = 0u64;
+    let mut sample = vec![0.0f64; n];
+    for i in [0, n / 2, n - 1] {
+        w.read_f64s(row(c, i), &mut sample);
+        for &v in &sample {
+            checksum = checksum_f64(checksum, v);
+        }
+    }
+    w.barrier(3);
+    BenchResult { total_ns, phases: Default::default(), checksum }
+}
+
+/// Reference value of one C element (for tests).
+pub fn expected_c(n: usize, i: usize, j: usize) -> f64 {
+    (0..n).map(|k| a_elem(i, k) * b_elem(k, j)).sum()
+}

@@ -1,0 +1,48 @@
+//! PI: numerical integration of 4/(1+x²) over [0, 1] (Table 1).
+//!
+//! The embarrassingly parallel benchmark: pure local computation plus
+//! one lock-protected accumulation — overheads of any platform or
+//! framework should be invisible here.
+
+use crate::report::{checksum_f64, BenchResult};
+use crate::world::World;
+use memwire::Distribution;
+
+use crate::matmult::FLOP_NS;
+
+/// Run PI with `samples` midpoint-rule intervals.
+pub fn pi<W: World>(w: &W, samples: usize) -> BenchResult {
+    let sum = w.alloc_dist(64, Distribution::OnNode(0));
+    w.barrier(1);
+    let t0 = w.now_ns();
+
+    let per = samples.div_ceil(w.nprocs());
+    let lo = w.rank() * per;
+    let hi = ((w.rank() + 1) * per).min(samples);
+    let h = 1.0 / samples as f64;
+    let mut partial = 0.0;
+    for i in lo..hi {
+        let x = (i as f64 + 0.5) * h;
+        partial += 4.0 / (1.0 + x * x);
+    }
+    partial *= h;
+    w.compute((hi - lo) as u64 * 6 * FLOP_NS);
+
+    w.lock(1);
+    let cur = w.read_f64(sum);
+    w.write_f64(sum, cur + partial);
+    w.unlock(1);
+    w.barrier(2);
+
+    let total_ns = w.now_ns() - t0;
+    let value = w.read_f64(sum);
+    w.barrier(3);
+    BenchResult {
+        total_ns,
+        phases: Default::default(),
+        checksum: checksum_f64(0, value),
+    }
+}
+
+/// The integral's true value, for verification.
+pub const PI_TRUE: f64 = std::f64::consts::PI;

@@ -1,0 +1,87 @@
+//! Benchmark result bookkeeping.
+
+use std::collections::BTreeMap;
+
+/// One node's timing of a benchmark run, in virtual nanoseconds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BenchResult {
+    /// End-to-end time of the benchmark body (excluding cluster
+    /// startup).
+    pub total_ns: u64,
+    /// Named sub-phases (e.g. LU's `init` / `core` / `barrier`).
+    pub phases: BTreeMap<&'static str, u64>,
+    /// A checksum of the computed output, for cross-platform
+    /// verification (identical inputs must give identical results on
+    /// every platform — the portability claim, checked).
+    pub checksum: u64,
+}
+
+impl BenchResult {
+    /// Record a phase duration.
+    pub fn phase(&mut self, name: &'static str, ns: u64) {
+        *self.phases.entry(name).or_insert(0) += ns;
+    }
+
+    /// Merge per-node results into the cluster-level result: total and
+    /// phases are the maximum across nodes (the critical path);
+    /// checksums must agree.
+    pub fn merge(nodes: &[BenchResult]) -> BenchResult {
+        assert!(!nodes.is_empty());
+        let mut out = nodes[0].clone();
+        for r in &nodes[1..] {
+            out.total_ns = out.total_ns.max(r.total_ns);
+            for (k, v) in &r.phases {
+                let e = out.phases.entry(k).or_insert(0);
+                *e = (*e).max(*v);
+            }
+            assert_eq!(out.checksum, r.checksum, "nodes disagree on the result");
+        }
+        out
+    }
+
+    /// Total in seconds.
+    pub fn secs(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+}
+
+/// Fold an f64 into a stable checksum (quantized to survive the
+/// platforms' identical-but-reordered arithmetic).
+pub fn checksum_f64(acc: u64, v: f64) -> u64 {
+    let q = (v * 1e6).round() as i64 as u64;
+    acc.wrapping_mul(0x100000001b3).wrapping_add(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_takes_critical_path() {
+        let mut a = BenchResult { total_ns: 10, ..Default::default() };
+        a.phase("x", 5);
+        let mut b = BenchResult { total_ns: 20, ..Default::default() };
+        b.phase("x", 3);
+        b.phase("y", 9);
+        let m = BenchResult::merge(&[a, b]);
+        assert_eq!(m.total_ns, 20);
+        assert_eq!(m.phases["x"], 5);
+        assert_eq!(m.phases["y"], 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn merge_rejects_mismatched_checksums() {
+        let a = BenchResult { checksum: 1, ..Default::default() };
+        let b = BenchResult { checksum: 2, ..Default::default() };
+        BenchResult::merge(&[a, b]);
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive_but_stable() {
+        let c1 = checksum_f64(checksum_f64(0, 1.5), 2.5);
+        let c2 = checksum_f64(checksum_f64(0, 1.5), 2.5);
+        assert_eq!(c1, c2);
+        assert_ne!(c1, checksum_f64(checksum_f64(0, 2.5), 1.5));
+    }
+}

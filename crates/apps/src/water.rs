@@ -1,0 +1,149 @@
+//! WATER: a molecular-dynamics kernel in the spirit of the SPLASH
+//! WATER code (Table 1: 288 / 343 molecules).
+//!
+//! N molecules on a perturbed cubic lattice interact through a
+//! Lennard-Jones-style pair potential (O(N²) force evaluation), with
+//! force accumulation under per-block locks and two barriers per time
+//! step — the lock- and synchronization-heavy benchmark of the suite.
+
+use crate::matmult::FLOP_NS;
+use crate::report::{checksum_f64, BenchResult};
+use crate::world::World;
+use memwire::Distribution;
+
+/// Flops charged per pair interaction (site-site distances, forces —
+/// the real WATER potential is far richer than the LJ kernel computed
+/// here for verification).
+const PAIR_FLOPS: u64 = 300;
+/// Flops charged per molecule per step for the intra-molecular terms.
+const MOL_FLOPS: u64 = 600;
+
+const DT: f64 = 1e-3;
+const EPS: f64 = 1e-2;
+const SIGMA2: f64 = 0.25;
+
+fn initial_position(n: usize, m: usize) -> [f64; 3] {
+    // Perturbed lattice, deterministic (n = total count, m = index).
+    let side = (n as f64).cbrt().ceil() as usize;
+    let (x, y, z) = (m % side, (m / side) % side, m / (side * side));
+    let jitter = |v: usize| ((v * 2654435761) % 1000) as f64 / 10_000.0;
+    [
+        x as f64 + jitter(m),
+        y as f64 + jitter(m + 1),
+        z as f64 + jitter(m + 2),
+    ]
+}
+
+fn pair_force(pi: &[f64; 3], pj: &[f64; 3]) -> [f64; 3] {
+    let d = [pi[0] - pj[0], pi[1] - pj[1], pi[2] - pj[2]];
+    let r2 = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).max(1e-3);
+    let s2 = SIGMA2 / r2;
+    let s6 = s2 * s2 * s2;
+    let mag = 24.0 * EPS * (2.0 * s6 * s6 - s6) / r2;
+    [mag * d[0], mag * d[1], mag * d[2]]
+}
+
+/// Run WATER with `nmol` molecules for `steps` time steps.
+#[allow(clippy::needless_range_loop)] // molecule indices mirror the physics
+pub fn water<W: World>(w: &W, nmol: usize, steps: usize) -> BenchResult {
+    let p = w.nprocs();
+    let pos = w.alloc_dist(nmol * 3 * 8, Distribution::Block);
+    let vel = w.alloc_dist(nmol * 3 * 8, Distribution::Block);
+    let frc = w.alloc_dist(nmol * 3 * 8, Distribution::Block);
+    let xyz = |base: memwire::GlobalAddr, m: usize| base.add((m * 24) as u32);
+
+    // Owners initialize their molecules.
+    let (lo, hi) = w.my_block(nmol);
+    for m in lo..hi {
+        let ip = initial_position(nmol, m);
+        w.write_f64s(xyz(pos, m), &ip);
+        w.write_f64s(xyz(vel, m), &[0.0; 3]);
+        w.write_f64s(xyz(frc, m), &[0.0; 3]);
+    }
+    w.barrier(1);
+    let t0 = w.now_ns();
+
+    let mut local_pos = vec![[0.0f64; 3]; nmol];
+    let mut local_frc = vec![[0.0f64; 3]; nmol];
+    for _step in 0..steps {
+        // Everyone pulls all positions (bulk).
+        {
+            let mut flat = vec![0.0f64; nmol * 3];
+            w.read_f64s(pos, &mut flat);
+            for (m, v) in local_pos.iter_mut().enumerate() {
+                v.copy_from_slice(&flat[m * 3..m * 3 + 3]);
+            }
+        }
+        // Pairwise forces for my molecules (Newton's 3rd law inside the
+        // private accumulator).
+        for f in local_frc.iter_mut() {
+            *f = [0.0; 3];
+        }
+        let mut pairs = 0u64;
+        for i in lo..hi {
+            for j in (i + 1)..nmol {
+                let f = pair_force(&local_pos[i], &local_pos[j]);
+                for d in 0..3 {
+                    local_frc[i][d] += f[d];
+                    local_frc[j][d] -= f[d];
+                }
+                pairs += 1;
+            }
+        }
+        w.compute(pairs * PAIR_FLOPS * FLOP_NS);
+
+        // Accumulate into the shared force array, one lock per owner
+        // block.
+        for b in 0..p {
+            let (blo, bhi) = block_of(nmol, p, b);
+            if blo == bhi {
+                continue;
+            }
+            w.lock(10 + b as u32);
+            let mut flat = vec![0.0f64; (bhi - blo) * 3];
+            w.read_f64s(xyz(frc, blo), &mut flat);
+            for (m, chunk) in (blo..bhi).zip(flat.chunks_mut(3)) {
+                for d in 0..3 {
+                    chunk[d] += local_frc[m][d];
+                }
+            }
+            w.write_f64s(xyz(frc, blo), &flat);
+            w.unlock(10 + b as u32);
+        }
+        w.barrier(2);
+
+        // Owners integrate and reset forces.
+        for m in lo..hi {
+            let mut f = [0.0f64; 3];
+            w.read_f64s(xyz(frc, m), &mut f);
+            let mut v = [0.0f64; 3];
+            w.read_f64s(xyz(vel, m), &mut v);
+            let mut x = local_pos[m];
+            for d in 0..3 {
+                v[d] += f[d] * DT;
+                x[d] += v[d] * DT;
+            }
+            w.write_f64s(xyz(vel, m), &v);
+            w.write_f64s(xyz(pos, m), &x);
+            w.write_f64s(xyz(frc, m), &[0.0; 3]);
+        }
+        w.compute((hi - lo) as u64 * MOL_FLOPS * FLOP_NS);
+        w.barrier(3);
+    }
+
+    let total_ns = w.now_ns() - t0;
+    let mut checksum = 0u64;
+    let mut flat = vec![0.0f64; nmol * 3];
+    w.read_f64s(pos, &mut flat);
+    for &v in &flat {
+        checksum = checksum_f64(checksum, v);
+    }
+    w.barrier(4);
+    BenchResult { total_ns, phases: Default::default(), checksum }
+}
+
+fn block_of(n: usize, p: usize, rank: usize) -> (usize, usize) {
+    let per = n.div_ceil(p);
+    let lo = (rank * per).min(n);
+    (lo, (lo + per).min(n))
+}

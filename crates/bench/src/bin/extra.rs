@@ -1,0 +1,26 @@
+//! Extra benchmark beyond Table 1: the NAS-style integer sort across
+//! all platforms (the paper's §5.4 ongoing work, "experiments with more
+//! and larger codes").
+
+use apps::world::run_hamster;
+use apps::BenchResult;
+use bench::Args;
+use hamster_core::{ClusterConfig, PlatformKind};
+
+fn main() {
+    let args = Args::parse(4);
+    let keys = if args.quick { 1 << 14 } else { 1 << 20 };
+    println!("IS (integer sort), {keys} keys, {} nodes", args.nodes);
+    println!("{:-<56}", "");
+    let mut base = None;
+    for platform in [PlatformKind::Smp, PlatformKind::HybridDsm, PlatformKind::SwDsm] {
+        let cfg = ClusterConfig::new(args.nodes, platform);
+        let (_, rs) = run_hamster(&cfg, |w| apps::is::is(w, keys));
+        let t = BenchResult::merge(&rs).secs();
+        let rel = base.get_or_insert(t);
+        println!("{platform:?}: {t:>9.4}s  ({:.1}% of SMP)", t / *rel * 100.0);
+    }
+    println!("{:-<56}", "");
+    println!("IS is all-to-all-heavy: the scatter phase ships every key across");
+    println!("the machine once — bandwidth-bound on every platform.");
+}

@@ -1,0 +1,49 @@
+//! Figure 2: overhead of execution with HAMSTER compared to native
+//! execution on the software DSM (4 nodes).
+//!
+//! Native = the benchmarks calling the `swdsm` engine directly.
+//! HAMSTER = identical benchmark code through the JiaJia adapter on
+//! HAMSTER's software-DSM platform (service dispatch + monitoring on
+//! every call, unified messaging layer on every message).
+//! Positive = slowdown under HAMSTER; negative = speedup.
+
+use bench::suite::{suite_hamster_repeat, suite_native_repeat, Sizes, ROWS};
+use bench::{bar, Args};
+use hamster_core::PlatformKind;
+
+fn main() {
+    let args = Args::parse(4);
+    let sizes = Sizes::choose(args.quick);
+    let repeat = if args.quick { 1 } else { 3 };
+    eprintln!("running native suite ({} nodes, best of {repeat})...", args.nodes);
+    let native = suite_native_repeat(args.nodes, sizes, repeat);
+    eprintln!("running HAMSTER suite ({} nodes, best of {repeat})...", args.nodes);
+    let ham = suite_hamster_repeat(args.nodes, PlatformKind::SwDsm, sizes, repeat);
+
+    if args.csv {
+        println!("benchmark,native_s,hamster_s,overhead_pct");
+        for (i, row) in ROWS.iter().enumerate() {
+            let (n, h) = (native.secs[i], ham.secs[i]);
+            println!("{row},{n:.6},{h:.6},{:.3}", (h - n) / n * 100.0);
+        }
+        return;
+    }
+    println!(
+        "Figure 2. Overhead of Execution with HAMSTER Compared to Native Execution ({} nodes)",
+        args.nodes
+    );
+    println!("{:-<78}", "");
+    println!(
+        "{:<12} {:>12} {:>12} {:>9}  (each # = 0.5%)",
+        "benchmark", "native [s]", "hamster [s]", "overhead"
+    );
+    println!("{:-<78}", "");
+    for (i, row) in ROWS.iter().enumerate() {
+        let n = native.secs[i];
+        let h = ham.secs[i];
+        let pct = (h - n) / n * 100.0;
+        println!("{row:<12} {n:>12.4} {h:>12.4} {pct:>+8.2}% {}", bar(pct, 0.5));
+    }
+    println!("{:-<78}", "");
+    println!("Paper: overheads within -4.5%..+6.5% (single digits, some speedups).");
+}

@@ -1,0 +1,44 @@
+//! Figure 3: performance of the Hybrid-DSM with the Software-DSM as
+//! baseline (4 nodes). Same binaries, only the HAMSTER configuration
+//! (platform) changes. Positive = hybrid faster.
+
+use bench::suite::{suite_hamster, Sizes, ROWS};
+use bench::{bar, Args};
+use hamster_core::PlatformKind;
+
+fn main() {
+    let args = Args::parse(4);
+    let sizes = Sizes::choose(args.quick);
+    eprintln!("running software-DSM suite ({} nodes)...", args.nodes);
+    let sw = suite_hamster(args.nodes, PlatformKind::SwDsm, sizes);
+    eprintln!("running hybrid-DSM suite ({} nodes)...", args.nodes);
+    let hy = suite_hamster(args.nodes, PlatformKind::HybridDsm, sizes);
+
+    if args.csv {
+        println!("benchmark,swdsm_s,hybrid_s,advantage_pct");
+        for (i, row) in ROWS.iter().enumerate() {
+            let (s, h) = (sw.secs[i], hy.secs[i]);
+            println!("{row},{s:.6},{h:.6},{:.3}", (s - h) / s * 100.0);
+        }
+        return;
+    }
+    println!(
+        "Figure 3. Performance of Hybrid-DSM with SW-DSM as Baseline ({} nodes)",
+        args.nodes
+    );
+    println!("{:-<78}", "");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10}  (each # = 2%)",
+        "benchmark", "sw-dsm [s]", "hybrid [s]", "advantage"
+    );
+    println!("{:-<78}", "");
+    for (i, row) in ROWS.iter().enumerate() {
+        let s = sw.secs[i];
+        let h = hy.secs[i];
+        let pct = (s - h) / s * 100.0;
+        println!("{row:<12} {s:>12.4} {h:>12.4} {pct:>+9.2}% {}", bar(pct, 2.0));
+    }
+    println!("{:-<78}", "");
+    println!("Paper: hybrid ahead overall (up to ~55%), biggest for unoptimized SOR");
+    println!("and LU (write-only init); SOR-opt shows only a small difference.");
+}

@@ -1,0 +1,57 @@
+//! Figure 4: performance of Hardware-, Hybrid-, and Software-DSM on
+//! two nodes, relative to the hardware (SMP) execution.
+//!
+//! The SMP configuration runs the two "nodes" as the two CPUs of one
+//! multiprocessor (shared memory bus); the cluster configurations run
+//! two single-CPU nodes. Values are execution time normalized to the
+//! hardware DSM (100%); above 100% = slower than the SMP.
+
+use bench::suite::{suite_hamster, Sizes, ROWS};
+use bench::Args;
+use hamster_core::PlatformKind;
+
+fn main() {
+    let args = Args::parse(2);
+    let sizes = Sizes::choose(args.quick);
+    eprintln!("running hardware (SMP) suite ({} CPUs)...", args.nodes);
+    let hw = suite_hamster(args.nodes, PlatformKind::Smp, sizes);
+    eprintln!("running hybrid-DSM suite ({} nodes)...", args.nodes);
+    let hy = suite_hamster(args.nodes, PlatformKind::HybridDsm, sizes);
+    eprintln!("running software-DSM suite ({} nodes)...", args.nodes);
+    let sw = suite_hamster(args.nodes, PlatformKind::SwDsm, sizes);
+
+    if args.csv {
+        println!("benchmark,hw_s,hybrid_s,sw_s,hybrid_pct,sw_pct");
+        for (i, row) in ROWS.iter().enumerate() {
+            let (h, y, s) = (hw.secs[i], hy.secs[i], sw.secs[i]);
+            println!(
+                "{row},{h:.6},{y:.6},{s:.6},{:.2},{:.2}",
+                y / h * 100.0,
+                s / h * 100.0
+            );
+        }
+        return;
+    }
+    println!(
+        "Figure 4. Performance of Hardware-, Hybrid-, and Software-DSM ({} nodes/CPUs)",
+        args.nodes
+    );
+    println!("{:-<86}", "");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}   {:>9} {:>9} {:>9}",
+        "benchmark", "hw [s]", "hybrid[s]", "sw [s]", "hw%", "hybrid%", "sw%"
+    );
+    println!("{:-<86}", "");
+    for (i, row) in ROWS.iter().enumerate() {
+        let (h, y, s) = (hw.secs[i], hy.secs[i], sw.secs[i]);
+        println!(
+            "{row:<12} {h:>10.4} {y:>10.4} {s:>10.4}   {:>8.1}% {:>8.1}% {:>8.1}%",
+            100.0,
+            y / h * 100.0,
+            s / h * 100.0
+        );
+    }
+    println!("{:-<86}", "");
+    println!("Paper: the SMP wins in most cases; the memory-bound MatMult is the");
+    println!("exception — two cluster nodes bring two memory buses.");
+}

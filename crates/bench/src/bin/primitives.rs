@@ -1,0 +1,102 @@
+//! Primitive-operation costs per platform — the classic "basic
+//! operation latencies" table every DSM paper of the era includes
+//! (TreadMarks Table 2, JiaJia §4, …). All numbers are virtual time.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin primitives
+//! ```
+
+use hamster_core::{ClusterConfig, Distribution, PlatformKind, Runtime};
+
+fn measure(platform: PlatformKind, nodes: usize) -> Vec<(&'static str, f64)> {
+    let rt = Runtime::new(ClusterConfig::new(nodes, platform));
+    let (_, rows) = rt.run(|ham| {
+        let mut rows = Vec::new();
+        let mut time = |name: &'static str, reps: u64, f: &mut dyn FnMut()| {
+            let t0 = ham.wtime_ns();
+            for _ in 0..reps {
+                f();
+            }
+            rows.push((name, (ham.wtime_ns() - t0) as f64 / reps as f64 / 1e3));
+        };
+
+        let spec = hamster_core::AllocSpec {
+            dist: Distribution::OnNode(0),
+            ..Default::default()
+        };
+        let r = ham.mem().alloc(16 * 4096, spec).unwrap();
+        ham.sync().barrier(1);
+
+        if ham.task().rank() == 1 {
+            // Cold read miss: touch a fresh page each repetition.
+            let mut page = 0u32;
+            time("remote read miss (8 B)", 8, &mut || {
+                let _ = ham.mem().read_u64(r.addr().add(page * 4096));
+                page += 1;
+            });
+            // Warm read: same location again.
+            time("warm re-read (8 B)", 16, &mut || {
+                let _ = ham.mem().read_u64(r.addr());
+            });
+            // Remote write (miss + twin on the software DSM, posted
+            // write on the hybrid, plain store on the SMP).
+            let mut wpage = 8u32;
+            time("remote write miss (8 B)", 8, &mut || {
+                ham.mem().write_u64(r.addr().add(wpage * 4096), 1);
+                wpage += 1;
+            });
+        }
+        ham.sync().barrier(2);
+
+        // Uncontended lock round trip (manager on node 0).
+        time("lock+unlock (uncontended)", 8, &mut || {
+            if ham.task().rank() == 1 {
+                ham.sync().lock(4 + ham.task().rank() as u32 * 16);
+                ham.sync().unlock(4 + ham.task().rank() as u32 * 16);
+            }
+        });
+        ham.sync().barrier(3);
+
+        // Full barrier.
+        time("barrier (all nodes)", 8, &mut || {
+            ham.sync().barrier(5);
+        });
+
+        // Bulk transfer: one remote page.
+        if ham.task().rank() == 1 {
+            let mut buf = vec![0u8; 4096];
+            let mut bpage = 0u32;
+            time("bulk read 4 KiB (warm)", 8, &mut || {
+                ham.mem().read_bytes(r.addr().add(bpage * 4096), &mut buf);
+                bpage = (bpage + 1) % 16;
+            });
+        }
+        ham.sync().barrier(6);
+        rows
+    });
+    rows.into_iter().nth(1).unwrap()
+}
+
+fn main() {
+    let nodes = 4;
+    println!("Primitive operation costs (virtual µs, measured on node 1 of {nodes})");
+    println!("{:-<78}", "");
+    let platforms =
+        [PlatformKind::Smp, PlatformKind::HybridDsm, PlatformKind::SwDsm];
+    let all: Vec<Vec<(&str, f64)>> =
+        platforms.iter().map(|&p| measure(p, nodes)).collect();
+    println!(
+        "{:<28} {:>14} {:>14} {:>14}",
+        "operation", "SMP", "hybrid DSM", "software DSM"
+    );
+    println!("{:-<78}", "");
+    for (i, (name, smp_us)) in all[0].iter().enumerate() {
+        println!(
+            "{:<28} {:>11.2} µs {:>11.2} µs {:>11.2} µs",
+            name, smp_us, all[1][i].1, all[2][i].1
+        );
+    }
+    println!("{:-<78}", "");
+    println!("(read miss: SMP = cached load; hybrid = SAN transaction; software");
+    println!(" DSM = page fault + whole-page fetch over Ethernet)");
+}

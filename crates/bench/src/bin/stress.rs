@@ -1,0 +1,129 @@
+//! Randomized stress harness: a seeded workload generator drives mixed
+//! shared-memory programs (writes, bulk transfers, locks, barriers,
+//! reductions) across all three platforms and verifies every run
+//! against a sequential reference.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin stress            # 20 seeds
+//! cargo run -p bench --release --bin stress -- --quick # 5 seeds
+//! ```
+//!
+//! The same generator backs the `swdsm` property tests; this binary
+//! scales it up, runs it on every platform, and reports protocol
+//! statistics, making it the long-running soak complement to the unit
+//! suites.
+
+use apps::world::{run_hamster, World};
+use hamster_core::{ClusterConfig, Distribution, PlatformKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NODES: usize = 4;
+const SLICE: usize = 2 * 4096 + 512; // deliberately page-misaligned
+
+/// One generated program: epochs of single-writer byte stores plus a
+/// lock-protected counter contended by everyone.
+#[derive(Clone)]
+struct Program {
+    writes: Vec<(u8, u8, u32, u8)>, // (epoch, writer, offset, value)
+    epochs: u8,
+    dist: Distribution,
+    counter_rounds: u64,
+}
+
+fn generate(seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let epochs = rng.gen_range(2..6);
+    let n_writes = rng.gen_range(50..400);
+    let writes = (0..n_writes)
+        .map(|_| {
+            (
+                rng.gen_range(0..epochs),
+                rng.gen_range(0..NODES as u8),
+                rng.gen_range(0..SLICE as u32),
+                rng.gen(),
+            )
+        })
+        .collect();
+    let dist = match rng.gen_range(0..4) {
+        0 => Distribution::Block,
+        1 => Distribution::Cyclic,
+        2 => Distribution::BlockCyclic(1 + rng.gen_range(0..3)),
+        _ => Distribution::OnNode(rng.gen_range(0..NODES)),
+    };
+    Program { writes, epochs, dist, counter_rounds: rng.gen_range(1..8) }
+}
+
+fn reference(p: &Program) -> (Vec<u8>, u64) {
+    let mut mem = vec![0u8; NODES * SLICE];
+    let mut ws = p.writes.clone();
+    ws.sort_by_key(|w| w.0);
+    for (_, writer, off, val) in ws {
+        mem[writer as usize * SLICE + off as usize] = val;
+    }
+    (mem, p.counter_rounds * NODES as u64)
+}
+
+fn run_on(platform: PlatformKind, p: &Program) -> (Vec<u8>, u64) {
+    let cfg = ClusterConfig::new(NODES, platform);
+    let p = p.clone();
+    let (_, results) = run_hamster(&cfg, move |w| {
+        let me = w.rank() as u8;
+        let data = w.alloc_dist(NODES * SLICE, p.dist);
+        let counter = w.alloc_dist(64, Distribution::Block);
+        w.barrier(1);
+        for epoch in 0..p.epochs {
+            for &(e, writer, off, val) in &p.writes {
+                if e == epoch && writer == me {
+                    w.write_bytes(data.add(writer as u32 * SLICE as u32 + off), &[val]);
+                }
+            }
+            w.barrier(2);
+        }
+        for _ in 0..p.counter_rounds {
+            w.lock(3);
+            let v = w.read_u64(counter);
+            w.write_u64(counter, v + 1);
+            w.unlock(3);
+        }
+        w.barrier(4);
+        let mut image = vec![0u8; NODES * SLICE];
+        w.read_bytes(data, &mut image);
+        let count = w.read_u64(counter);
+        w.barrier(5);
+        (image, count)
+    });
+    for r in &results[1..] {
+        assert_eq!(r, &results[0], "nodes disagree on {platform:?}");
+    }
+    results.into_iter().next().unwrap()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seeds: u64 = if quick { 5 } else { 20 };
+    let mut failures = 0;
+    for seed in 0..seeds {
+        let program = generate(seed);
+        let (expect_mem, expect_count) = reference(&program);
+        for platform in [PlatformKind::Smp, PlatformKind::HybridDsm, PlatformKind::SwDsm] {
+            let (mem, count) = run_on(platform, &program);
+            let ok = mem == expect_mem && count == expect_count;
+            if !ok {
+                failures += 1;
+                eprintln!("seed {seed} FAILED on {platform:?} (count {count} vs {expect_count})");
+            }
+        }
+        println!(
+            "seed {seed:>3}: {} writes, {} epochs, {:?} — ok on all platforms",
+            program.writes.len(),
+            program.epochs,
+            program.dist
+        );
+    }
+    if failures > 0 {
+        eprintln!("{failures} failures");
+        std::process::exit(1);
+    }
+    println!("\nall {seeds} seeds × 3 platforms verified against the sequential reference");
+}

@@ -1,0 +1,169 @@
+//! The paper's line-counting methodology (Table 2).
+//!
+//! "Each count is computed by a simple script that first removes
+//! comments and empty lines, and then (to a certain degree)
+//! standardizes the coding style" (§5.2). This module reimplements that
+//! script for Rust sources: strip `//`-style and block comments and doc
+//! comments, drop blank lines, fold lines containing only a closing
+//! brace into their predecessor (brace-style standardization), then
+//! count lines and exported API calls.
+
+/// Per-model counting result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelCount {
+    pub name: &'static str,
+    pub lines: usize,
+    pub api_calls: usize,
+}
+
+impl ModelCount {
+    /// Lines of code per API call.
+    pub fn lines_per_call(&self) -> f64 {
+        self.lines as f64 / self.api_calls.max(1) as f64
+    }
+}
+
+/// Strip comments (line, block, doc) from Rust source. String literals
+/// are respected enough for the model sources (no raw strings with
+/// `//` inside).
+pub fn strip_comments(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut in_str = false;
+    let mut block_depth = 0usize;
+    while i < bytes.len() {
+        let rest = &src[i..];
+        if block_depth > 0 {
+            if rest.starts_with("*/") {
+                block_depth -= 1;
+                i += 2;
+            } else if rest.starts_with("/*") {
+                block_depth += 1;
+                i += 2;
+            } else {
+                i += rest.chars().next().map_or(1, |c| c.len_utf8());
+            }
+            continue;
+        }
+        if in_str {
+            if rest.starts_with('\\') {
+                out.push_str(&rest[..rest.chars().take(2).map(|c| c.len_utf8()).sum::<usize>()]);
+                i += rest.chars().take(2).map(|c| c.len_utf8()).sum::<usize>();
+                continue;
+            }
+            if rest.starts_with('"') {
+                in_str = false;
+            }
+            let c = rest.chars().next().unwrap();
+            out.push(c);
+            i += c.len_utf8();
+            continue;
+        }
+        if rest.starts_with("//") {
+            // Line comment (incl. /// and //!): skip to end of line.
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if rest.starts_with("/*") {
+            block_depth = 1;
+            i += 2;
+            continue;
+        }
+        if rest.starts_with('"') {
+            in_str = true;
+            out.push('"');
+            i += 1;
+            continue;
+        }
+        let c = rest.chars().next().unwrap();
+        out.push(c);
+        i += c.len_utf8();
+    }
+    out
+}
+
+/// Count effective lines after comment stripping and style
+/// standardization.
+pub fn count_lines(src: &str) -> usize {
+    let stripped = strip_comments(src);
+    let mut count = 0usize;
+    for line in stripped.lines() {
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        // Style standardization: a line holding only closing
+        // punctuation belongs to the statement above.
+        if t.chars().all(|c| "}])>,;".contains(c)) {
+            continue;
+        }
+        count += 1;
+    }
+    count
+}
+
+/// Count exported API calls: public functions and exported macros.
+pub fn count_api_calls(src: &str) -> usize {
+    let stripped = strip_comments(src);
+    let mut calls = 0usize;
+    for line in stripped.lines() {
+        let t = line.trim_start();
+        if t.starts_with("pub fn ") || t.starts_with("pub(crate) fn") {
+            // Internal helpers prefixed with `_` are not API.
+            if !t.starts_with("pub fn _") && t.starts_with("pub fn ") {
+                calls += 1;
+            }
+        } else if t.starts_with("macro_rules!") {
+            calls += 1;
+        }
+    }
+    calls
+}
+
+/// Count one model source file.
+pub fn count_model(name: &'static str, src: &str) -> ModelCount {
+    ModelCount { name, lines: count_lines(src), api_calls: count_api_calls(src) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_stripped() {
+        let src = "// line\nfn f() {} /* block\nstill block */ fn g() {}\n/// doc\n";
+        let s = strip_comments(src);
+        assert!(!s.contains("line"));
+        assert!(!s.contains("block"));
+        assert!(!s.contains("doc"));
+        assert!(s.contains("fn f()"));
+        assert!(s.contains("fn g()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = strip_comments("a /* x /* y */ z */ b");
+        assert_eq!(s.trim(), "a  b");
+    }
+
+    #[test]
+    fn strings_survive() {
+        let s = strip_comments(r#"let x = "// not a comment";"#);
+        assert!(s.contains("// not a comment"));
+    }
+
+    #[test]
+    fn line_count_skips_blank_and_closers() {
+        let src = "fn f() {\n    body();\n}\n\nfn g() {\n    x();\n}\n";
+        assert_eq!(count_lines(src), 4); // two signatures + two bodies
+    }
+
+    #[test]
+    fn api_calls_counted() {
+        let src = "pub fn a() {}\nfn private() {}\npub fn b(x: u32) {}\nmacro_rules! M { () => {} }\n";
+        assert_eq!(count_api_calls(src), 3);
+    }
+}

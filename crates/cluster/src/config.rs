@@ -1,0 +1,214 @@
+//! Fabric configuration and the textual configuration-file format.
+
+use sim::{CostModel, LinkCost};
+use std::collections::BTreeMap;
+use std::str::FromStr;
+
+/// Which physical link connects the nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkKind {
+    /// Switched Fast Ethernet (the Beowulf / software-DSM configuration).
+    Ethernet,
+    /// Dolphin SCI system-area network (the hybrid configuration).
+    Sci,
+    /// CPUs of one SMP treated as nodes (process-parallel models on
+    /// multiprocessors, paper §3.3).
+    Loopback,
+}
+
+impl FromStr for LinkKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "ethernet" | "eth" => Ok(Self::Ethernet),
+            "sci" | "san" => Ok(Self::Sci),
+            "loopback" | "smp" => Ok(Self::Loopback),
+            other => Err(format!("unknown link kind {other:?}")),
+        }
+    }
+}
+
+/// Configuration of the simulated fabric.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Number of cluster nodes.
+    pub nodes: usize,
+    /// CPUs per node (the testbed nodes are dual-processor).
+    pub cpus_per_node: usize,
+    /// The interconnect carrying protocol traffic.
+    pub link: LinkKind,
+    /// Machine and network constants.
+    pub cost: CostModel,
+    /// Whether HAMSTER's unified messaging layer is active (§3.3). False
+    /// for "native" (non-HAMSTER) protocol stacks.
+    pub unified_messaging: bool,
+}
+
+impl FabricConfig {
+    /// A fabric of `nodes` nodes over `link`, with paper-testbed costs.
+    pub fn new(nodes: usize, link: LinkKind) -> Self {
+        assert!(nodes > 0, "cluster needs at least one node");
+        Self {
+            nodes,
+            cpus_per_node: 2,
+            link,
+            cost: CostModel::paper_testbed(),
+            unified_messaging: false,
+        }
+    }
+
+    /// The [`LinkCost`] for this fabric's link.
+    pub fn link_cost(&self) -> LinkCost {
+        match self.link {
+            LinkKind::Ethernet => self.cost.ethernet,
+            LinkKind::Sci => self.cost.sci_link,
+            LinkKind::Loopback => self.cost.loopback,
+        }
+    }
+
+    /// Unified-messaging saving to apply per message (0 when inactive).
+    pub fn unified_saving_ns(&self) -> u64 {
+        if self.unified_messaging {
+            self.cost.unified_msg_saving_ns
+        } else {
+            0
+        }
+    }
+}
+
+/// A parsed `key = value` configuration file.
+///
+/// Format: one `key = value` pair per line; `#` starts a comment; blank
+/// lines ignored. This mirrors the unified node-configuration files of
+/// paper §3.3 ("unification of the different node configuration files").
+///
+/// ```
+/// let cfg = cluster::ConfigMap::parse("nodes = 4  # the testbed\nlink = sci").unwrap();
+/// assert_eq!(cfg.get_as::<usize>("nodes").unwrap(), Some(4));
+/// assert_eq!(cfg.get("link"), Some("sci"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConfigMap {
+    entries: BTreeMap<String, String>,
+}
+
+impl ConfigMap {
+    /// Parse configuration text. Errors name the offending line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected key = value", lineno + 1))?;
+            let key = k.trim().to_string();
+            if key.is_empty() {
+                return Err(format!("line {}: empty key", lineno + 1));
+            }
+            entries.insert(key, v.trim().to_string());
+        }
+        Ok(Self { entries })
+    }
+
+    /// Raw string value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(|s| s.as_str())
+    }
+
+    /// Typed value; `Err` on parse failure, `Ok(None)` when absent.
+    pub fn get_as<T: FromStr>(&self, key: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.entries.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|e| format!("config key {key:?}: {e}")),
+        }
+    }
+
+    /// Set a value (used by tests and programmatic configs).
+    pub fn set(&mut self, key: &str, value: impl ToString) {
+        self.entries.insert(key.to_string(), value.to_string());
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_file() {
+        let cfg = ConfigMap::parse("nodes = 4\nlink = ethernet\n# comment\n\nplatform=swdsm")
+            .unwrap();
+        assert_eq!(cfg.get("nodes"), Some("4"));
+        assert_eq!(cfg.get("link"), Some("ethernet"));
+        assert_eq!(cfg.get("platform"), Some("swdsm"));
+        assert_eq!(cfg.len(), 3);
+    }
+
+    #[test]
+    fn typed_getters() {
+        let cfg = ConfigMap::parse("nodes = 4\nbad = xyz").unwrap();
+        assert_eq!(cfg.get_as::<usize>("nodes").unwrap(), Some(4));
+        assert_eq!(cfg.get_as::<usize>("missing").unwrap(), None);
+        assert!(cfg.get_as::<usize>("bad").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ConfigMap::parse("no equals sign").is_err());
+        assert!(ConfigMap::parse("= value").is_err());
+    }
+
+    #[test]
+    fn inline_comments_stripped() {
+        let cfg = ConfigMap::parse("nodes = 2 # dual").unwrap();
+        assert_eq!(cfg.get("nodes"), Some("2"));
+    }
+
+    #[test]
+    fn link_kind_parsing() {
+        assert_eq!("ethernet".parse::<LinkKind>().unwrap(), LinkKind::Ethernet);
+        assert_eq!("SCI".parse::<LinkKind>().unwrap(), LinkKind::Sci);
+        assert_eq!("smp".parse::<LinkKind>().unwrap(), LinkKind::Loopback);
+        assert!("token-ring".parse::<LinkKind>().is_err());
+    }
+
+    #[test]
+    fn fabric_link_cost_selection() {
+        let f = FabricConfig::new(4, LinkKind::Ethernet);
+        assert_eq!(f.link_cost(), f.cost.ethernet);
+        let f = FabricConfig::new(4, LinkKind::Sci);
+        assert_eq!(f.link_cost(), f.cost.sci_link);
+    }
+
+    #[test]
+    fn unified_saving_gated_by_flag() {
+        let mut f = FabricConfig::new(2, LinkKind::Ethernet);
+        assert_eq!(f.unified_saving_ns(), 0);
+        f.unified_messaging = true;
+        assert_eq!(f.unified_saving_ns(), f.cost.unified_msg_saving_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = FabricConfig::new(0, LinkKind::Ethernet);
+    }
+}

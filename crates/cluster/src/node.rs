@@ -1,0 +1,96 @@
+//! Per-node execution context.
+
+use crate::registry::Registry;
+use interconnect::{Mailbox, NodePort};
+use sim::{Bus, VirtualClock};
+use std::sync::Arc;
+
+/// Everything an application (or HAMSTER-service) thread running on one
+/// simulated node needs: identity, its CPU's virtual clock, the network
+/// endpoint, the node mailbox, and the node's shared memory bus.
+///
+/// `NodeCtx` is cheap to clone and `'static`, so task-forwarding (the
+/// thread programming models) can ship it to newly spawned threads.
+#[derive(Clone)]
+pub struct NodeCtx {
+    rank: usize,
+    clock: Arc<VirtualClock>,
+    port: NodePort,
+    mailbox: Arc<Mailbox>,
+    registry: Arc<Registry>,
+    bus: Arc<Bus>,
+}
+
+impl NodeCtx {
+    /// Assemble a context (called by the run harness).
+    pub fn new(
+        rank: usize,
+        clock: Arc<VirtualClock>,
+        port: NodePort,
+        mailbox: Arc<Mailbox>,
+        registry: Arc<Registry>,
+        bus: Arc<Bus>,
+    ) -> Self {
+        Self { rank, clock, port, mailbox, registry, bus }
+    }
+
+    /// This node's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// The CPU's virtual clock.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// The node's network endpoint.
+    pub fn port(&self) -> &NodePort {
+        &self.port
+    }
+
+    /// The node's mailbox.
+    pub fn mailbox(&self) -> &Arc<Mailbox> {
+        &self.mailbox
+    }
+
+    /// The cluster node table.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The node's memory bus (shared by its CPUs).
+    pub fn bus(&self) -> &Arc<Bus> {
+        &self.bus
+    }
+
+    /// Charge `ns` of computation to this CPU.
+    #[inline]
+    pub fn compute(&self, ns: u64) {
+        self.clock.advance(ns);
+    }
+
+    /// Charge a memory transfer of `bytes` through this node's bus,
+    /// modelling contention between the node's CPUs. Advances the clock
+    /// to the transfer's completion.
+    pub fn bus_transfer(&self, bytes: u64) {
+        let done = self.bus.transfer(self.clock.now(), bytes);
+        self.clock.advance_to(done);
+    }
+
+    /// A context for a second CPU on the same node: shares the node's
+    /// mailbox, bus, and network endpoint, but gets its own clock,
+    /// started at `start_ns`.
+    pub fn sibling_cpu(&self, start_ns: u64) -> NodeCtx {
+        let clock = VirtualClock::starting_at(start_ns);
+        let mut c = self.clone();
+        c.port = self.port.with_clock(clock.clone());
+        c.clock = clock;
+        c
+    }
+}

@@ -1,0 +1,93 @@
+//! The Cluster Control module (paper §4.2).
+//!
+//! Node identification, parameter queries, and the simple messaging
+//! layer. Unlike the other modules it also serves the framework itself
+//! (initialization uses it), and its messaging layer is exposed to the
+//! user — one half of the paper's §3.3 integration story, where the
+//! previously separate native messaging stacks are coalesced into this
+//! one layer.
+
+use crate::hamster::NodeCore;
+use crate::runtime::kinds;
+use cluster::NodeInfo;
+use interconnect::{downcast, mailbox};
+
+/// A received user message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserMsg {
+    /// Sending node.
+    pub src: usize,
+    /// Payload bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Facade over the cluster-control services.
+pub struct ClusterCtl<'a> {
+    pub(crate) core: &'a NodeCore,
+}
+
+impl ClusterCtl<'_> {
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.core.charge_service();
+        self.core.stats.cluster.add("queries", 1);
+        self.core.platform.nodes()
+    }
+
+    /// Static description of node `rank`.
+    pub fn node_info(&self, rank: usize) -> NodeInfo {
+        self.core.charge_service();
+        self.core.stats.cluster.add("queries", 1);
+        self.core.platform.ctx().registry().node(rank).clone()
+    }
+
+    /// Send `bytes` to node `dst` on user channel `channel`.
+    pub fn send(&self, dst: usize, channel: u32, bytes: Vec<u8>) {
+        self.core.charge_service();
+        self.core.stats.cluster.add("msgs_sent", 1);
+        self.core.stats.cluster.add("bytes_sent", bytes.len() as u64);
+        let wire = bytes.len() as u64 + 16;
+        let src = self.core.platform.rank();
+        self.core
+            .platform
+            .ctx()
+            .port()
+            .post(dst, kinds::USER_MSG, (channel, UserMsg { src, bytes }), wire);
+    }
+
+    /// Block until a message arrives on `channel`.
+    pub fn recv(&self, channel: u32) -> UserMsg {
+        self.core.charge_service();
+        self.core.stats.cluster.add("msgs_recv", 1);
+        let p = self
+            .core
+            .platform
+            .ctx()
+            .port()
+            .wait_mailbox(mailbox::tag(kinds::USER_MSG, channel));
+        downcast::<UserMsg>(p)
+    }
+
+    /// Non-blocking receive on `channel`.
+    pub fn try_recv(&self, channel: u32) -> Option<UserMsg> {
+        self.core.charge_service();
+        let d = self
+            .core
+            .platform
+            .ctx()
+            .mailbox()
+            .try_take(mailbox::tag(kinds::USER_MSG, channel))?;
+        self.core.stats.cluster.add("msgs_recv", 1);
+        self.core.platform.ctx().clock().advance_to(d.arrive_ns);
+        Some(downcast::<UserMsg>(d.payload))
+    }
+
+    /// Broadcast `bytes` to every other node on `channel`.
+    pub fn broadcast(&self, channel: u32, bytes: &[u8]) {
+        for dst in 0..self.core.platform.nodes() {
+            if dst != self.core.platform.rank() {
+                self.send(dst, channel, bytes.to_vec());
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! HAMSTER configuration: the one file that changes between platforms.
+//!
+//! Paper §5.4: "only the configuration of HAMSTER (in the form of a
+//! configuration file) is changed between experiments; the actual codes
+//! are not modified, and in fact we use the identical binaries."
+
+use cluster::{ConfigMap, FabricConfig, LinkKind};
+use hybriddsm::HybridConfig;
+use sim::CostModel;
+use std::str::FromStr;
+use swdsm::DsmConfig;
+
+/// Which platform carries the global memory abstraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlatformKind {
+    /// Hardware shared memory: the CPUs of one multiprocessor.
+    Smp,
+    /// Hybrid DSM: software memory management over SAN remote access.
+    HybridDsm,
+    /// Software DSM over commodity Ethernet (Beowulf).
+    SwDsm,
+    /// Both DSM engines on one SAN-connected cluster, chosen per
+    /// allocation (the paper's §6 future-work configuration).
+    Mixed,
+}
+
+impl FromStr for PlatformKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "smp" | "hw" | "hardware" => Ok(Self::Smp),
+            "hybrid" | "hybriddsm" | "sci" | "sci-vm" => Ok(Self::HybridDsm),
+            "swdsm" | "sw" | "software" | "jiajia" | "ethernet" => Ok(Self::SwDsm),
+            "mixed" | "combined" => Ok(Self::Mixed),
+            other => Err(format!("unknown platform {other:?}")),
+        }
+    }
+}
+
+/// Full configuration of a HAMSTER run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes (for [`PlatformKind::Smp`]: number of CPUs).
+    pub nodes: usize,
+    /// The platform carrying the global memory abstraction.
+    pub platform: PlatformKind,
+    /// Machine/network constants.
+    pub cost: CostModel,
+    /// Software-DSM protocol tunables (used when `platform` is `SwDsm`).
+    pub dsm: DsmConfig,
+    /// Hybrid-DSM tunables (used when `platform` is `HybridDsm`).
+    pub hybrid: HybridConfig,
+    /// HAMSTER's unified messaging layer (§3.3). On by default; the
+    /// native-baseline experiments turn it off.
+    pub unified_messaging: bool,
+}
+
+impl ClusterConfig {
+    /// A HAMSTER cluster of `nodes` on `platform`, paper-testbed costs.
+    pub fn new(nodes: usize, platform: PlatformKind) -> Self {
+        Self {
+            nodes,
+            platform,
+            cost: CostModel::paper_testbed(),
+            dsm: DsmConfig::default(),
+            hybrid: HybridConfig::default(),
+            unified_messaging: true,
+        }
+    }
+
+    /// Build from a parsed configuration file. Recognized keys:
+    /// `nodes` (usize, required), `platform` (smp|hybrid|swdsm,
+    /// required), `unified_messaging` (bool).
+    pub fn from_config_map(map: &ConfigMap) -> Result<Self, String> {
+        let nodes = map
+            .get_as::<usize>("nodes")?
+            .ok_or_else(|| "config key \"nodes\" missing".to_string())?;
+        if nodes == 0 {
+            return Err("config key \"nodes\" must be positive".into());
+        }
+        let platform = map
+            .get_as::<PlatformKind>("platform")?
+            .ok_or_else(|| "config key \"platform\" missing".to_string())?;
+        let mut cfg = Self::new(nodes, platform);
+        if let Some(v) = map.get_as::<bool>("unified_messaging")? {
+            cfg.unified_messaging = v;
+        }
+        Ok(cfg)
+    }
+
+    /// Parse a configuration file's text directly.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_config_map(&ConfigMap::parse(text)?)
+    }
+
+    /// The link each platform's protocol traffic rides on.
+    pub fn link(&self) -> LinkKind {
+        match self.platform {
+            PlatformKind::Smp => LinkKind::Loopback,
+            PlatformKind::HybridDsm => LinkKind::Sci,
+            PlatformKind::SwDsm => LinkKind::Ethernet,
+            // The mixed configuration assumes the SAN is present (the
+            // testbed had both networks; the better wire carries both
+            // protocols).
+            PlatformKind::Mixed => LinkKind::Sci,
+        }
+    }
+
+    /// The fabric configuration for this run.
+    pub fn fabric(&self) -> FabricConfig {
+        let mut f = FabricConfig::new(self.nodes, self.link());
+        f.cost = self.cost;
+        f.unified_messaging = self.unified_messaging;
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_parse() {
+        assert_eq!("smp".parse::<PlatformKind>().unwrap(), PlatformKind::Smp);
+        assert_eq!("SCI-VM".parse::<PlatformKind>().unwrap(), PlatformKind::HybridDsm);
+        assert_eq!("jiajia".parse::<PlatformKind>().unwrap(), PlatformKind::SwDsm);
+        assert!("cray".parse::<PlatformKind>().is_err());
+    }
+
+    #[test]
+    fn link_follows_platform() {
+        assert_eq!(ClusterConfig::new(2, PlatformKind::Smp).link(), LinkKind::Loopback);
+        assert_eq!(ClusterConfig::new(2, PlatformKind::HybridDsm).link(), LinkKind::Sci);
+        assert_eq!(ClusterConfig::new(2, PlatformKind::SwDsm).link(), LinkKind::Ethernet);
+    }
+
+    #[test]
+    fn config_file_roundtrip() {
+        let cfg = ClusterConfig::parse("nodes = 4\nplatform = hybrid\nunified_messaging = false")
+            .unwrap();
+        assert_eq!(cfg.nodes, 4);
+        assert_eq!(cfg.platform, PlatformKind::HybridDsm);
+        assert!(!cfg.unified_messaging);
+    }
+
+    #[test]
+    fn config_file_errors() {
+        assert!(ClusterConfig::parse("platform = smp").is_err());
+        assert!(ClusterConfig::parse("nodes = 4").is_err());
+        assert!(ClusterConfig::parse("nodes = 0\nplatform = smp").is_err());
+        assert!(ClusterConfig::parse("nodes = x\nplatform = smp").is_err());
+    }
+
+    #[test]
+    fn unified_messaging_defaults_on() {
+        assert!(ClusterConfig::new(2, PlatformKind::SwDsm).unified_messaging);
+        assert!(ClusterConfig::parse("nodes=2\nplatform=swdsm").unwrap().unified_messaging);
+    }
+}

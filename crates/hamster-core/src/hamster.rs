@@ -1,0 +1,135 @@
+//! The per-node HAMSTER handle.
+
+use crate::cluster_ctl::ClusterCtl;
+use crate::cons_mgmt::ConsMgmt;
+use crate::mem_mgmt::MemMgmt;
+use crate::monitor::ModuleStats;
+use crate::platform::Platform;
+use crate::runtime::RuntimeInner;
+use crate::sync_mgmt::SyncMgmt;
+use crate::task_mgmt::TaskMgmt;
+use crate::trace::{TraceEvent, Tracer};
+use sim::MachineCost;
+use std::sync::{Arc, Weak};
+
+/// Internal node state shared by the five module facades.
+pub(crate) struct NodeCore {
+    pub platform: Platform,
+    pub machine: MachineCost,
+    pub stats: ModuleStats,
+    pub tracer: Tracer,
+    pub runtime: Weak<RuntimeInner>,
+}
+
+impl NodeCore {
+    /// Charge the cost of dispatching one HAMSTER service plus updating
+    /// its monitoring counter. This is the framework's per-call overhead
+    /// — the thing Figure 2 measures against native execution.
+    #[inline]
+    pub fn charge_service(&self) {
+        self.platform
+            .ctx()
+            .compute(self.machine.service_call_ns + self.machine.monitor_ns);
+    }
+
+    pub fn runtime(&self) -> Arc<RuntimeInner> {
+        self.runtime.upgrade().expect("HAMSTER runtime torn down")
+    }
+
+    /// Record a trace event (no-op unless tracing was started).
+    #[inline]
+    pub fn trace(&self, module: &'static str, op: &'static str, arg: u64) {
+        if self.tracer.is_enabled() {
+            self.tracer.record(TraceEvent {
+                t_ns: self.platform.ctx().clock().now(),
+                node: self.platform.rank(),
+                module,
+                op,
+                arg,
+            });
+        }
+    }
+}
+
+/// A node's handle to the HAMSTER interface: the five orthogonal
+/// management modules of paper §4.2, plus monitoring and timing.
+///
+/// `Hamster` is cheaply cloneable and `Send`, so thread programming
+/// models may move it between the threads of one node CPU context.
+#[derive(Clone)]
+pub struct Hamster {
+    pub(crate) core: Arc<NodeCore>,
+}
+
+impl Hamster {
+    /// Memory management: allocation, distribution annotations,
+    /// capability probing, global access functions.
+    pub fn mem(&self) -> MemMgmt<'_> {
+        MemMgmt { core: &self.core }
+    }
+
+    /// Consistency management: scopes, flushes, synchronizing barriers.
+    pub fn cons(&self) -> ConsMgmt<'_> {
+        ConsMgmt { core: &self.core }
+    }
+
+    /// Synchronization management: locks, barriers, events, atomics.
+    pub fn sync(&self) -> SyncMgmt<'_> {
+        SyncMgmt { core: &self.core }
+    }
+
+    /// Task management: SPMD identity and remote execution.
+    pub fn task(&self) -> TaskMgmt<'_> {
+        TaskMgmt { core: &self.core }
+    }
+
+    /// Cluster control: node queries and user-level messaging.
+    pub fn cluster(&self) -> ClusterCtl<'_> {
+        ClusterCtl { core: &self.core }
+    }
+
+    /// The monitoring interface: per-module query/reset (paper §4.3).
+    pub fn monitor(&self) -> &ModuleStats {
+        &self.core.stats
+    }
+
+    /// The event tracer (see [`crate::trace`]): start/stop recording
+    /// and take the per-node timeline.
+    pub fn tracer(&self) -> &Tracer {
+        &self.core.tracer
+    }
+
+    /// Platform capability probe.
+    pub fn caps(&self) -> crate::platform::PlatformCaps {
+        self.core.platform.caps()
+    }
+
+    /// Virtual wall-clock time in seconds (paper §4.4's
+    /// platform-independent timing support).
+    pub fn wtime(&self) -> f64 {
+        self.core.platform.ctx().clock().now() as f64 / 1e9
+    }
+
+    /// Virtual time in nanoseconds.
+    pub fn wtime_ns(&self) -> u64 {
+        self.core.platform.ctx().clock().now()
+    }
+
+    /// Charge `ns` of application computation to this CPU.
+    #[inline]
+    pub fn compute(&self, ns: u64) {
+        self.core.platform.ctx().compute(ns);
+    }
+
+    /// Stream private (non-shared) memory traffic through this node's
+    /// memory system.
+    pub fn private_traffic(&self, bytes: u64) {
+        self.core.platform.private_traffic(bytes);
+    }
+
+    /// Direct access to the platform binding (used by the model layer
+    /// for operations that are deliberately platform-specific).
+    pub fn platform(&self) -> &Platform {
+        &self.core.platform
+    }
+}

@@ -1,0 +1,97 @@
+//! Per-module performance monitoring (paper §4.3).
+//!
+//! Every management module keeps its own statistics, independent of what
+//! the underlying architecture provides, and exposes query/reset
+//! services. Tools, run-time systems, or the application itself can read
+//! them — architecture- and programming-model-independently.
+
+use sim::StatSet;
+use std::collections::BTreeMap;
+
+/// The five modules' counter sets for one node.
+#[derive(Clone)]
+pub struct ModuleStats {
+    /// Memory-management counters.
+    pub mem: StatSet,
+    /// Consistency-management counters.
+    pub cons: StatSet,
+    /// Synchronization counters.
+    pub sync: StatSet,
+    /// Task-management counters.
+    pub task: StatSet,
+    /// Cluster-control counters.
+    pub cluster: StatSet,
+}
+
+impl ModuleStats {
+    /// Fresh counters for one node.
+    pub fn new() -> Self {
+        Self {
+            mem: StatSet::new(&["allocs", "alloc_bytes", "reads", "writes", "bulk_bytes", "probes"]),
+            cons: StatSet::new(&["acquires", "releases", "flushes", "sync_barriers"]),
+            sync: StatSet::new(&["locks", "unlocks", "barriers", "events_set", "events_waited", "atomics"]),
+            task: StatSet::new(&["remote_spawns", "joins", "forwards"]),
+            cluster: StatSet::new(&["msgs_sent", "msgs_recv", "bytes_sent", "queries"]),
+        }
+    }
+
+    /// The named module's counters.
+    pub fn module(&self, name: &str) -> &StatSet {
+        match name {
+            "mem" => &self.mem,
+            "cons" => &self.cons,
+            "sync" => &self.sync,
+            "task" => &self.task,
+            "cluster" => &self.cluster,
+            other => panic!("unknown HAMSTER module {other:?}"),
+        }
+    }
+
+    /// Query service: snapshot one module's counters.
+    pub fn query(&self, module: &str) -> BTreeMap<&'static str, u64> {
+        self.module(module).snapshot()
+    }
+
+    /// Reset service: zero one module's counters.
+    pub fn reset(&self, module: &str) {
+        self.module(module).reset_all();
+    }
+
+    /// Zero everything (between benchmark phases).
+    pub fn reset_all(&self) {
+        for m in ["mem", "cons", "sync", "task", "cluster"] {
+            self.reset(m);
+        }
+    }
+}
+
+impl Default for ModuleStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_and_reset_per_module() {
+        let s = ModuleStats::new();
+        s.mem.add("allocs", 2);
+        s.sync.add("locks", 5);
+        assert_eq!(s.query("mem")["allocs"], 2);
+        assert_eq!(s.query("sync")["locks"], 5);
+        s.reset("mem");
+        assert_eq!(s.query("mem")["allocs"], 0);
+        assert_eq!(s.query("sync")["locks"], 5);
+        s.reset_all();
+        assert_eq!(s.query("sync")["locks"], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown HAMSTER module")]
+    fn unknown_module_panics() {
+        ModuleStats::new().query("gpu");
+    }
+}

@@ -1,0 +1,219 @@
+//! The platform abstraction: one interface over the three base
+//! architectures.
+//!
+//! HAMSTER deliberately does *not* force a common low-level interface on
+//! the platforms (paper §3.1) — each native engine keeps its own API —
+//! but the management modules need a uniform surface, which this enum
+//! provides. Static dispatch keeps the per-access cost to a branch.
+
+use crate::mixed::{EngineHint, MixedNode};
+use crate::smp::SmpNode;
+use cluster::NodeCtx;
+use hybriddsm::HybridNode;
+use memwire::{Distribution, GlobalAddr};
+use swdsm::DsmNode;
+
+/// What the underlying platform can and cannot do — the memory module's
+/// capability-probe service reports from here (paper §4.2: "a capability
+/// test routine lets the user probe the underlying shared memory
+/// system").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlatformCaps {
+    /// Hardware keeps caches coherent (no software consistency needed).
+    pub hardware_coherent: bool,
+    /// Sharing granularity is a page (software DSM) rather than a word.
+    pub page_granularity: bool,
+    /// Remote memory is directly addressable by the hardware.
+    pub word_remote_access: bool,
+    /// Distribution annotations influence access cost (NUMA).
+    pub placement_matters: bool,
+}
+
+/// A node's binding to one of the three platforms.
+#[allow(clippy::large_enum_variant)] // one instance per node, hot path stays unboxed
+pub enum Platform {
+    /// Hardware shared memory (UMA multiprocessor).
+    Smp(SmpNode),
+    /// Hybrid DSM (SCI-VM style).
+    Hybrid(HybridNode),
+    /// Software DSM (JiaJia style).
+    SwDsm(DsmNode),
+    /// Both DSM engines, routed per allocation (paper §6).
+    Mixed(MixedNode),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $n:ident => $body:expr) => {
+        match $self {
+            Platform::Smp($n) => $body,
+            Platform::Hybrid($n) => $body,
+            Platform::SwDsm($n) => $body,
+            Platform::Mixed($n) => $body,
+        }
+    };
+}
+
+impl Platform {
+    /// This node's rank.
+    pub fn rank(&self) -> usize {
+        dispatch!(self, n => n.rank())
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        dispatch!(self, n => n.nodes())
+    }
+
+    /// The node execution context.
+    pub fn ctx(&self) -> &NodeCtx {
+        dispatch!(self, n => n.ctx())
+    }
+
+    /// Capability probe.
+    pub fn caps(&self) -> PlatformCaps {
+        match self {
+            Platform::Smp(_) => PlatformCaps {
+                hardware_coherent: true,
+                page_granularity: false,
+                word_remote_access: true,
+                placement_matters: false,
+            },
+            Platform::Hybrid(_) => PlatformCaps {
+                hardware_coherent: false,
+                page_granularity: false,
+                word_remote_access: true,
+                placement_matters: true,
+            },
+            Platform::SwDsm(_) => PlatformCaps {
+                hardware_coherent: false,
+                page_granularity: true,
+                word_remote_access: false,
+                placement_matters: true,
+            },
+            Platform::Mixed(_) => PlatformCaps {
+                hardware_coherent: false,
+                page_granularity: true,
+                word_remote_access: true,
+                placement_matters: true,
+            },
+        }
+    }
+
+    /// Collective allocation with an engine hint (only the mixed
+    /// platform distinguishes engines; the others have exactly one).
+    pub fn alloc_hinted(&self, bytes: usize, dist: Distribution, hint: EngineHint) -> GlobalAddr {
+        match self {
+            Platform::Mixed(n) => n.alloc_with(bytes, dist, hint),
+            other => other.alloc(bytes, dist),
+        }
+    }
+
+    /// Collective allocation.
+    pub fn alloc(&self, bytes: usize, dist: Distribution) -> GlobalAddr {
+        dispatch!(self, n => n.alloc(bytes, dist))
+    }
+
+    /// Single-node allocation (TreadMarks semantics). Only the software
+    /// DSM distinguishes this; the hardware-backed platforms fall back
+    /// to pinning the region on the caller.
+    pub fn alloc_local(&self, bytes: usize) -> GlobalAddr {
+        match self {
+            Platform::SwDsm(n) => n.alloc_local(bytes),
+            Platform::Smp(n) => n.alloc(bytes, Distribution::OnNode(n.rank())),
+            Platform::Hybrid(n) => n.alloc(bytes, Distribution::OnNode(n.rank())),
+            Platform::Mixed(n) => n.alloc_local(bytes),
+        }
+    }
+
+    /// Adopt a region allocated on another node (receiver side of an
+    /// address distribution; no-op on platforms with global directories).
+    pub fn adopt(&self, addr: GlobalAddr, bytes: usize, home: usize) {
+        match self {
+            Platform::SwDsm(n) => n.adopt(addr, bytes, home),
+            Platform::Mixed(n) => n.adopt(addr, bytes, home),
+            _ => {}
+        }
+    }
+
+    /// Read bytes from global memory.
+    #[inline]
+    pub fn read_bytes(&self, addr: GlobalAddr, out: &mut [u8]) {
+        dispatch!(self, n => n.read_bytes(addr, out))
+    }
+
+    /// Write bytes to global memory.
+    #[inline]
+    pub fn write_bytes(&self, addr: GlobalAddr, data: &[u8]) {
+        dispatch!(self, n => n.write_bytes(addr, data))
+    }
+
+    /// Read a u64.
+    #[inline]
+    pub fn read_u64(&self, addr: GlobalAddr) -> u64 {
+        dispatch!(self, n => n.read_u64(addr))
+    }
+
+    /// Write a u64.
+    #[inline]
+    pub fn write_u64(&self, addr: GlobalAddr, v: u64) {
+        dispatch!(self, n => n.write_u64(addr, v))
+    }
+
+    /// Read an f64.
+    #[inline]
+    pub fn read_f64(&self, addr: GlobalAddr) -> f64 {
+        dispatch!(self, n => n.read_f64(addr))
+    }
+
+    /// Write an f64.
+    #[inline]
+    pub fn write_f64(&self, addr: GlobalAddr, v: f64) {
+        dispatch!(self, n => n.write_f64(addr, v))
+    }
+
+    /// Acquire a global lock (with the platform's consistency action).
+    pub fn acquire(&self, lock: u32) {
+        dispatch!(self, n => n.acquire(lock))
+    }
+
+    /// Acquire a global lock in shared (reader) mode: concurrent
+    /// readers proceed together; writers exclude everyone.
+    pub fn acquire_shared(&self, lock: u32) {
+        dispatch!(self, n => n.acquire_shared(lock))
+    }
+
+    /// Release a global lock (with the platform's consistency action).
+    pub fn release(&self, lock: u32) {
+        dispatch!(self, n => n.release(lock))
+    }
+
+    /// Global barrier (with the platform's consistency action).
+    pub fn barrier(&self, id: u32) {
+        dispatch!(self, n => n.barrier(id))
+    }
+
+    /// Enforce store visibility without synchronization (write-buffer
+    /// drain on the hybrid platform; no-op on coherent hardware). On the
+    /// software DSM this is *not* sufficient for cross-node visibility —
+    /// use a synchronization operation — so it is a no-op there too.
+    pub fn flush(&self) {
+        match self {
+            Platform::Hybrid(n) => n.flush(),
+            Platform::Smp(n) => n.flush(),
+            Platform::SwDsm(_) => {}
+            Platform::Mixed(n) => n.flush(),
+        }
+    }
+
+    /// Stream private memory traffic (application scratch data) through
+    /// the node's memory system — contended on the SMP's shared bus,
+    /// private per node on the clusters.
+    pub fn private_traffic(&self, bytes: u64) {
+        match self {
+            Platform::Smp(n) => n.private_traffic(bytes),
+            Platform::Hybrid(n) => n.ctx().bus_transfer(bytes),
+            Platform::SwDsm(n) => n.ctx().bus_transfer(bytes),
+            Platform::Mixed(n) => n.ctx().bus_transfer(bytes),
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The Synchronization Management module (paper §4.2).
+//!
+//! Locks and barriers optimized for the base architecture (delegated to
+//! the platform engines), plus the building blocks programming models
+//! need: events (one-shot wakeups, the substrate for condition
+//! variables and thread joins) and global atomic read-modify-write.
+
+use crate::hamster::NodeCore;
+use crate::runtime::kinds;
+use interconnect::mailbox;
+use memwire::GlobalAddr;
+
+/// Lock ids at or above this are reserved for internal use (atomics).
+const ATOMIC_LOCK_BASE: u32 = 0x4000_0000;
+
+/// Facade over the synchronization services.
+pub struct SyncMgmt<'a> {
+    pub(crate) core: &'a NodeCore,
+}
+
+impl SyncMgmt<'_> {
+    /// Acquire global lock `lock` (blocking, FIFO-fair per manager).
+    pub fn lock(&self, lock: u32) {
+        assert!(lock < ATOMIC_LOCK_BASE, "lock id {lock:#x} is reserved");
+        self.core.charge_service();
+        self.core.stats.sync.add("locks", 1);
+        self.core.trace("sync", "lock", lock as u64);
+        self.core.platform.acquire(lock);
+    }
+
+    /// Acquire global lock `lock` in shared (reader) mode. Readers of
+    /// one lock overlap; a writer ([`SyncMgmt::lock`]) excludes them.
+    /// Release with [`SyncMgmt::unlock`] like any holder.
+    pub fn read_lock(&self, lock: u32) {
+        assert!(lock < ATOMIC_LOCK_BASE, "lock id {lock:#x} is reserved");
+        self.core.charge_service();
+        self.core.stats.sync.add("locks", 1);
+        self.core.trace("sync", "read_lock", lock as u64);
+        self.core.platform.acquire_shared(lock);
+    }
+
+    /// Release global lock `lock`.
+    pub fn unlock(&self, lock: u32) {
+        self.core.charge_service();
+        self.core.stats.sync.add("unlocks", 1);
+        self.core.trace("sync", "unlock", lock as u64);
+        self.core.platform.release(lock);
+    }
+
+    /// Wait at global barrier `id` (all nodes participate).
+    pub fn barrier(&self, id: u32) {
+        self.core.charge_service();
+        self.core.stats.sync.add("barriers", 1);
+        self.core.trace("sync", "barrier", id as u64);
+        self.core.platform.barrier(id);
+    }
+
+    /// Signal event `event` on node `dst`. One waiter is woken per
+    /// signal (signals queue FIFO). The runtime's handler deposits the
+    /// signal under the event's mailbox tag.
+    pub fn set_event(&self, dst: usize, event: u32) {
+        self.core.charge_service();
+        self.core.stats.sync.add("events_set", 1);
+        self.core.platform.ctx().port().post(dst, kinds::EVENT_SET, event, 16);
+    }
+
+    /// Block until event `event` is signalled on this node.
+    pub fn wait_event(&self, event: u32) {
+        self.core.charge_service();
+        self.core.stats.sync.add("events_waited", 1);
+        let _ = self
+            .core
+            .platform
+            .ctx()
+            .port()
+            .wait_mailbox(mailbox::tag(kinds::EVENT_SET, event));
+    }
+
+    /// Non-blocking poll of event `event`.
+    pub fn try_event(&self, event: u32) -> bool {
+        self.core.charge_service();
+        let got = self
+            .core
+            .platform
+            .ctx()
+            .mailbox()
+            .try_take(mailbox::tag(kinds::EVENT_SET, event));
+        if got.is_some() {
+            self.core.stats.sync.add("events_waited", 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Atomically add `delta` to the u64 at `addr`, returning the old
+    /// value. Implemented as a tiny internal critical section keyed by
+    /// the address (the generic mechanism models build `fetch&add`,
+    /// semaphores, and reductions from).
+    pub fn fetch_add_u64(&self, addr: GlobalAddr, delta: u64) -> u64 {
+        self.core.charge_service();
+        self.core.stats.sync.add("atomics", 1);
+        let lock = ATOMIC_LOCK_BASE + (addr.0 % 1024) as u32;
+        self.core.platform.acquire(lock);
+        let old = self.core.platform.read_u64(addr);
+        self.core.platform.write_u64(addr, old.wrapping_add(delta));
+        self.core.platform.release(lock);
+        old
+    }
+
+    /// Atomic f64 accumulation at `addr` (the reduction primitive).
+    pub fn fetch_add_f64(&self, addr: GlobalAddr, delta: f64) -> f64 {
+        self.core.charge_service();
+        self.core.stats.sync.add("atomics", 1);
+        let lock = ATOMIC_LOCK_BASE + (addr.0 % 1024) as u32;
+        self.core.platform.acquire(lock);
+        let old = self.core.platform.read_f64(addr);
+        self.core.platform.write_f64(addr, old + delta);
+        self.core.platform.release(lock);
+        old
+    }
+}

@@ -1,0 +1,63 @@
+//! Platform-independent timing support (paper §4.4).
+//!
+//! "Additional services independent of the parallel programming
+//! environment (e.g., platform-independent support for application
+//! timing measurements) augment the usability of the framework."
+
+use crate::hamster::Hamster;
+
+/// A virtual-time stopwatch over a node's clock.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    start_ns: u64,
+}
+
+impl Timer {
+    /// Start timing now.
+    pub fn start(ham: &Hamster) -> Self {
+        Self { start_ns: ham.wtime_ns() }
+    }
+
+    /// Elapsed virtual nanoseconds.
+    pub fn elapsed_ns(&self, ham: &Hamster) -> u64 {
+        ham.wtime_ns().saturating_sub(self.start_ns)
+    }
+
+    /// Elapsed virtual seconds.
+    pub fn elapsed_secs(&self, ham: &Hamster) -> f64 {
+        self.elapsed_ns(ham) as f64 / 1e9
+    }
+}
+
+/// Accumulates the durations of repeated phases (e.g. "time spent in
+/// barriers" for the paper's LU breakdown).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhaseAccumulator {
+    total_ns: u64,
+    open_since: Option<u64>,
+}
+
+impl PhaseAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enter the phase.
+    pub fn enter(&mut self, ham: &Hamster) {
+        assert!(self.open_since.is_none(), "phase already entered");
+        self.open_since = Some(ham.wtime_ns());
+    }
+
+    /// Leave the phase, accumulating its duration.
+    pub fn leave(&mut self, ham: &Hamster) {
+        let since = self.open_since.take().expect("phase not entered");
+        self.total_ns += ham.wtime_ns().saturating_sub(since);
+    }
+
+    /// Total accumulated nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        assert!(self.open_since.is_none(), "phase still open");
+        self.total_ns
+    }
+}

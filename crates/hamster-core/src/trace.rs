@@ -1,0 +1,146 @@
+//! Event tracing: a virtual-time-stamped record of HAMSTER service
+//! activity, for external tools.
+//!
+//! Counters (paper §4.3) aggregate; traces *order*. A per-node ring
+//! buffer records `(virtual time, module, operation, argument)` for
+//! every traced service call while tracing is enabled, cheap enough to
+//! leave compiled in (one atomic load when disabled). Merged across
+//! nodes, the trace is a cluster-wide timeline — the hook an external
+//! monitoring or visualization tool attaches to.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One traced service call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the call (ns).
+    pub t_ns: u64,
+    /// Node that issued it.
+    pub node: usize,
+    /// HAMSTER module ("mem", "sync", "cons", "task", "cluster").
+    pub module: &'static str,
+    /// Operation ("lock", "barrier", "alloc", …).
+    pub op: &'static str,
+    /// Operation argument (lock id, barrier id, address, byte count…).
+    pub arg: u64,
+}
+
+/// Per-node trace buffer (bounded; oldest events are dropped first).
+pub struct Tracer {
+    enabled: AtomicBool,
+    events: Mutex<Vec<TraceEvent>>,
+    capacity: usize,
+}
+
+impl Tracer {
+    /// A disabled tracer holding up to `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            events: Mutex::new(Vec::new()),
+            capacity,
+        }
+    }
+
+    /// Start recording.
+    pub fn start(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Stop recording (events are kept until taken).
+    pub fn stop(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// Whether recording is active.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Record an event (no-op while disabled).
+    #[inline]
+    pub fn record(&self, ev: TraceEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut g = self.events.lock();
+        if g.len() == self.capacity {
+            g.remove(0);
+        }
+        g.push(ev);
+    }
+
+    /// Take all recorded events (clears the buffer).
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Merge per-node traces into one virtual-time-ordered timeline.
+pub fn merge_timelines(per_node: Vec<Vec<TraceEvent>>) -> Vec<TraceEvent> {
+    let mut all: Vec<TraceEvent> = per_node.into_iter().flatten().collect();
+    all.sort_by_key(|e| (e.t_ns, e.node));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, node: usize, op: &'static str) -> TraceEvent {
+        TraceEvent { t_ns: t, node, module: "sync", op, arg: 0 }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new(8);
+        t.record(ev(1, 0, "lock"));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_records_and_takes() {
+        let t = Tracer::new(8);
+        t.start();
+        t.record(ev(1, 0, "lock"));
+        t.record(ev(2, 0, "unlock"));
+        assert_eq!(t.len(), 2);
+        let evs = t.take();
+        assert_eq!(evs[0].op, "lock");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn capacity_drops_oldest() {
+        let t = Tracer::new(3);
+        t.start();
+        for i in 0..5 {
+            t.record(ev(i, 0, "barrier"));
+        }
+        let evs = t.take();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].t_ns, 2);
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_node() {
+        let merged = merge_timelines(vec![
+            vec![ev(5, 0, "a"), ev(10, 0, "b")],
+            vec![ev(5, 1, "c"), ev(1, 1, "d")],
+        ]);
+        let key: Vec<(u64, usize)> = merged.iter().map(|e| (e.t_ns, e.node)).collect();
+        assert_eq!(key, vec![(1, 1), (5, 0), (5, 1), (10, 0)]);
+    }
+}

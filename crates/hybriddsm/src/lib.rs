@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! An SCI-VM-style hybrid DSM.
+//!
+//! The paper's hybrid configuration (§3.2) runs on *shared memory
+//! clusters*: SANs with remote memory read/write capability (Dolphin
+//! SCI). Communication maps directly onto hardware transactions — no
+//! software protocol on the data path — while memory *management* stays
+//! in software, distributed across nodes (this is the SCI-VM the paper's
+//! framework grew from, with its extra kernel component subsumed here by
+//! the shared [`memwire::RegionStore`]).
+//!
+//! Consequences faithfully modelled:
+//!
+//! * Remote accesses are word-granularity hardware transactions: reads
+//!   block for a few µs, writes are posted through a write buffer and
+//!   cost little to issue.
+//! * There is no page caching and hence no invalidation protocol: every
+//!   access sees current memory (NCC-NUMA). Consistency control reduces
+//!   to flushing the write buffer at release points.
+//! * Write-only initialization — pathological for page-based software
+//!   DSM — is cheap (the paper's LU observation in Figure 3).
+//!
+//! Synchronization uses SCI messaging through [`sync`], a reusable
+//! manager-based lock/barrier core (also reused by the SMP platform in
+//! `hamster-core`).
+
+pub mod node;
+pub mod sync;
+
+pub use node::{HybridConfig, HybridDsm, HybridNode};
+pub use sync::{SyncCore, SyncNode};

@@ -1,0 +1,354 @@
+//! The hybrid-DSM engine: software memory management over hardware
+//! remote access.
+
+use crate::sync::{SyncCore, SyncNode};
+use cluster::{Cluster, NodeCtx};
+use memwire::{Distribution, GlobalAddr, RegionDir, RegionMeta, RegionStore, PAGE_SIZE};
+use parking_lot::Mutex;
+use sim::{MachineCost, SciAccessCost, StatSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Barrier id reserved for collective allocation.
+const ALLOC_BARRIER: u32 = 0x8000_0000;
+
+/// Base of the hybrid DSM's region-id space. Disjoint from the software
+/// DSM's collective ids (small integers) and single-node ids (≥ 1<<24),
+/// so both engines can coexist in one address space (the mixed platform
+/// of the paper's §6).
+pub const HYBRID_REGION_BASE: u32 = 0x0040_0000;
+
+/// Tunables of the hybrid DSM (the SAN's access characteristics).
+#[derive(Debug, Clone, Copy)]
+pub struct HybridConfig {
+    /// Remote-access cost model; defaults to Dolphin SCI.
+    pub access: SciAccessCost,
+    /// Model the processor cache over remote mappings. The SCI-VM maps
+    /// remote memory cacheably and flushes caches at consistency
+    /// points, so re-reads of unchanged remote data within one
+    /// synchronization interval hit the local cache. Disable for the
+    /// strictly uncached NCC-NUMA behaviour.
+    pub cache_remote_reads: bool,
+    /// Capacity of the modelled cache in 64-byte lines (512 KiB L2).
+    pub cache_lines: usize,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self {
+            access: SciAccessCost::dolphin(),
+            cache_remote_reads: true,
+            cache_lines: 8192,
+        }
+    }
+}
+
+/// Per-node statistics of the hybrid DSM.
+pub const STAT_NAMES: &[&str] = &[
+    "local_reads",
+    "local_writes",
+    "remote_reads",
+    "remote_writes",
+    "bulk_bytes",
+    "flushes",
+    "lock_acquires",
+    "barriers",
+];
+
+/// Cluster-shared state of the hybrid DSM.
+pub struct HybridDsm {
+    cfg: HybridConfig,
+    nodes: usize,
+    machine: MachineCost,
+    dir: RegionDir,
+    store: Arc<RegionStore>,
+    sync: Arc<SyncCore>,
+    stats: Vec<StatSet>,
+}
+
+impl HybridDsm {
+    /// Create the hybrid DSM over `cluster` (registers its sync
+    /// handlers). Call once, before [`Cluster::run`].
+    pub fn install(cluster: &Cluster, cfg: HybridConfig) -> Arc<HybridDsm> {
+        let nodes = cluster.config().nodes;
+        Arc::new(HybridDsm {
+            cfg,
+            nodes,
+            machine: cluster.config().cost.machine,
+            dir: RegionDir::new(),
+            store: RegionStore::new(),
+            sync: SyncCore::install(cluster, 0),
+            stats: (0..nodes).map(|_| StatSet::new(STAT_NAMES)).collect(),
+        })
+    }
+
+    /// Per-node statistics.
+    pub fn stats(&self, node: usize) -> &StatSet {
+        &self.stats[node]
+    }
+
+    /// Home node of the page containing `addr`.
+    pub fn home_of(&self, addr: GlobalAddr) -> usize {
+        let page = addr.page();
+        self.dir.meta(page.region).home_of(page.index, self.nodes)
+    }
+
+    /// The physically shared store (used by tests and the SMP platform).
+    pub fn store(&self) -> &Arc<RegionStore> {
+        &self.store
+    }
+
+    /// Bind a per-node engine.
+    pub fn node(self: &Arc<Self>, ctx: NodeCtx) -> HybridNode {
+        HybridNode {
+            dsm: self.clone(),
+            rank: ctx.rank(),
+            sync: self.sync.node(&ctx),
+            ctx,
+            pending_writes: AtomicU64::new(0),
+            next_region: Mutex::new(HYBRID_REGION_BASE + 1),
+            cache: Mutex::new(std::collections::HashSet::new()),
+        }
+    }
+}
+
+/// The per-node hybrid-DSM engine.
+///
+/// Same surface as [`swdsm::DsmNode`](../swdsm/struct.DsmNode.html): the
+/// HAMSTER platform layer treats the two uniformly, and the paper's §5.4
+/// experiments swap one for the other through configuration only.
+pub struct HybridNode {
+    dsm: Arc<HybridDsm>,
+    rank: usize,
+    ctx: NodeCtx,
+    sync: SyncNode,
+    /// Writes posted to the SAN write buffer since the last flush.
+    pending_writes: AtomicU64,
+    next_region: Mutex<u32>,
+    /// Remote lines present in the (modelled) processor cache this
+    /// synchronization interval.
+    cache: Mutex<std::collections::HashSet<u64>>,
+}
+
+impl HybridNode {
+    /// This node's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.dsm.nodes
+    }
+
+    /// The underlying node context.
+    pub fn ctx(&self) -> &NodeCtx {
+        &self.ctx
+    }
+
+    /// The cluster-wide DSM instance.
+    pub fn dsm(&self) -> &Arc<HybridDsm> {
+        &self.dsm
+    }
+
+    fn stat(&self, name: &str, n: u64) {
+        self.dsm.stats[self.rank].add(name, n);
+    }
+
+    // ---- allocation ------------------------------------------------------
+
+    /// Collective allocation (same lockstep contract as the software
+    /// DSM): registers the region, materializes the physically shared
+    /// backing, and joins the implicit barrier.
+    pub fn alloc(&self, bytes: usize, dist: Distribution) -> GlobalAddr {
+        let region = {
+            let mut g = self.next_region.lock();
+            let id = *g;
+            *g += 1;
+            id
+        };
+        self.dsm.dir.register(region, RegionMeta::new(bytes, dist));
+        // Exactly one participant creates the backing store; the barrier
+        // below orders creation before any access.
+        if self.dsm.dir.meta(region).home_of(0, self.dsm.nodes) == self.rank {
+            let size = bytes.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+            self.dsm.store.create(region, size);
+        }
+        self.barrier(ALLOC_BARRIER);
+        GlobalAddr::new(region, 0)
+    }
+
+    // ---- access ------------------------------------------------------
+
+    fn is_local(&self, addr: GlobalAddr) -> bool {
+        self.dsm.home_of(addr) == self.rank
+    }
+
+    /// Read `out.len()` bytes at `addr`. Word-granularity reads from a
+    /// remote home block for one SAN transaction each; larger reads use
+    /// the SAN's DMA path.
+    pub fn read_bytes(&self, addr: GlobalAddr, out: &mut [u8]) {
+        self.charge_read(addr, out.len());
+        self.dsm.store.get(addr.region()).read_bytes(addr.offset() as usize, out);
+    }
+
+    /// Write `data` at `addr`. Remote word writes are posted (cheap to
+    /// issue); bulk writes use the DMA path.
+    pub fn write_bytes(&self, addr: GlobalAddr, data: &[u8]) {
+        self.charge_write(addr, data.len());
+        self.dsm.store.get(addr.region()).write_bytes(addr.offset() as usize, data);
+    }
+
+    /// Local access: cached word, or bulk streaming through the node's
+    /// memory bus (consistent accounting across all platforms).
+    fn charge_local(&self, len: usize) {
+        if len <= 64 {
+            self.ctx.compute(self.dsm.machine.local_access_ns);
+        } else {
+            self.ctx.bus_transfer(len as u64);
+        }
+    }
+
+    fn charge_read(&self, addr: GlobalAddr, len: usize) {
+        let a = &self.dsm.cfg.access;
+        let lines = len.div_ceil(64).max(1) as u64;
+        if self.is_local(addr) {
+            self.stat("local_reads", 1);
+            self.charge_local(len);
+            return;
+        }
+        // Count cache misses among the 64-byte lines spanned.
+        let missed_lines = if self.dsm.cfg.cache_remote_reads {
+            let mut cache = self.cache.lock();
+            if cache.len() + lines as usize > self.dsm.cfg.cache_lines {
+                // Epoch eviction: a full cache starts over (crude LRU).
+                cache.clear();
+            }
+            let first = addr.0 / 64;
+            (0..lines).filter(|i| cache.insert(first + i)).count() as u64
+        } else {
+            lines
+        };
+        if missed_lines == 0 {
+            self.stat("local_reads", 1);
+            self.charge_local(len);
+        } else if len <= 64 {
+            self.stat("remote_reads", 1);
+            self.ctx.compute(a.remote_read_ns);
+        } else {
+            self.stat("remote_reads", 1);
+            let missed_bytes = (missed_lines * 64).min(len as u64) as usize;
+            self.stat("bulk_bytes", missed_bytes as u64);
+            self.ctx.compute(
+                a.bulk_setup_ns
+                    + transfer_ns(missed_bytes, a.bulk_bytes_per_sec)
+                    + self.dsm.machine.local_access_ns * (lines - missed_lines),
+            );
+        }
+    }
+
+    fn charge_write(&self, addr: GlobalAddr, len: usize) {
+        let a = &self.dsm.cfg.access;
+        if self.is_local(addr) {
+            self.stat("local_writes", 1);
+            self.charge_local(len);
+        } else if len <= 64 {
+            self.stat("remote_writes", 1);
+            self.pending_writes.fetch_add(1, Ordering::Relaxed);
+            self.ctx.compute(a.remote_write_ns);
+        } else {
+            self.stat("remote_writes", 1);
+            self.stat("bulk_bytes", len as u64);
+            self.ctx.compute(a.bulk_setup_ns + transfer_ns(len, a.bulk_bytes_per_sec));
+        }
+    }
+
+    /// Read a u64.
+    pub fn read_u64(&self, addr: GlobalAddr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Write a u64.
+    pub fn write_u64(&self, addr: GlobalAddr, v: u64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Read an f64.
+    pub fn read_f64(&self, addr: GlobalAddr) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Write an f64.
+    pub fn write_f64(&self, addr: GlobalAddr, v: f64) {
+        self.write_u64(addr, v.to_bits());
+    }
+
+    // ---- consistency / synchronization -------------------------------
+
+    /// Drain the SAN write buffer (store barrier). Charged per pending
+    /// posted write, capped at the buffer's depth.
+    pub fn flush(&self) {
+        let pending = self.pending_writes.swap(0, Ordering::Relaxed);
+        if pending > 0 {
+            self.stat("flushes", 1);
+            let a = &self.dsm.cfg.access;
+            self.ctx.compute((pending * a.flush_per_write_ns).min(a.flush_max_ns));
+        }
+    }
+
+    /// Invalidate the modelled remote-read cache (entering a new
+    /// synchronization interval may expose peers' writes).
+    fn drop_cache(&self) {
+        if self.dsm.cfg.cache_remote_reads {
+            self.cache.lock().clear();
+        }
+    }
+
+    /// Consistency action without synchronization: drain the write
+    /// buffer and drop the remote-read cache. The mixed platform calls
+    /// this when another engine's synchronization provides the ordering.
+    pub fn sync_point(&self) {
+        self.flush();
+        self.drop_cache();
+    }
+
+    /// Acquire global lock `lock`.
+    pub fn acquire(&self, lock: u32) {
+        self.stat("lock_acquires", 1);
+        self.sync.acquire(lock);
+        self.drop_cache();
+    }
+
+    /// Acquire global lock `lock` in shared (reader) mode.
+    pub fn acquire_shared(&self, lock: u32) {
+        self.stat("lock_acquires", 1);
+        self.sync.acquire_shared(lock);
+        self.drop_cache();
+    }
+
+    /// Release global lock `lock` (flushes posted writes first, so the
+    /// next holder observes them).
+    pub fn release(&self, lock: u32) {
+        self.flush();
+        self.sync.release(lock);
+    }
+
+    /// Global barrier (flushes posted writes first).
+    pub fn barrier(&self, id: u32) {
+        self.stat("barriers", 1);
+        self.flush();
+        self.sync.barrier(id);
+        self.drop_cache();
+    }
+
+    /// Orderly exit.
+    pub fn exit(&self) {
+        self.barrier(ALLOC_BARRIER);
+    }
+}
+
+fn transfer_ns(bytes: usize, per_sec: u64) -> u64 {
+    (bytes as u128 * 1_000_000_000u128 / per_sec as u128) as u64
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! Simulated cluster interconnect with virtual-time cost accounting.
+//!
+//! This crate stands in for the paper's physical networks (switched Fast
+//! Ethernet for the Beowulf/software-DSM configuration, Dolphin SCI for
+//! the hybrid configuration, and the memory bus for SMP-as-cluster). All
+//! protocol traffic between simulated nodes really happens — messages are
+//! delivered across threads and handled by per-node communication daemons
+//! — while *time* is charged according to a [`sim::LinkCost`] model.
+//!
+//! Key pieces:
+//!
+//! * [`Network`] — constructs the fabric: one inbox + service thread per
+//!   node, a handler [`router::Router`] per node, and a [`sim::Server`]
+//!   per node modelling protocol-handler occupancy (so a hot page home
+//!   exhibits queueing, as on the real cluster).
+//! * [`NodePort`] — the per-node endpoint used by application threads:
+//!   synchronous [`NodePort::request`] (round-trip timed), asynchronous
+//!   [`NodePort::post`], and broadcast.
+//! * [`Mailbox`] — node-local wait queues that let an application thread
+//!   block until a protocol handler deposits a wake-up (used by barriers,
+//!   queued locks, thread forwarding, and user-level messaging).
+//! * The *unified messaging layer* flag — HAMSTER coalesces the separate
+//!   native messaging stacks into one (paper §3.3); when active, a fixed
+//!   per-message software saving is applied. This is the mechanism behind
+//!   the small speedups of Figure 2.
+
+pub mod mailbox;
+pub mod message;
+pub mod network;
+pub mod router;
+
+pub use mailbox::Mailbox;
+pub use message::{downcast, HandlerCtx, NodeId, Outcome, Payload};
+pub use network::{Network, NetworkBuilder, NodePort};
+pub use router::Router;

@@ -1,0 +1,136 @@
+//! Node-local wait queues connecting protocol handlers to blocked
+//! application threads.
+//!
+//! Several shared-memory operations complete asynchronously from the
+//! requester's point of view: a barrier release, a queued lock grant, a
+//! forwarded thread's exit notification, a user-level receive. The
+//! handler that learns of the event runs on the node's communication
+//! daemon; the application thread meanwhile blocks on the node's
+//! [`Mailbox`] under a tag. Deposits carry the virtual time at which the
+//! wake-up message arrived, so the woken thread can advance its clock.
+
+use crate::message::Payload;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+
+/// A deposited wake-up: payload plus virtual arrival time.
+pub struct Deposit {
+    /// The handler's payload for the waiter.
+    pub payload: Payload,
+    /// Virtual time the wake-up message arrived.
+    pub arrive_ns: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    queues: HashMap<u64, VecDeque<Deposit>>,
+}
+
+/// One mailbox per simulated node.
+#[derive(Default)]
+pub struct Mailbox {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+}
+
+impl Mailbox {
+    /// An empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit a wake-up under `tag`. Called from protocol handlers.
+    pub fn deposit(&self, tag: u64, payload: Payload, arrive_ns: u64) {
+        let mut g = self.inner.lock();
+        g.queues.entry(tag).or_default().push_back(Deposit { payload, arrive_ns });
+        self.cond.notify_all();
+    }
+
+    /// Block until a deposit under `tag` is available, then take it.
+    pub fn wait(&self, tag: u64) -> Deposit {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(q) = g.queues.get_mut(&tag) {
+                if let Some(d) = q.pop_front() {
+                    return d;
+                }
+            }
+            self.cond.wait(&mut g);
+        }
+    }
+
+    /// Take a deposit under `tag` if one is already present.
+    pub fn try_take(&self, tag: u64) -> Option<Deposit> {
+        let mut g = self.inner.lock();
+        g.queues.get_mut(&tag).and_then(|q| q.pop_front())
+    }
+
+    /// Number of pending deposits under `tag`.
+    pub fn pending(&self, tag: u64) -> usize {
+        self.inner.lock().queues.get(&tag).map_or(0, |q| q.len())
+    }
+}
+
+/// Build a mailbox tag from a message kind and an instance id (e.g. a
+/// particular barrier or lock).
+pub fn tag(kind: u32, id: u32) -> u64 {
+    ((kind as u64) << 32) | id as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn deposit_then_wait() {
+        let m = Mailbox::new();
+        m.deposit(tag(1, 0), Box::new(5u32), 100);
+        let d = m.wait(tag(1, 0));
+        assert_eq!(d.arrive_ns, 100);
+        assert_eq!(crate::downcast::<u32>(d.payload), 5);
+    }
+
+    #[test]
+    fn wait_blocks_until_deposit() {
+        let m = Arc::new(Mailbox::new());
+        let m2 = m.clone();
+        let h = std::thread::spawn(move || m2.wait(tag(2, 7)).arrive_ns);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        m.deposit(tag(2, 7), Box::new(()), 42);
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn tags_are_independent() {
+        let m = Mailbox::new();
+        m.deposit(tag(1, 0), Box::new(()), 1);
+        assert!(m.try_take(tag(1, 1)).is_none());
+        assert!(m.try_take(tag(2, 0)).is_none());
+        assert!(m.try_take(tag(1, 0)).is_some());
+    }
+
+    #[test]
+    fn fifo_order_within_tag() {
+        let m = Mailbox::new();
+        m.deposit(tag(3, 0), Box::new(1u8), 10);
+        m.deposit(tag(3, 0), Box::new(2u8), 20);
+        assert_eq!(crate::downcast::<u8>(m.wait(tag(3, 0)).payload), 1);
+        assert_eq!(crate::downcast::<u8>(m.wait(tag(3, 0)).payload), 2);
+    }
+
+    #[test]
+    fn pending_counts() {
+        let m = Mailbox::new();
+        assert_eq!(m.pending(tag(9, 9)), 0);
+        m.deposit(tag(9, 9), Box::new(()), 0);
+        m.deposit(tag(9, 9), Box::new(()), 0);
+        assert_eq!(m.pending(tag(9, 9)), 2);
+    }
+
+    #[test]
+    fn tag_packing_distinct() {
+        assert_ne!(tag(1, 2), tag(2, 1));
+        assert_eq!(tag(0xABCD, 0x1234) >> 32, 0xABCD);
+    }
+}

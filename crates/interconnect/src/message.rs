@@ -1,0 +1,143 @@
+//! Message and handler types shared across the fabric.
+
+use std::any::Any;
+
+/// Identifier of a simulated node (0-based rank).
+pub type NodeId = usize;
+
+/// An in-process message payload. The fabric never serializes payloads —
+/// all nodes live in one address space — but every send declares its
+/// *wire size* so the cost model can charge serialization/bandwidth as
+/// the real network would.
+pub type Payload = Box<dyn Any + Send>;
+
+/// Downcast a payload to a concrete protocol message type.
+///
+/// Panics on a type mismatch: handler kinds and payload types are paired
+/// statically by each protocol, so a mismatch is a protocol bug, not a
+/// runtime condition.
+pub fn downcast<T: 'static>(p: Payload) -> T {
+    *p.downcast::<T>()
+        .unwrap_or_else(|_| panic!("payload type mismatch for {}", std::any::type_name::<T>()))
+}
+
+/// What a handler produced.
+pub struct Outcome {
+    /// Reply payload and its wire size in bytes (for synchronous requests).
+    pub reply: Option<(Payload, u64)>,
+    /// Additional service time beyond the link's fixed handler cost, e.g.
+    /// applying a large diff or copying a page out of the home store (ns).
+    pub extra_ns: u64,
+    /// Causal floor on the reply time: the reply is not ready before
+    /// this virtual instant, without consuming handler capacity. Used
+    /// to keep eagerly-made decisions virtually ordered (e.g. a lock
+    /// grant must not precede the previous holder's release).
+    pub not_before_ns: u64,
+}
+
+impl Outcome {
+    /// A reply with the given wire size and no extra service time.
+    pub fn reply<T: Any + Send>(value: T, wire_bytes: u64) -> Self {
+        Self { reply: Some((Box::new(value), wire_bytes)), extra_ns: 0, not_before_ns: 0 }
+    }
+
+    /// A reply plus extra handler service time.
+    pub fn reply_costing<T: Any + Send>(value: T, wire_bytes: u64, extra_ns: u64) -> Self {
+        Self { reply: Some((Box::new(value), wire_bytes)), extra_ns, not_before_ns: 0 }
+    }
+
+    /// A reply that is not ready before the given virtual instant (a
+    /// causal ordering floor, not handler work).
+    pub fn reply_not_before<T: Any + Send>(
+        value: T,
+        wire_bytes: u64,
+        not_before_ns: u64,
+    ) -> Self {
+        Self {
+            reply: Some((Box::new(value), wire_bytes)),
+            extra_ns: 0,
+            not_before_ns,
+        }
+    }
+
+    /// No reply (one-way message), no extra cost.
+    pub fn done() -> Self {
+        Self { reply: None, extra_ns: 0, not_before_ns: 0 }
+    }
+
+    /// No reply, with extra handler service time.
+    pub fn done_costing(extra_ns: u64) -> Self {
+        Self { reply: None, extra_ns, not_before_ns: 0 }
+    }
+}
+
+/// Context handed to a protocol handler while it runs on a node's
+/// communication daemon.
+///
+/// `now` is the virtual time at which the handler's fixed service window
+/// ends; posts made from within the handler depart at `now` (plus the
+/// handler's own `extra_ns`, which the handler should add via
+/// [`HandlerCtx::post_at`] if it matters).
+pub struct HandlerCtx<'a> {
+    pub(crate) net: &'a crate::network::NetShared,
+    /// The node this handler runs on.
+    pub node: NodeId,
+    /// Virtual time at which the fixed service window ends.
+    pub now: u64,
+}
+
+impl HandlerCtx<'_> {
+    /// Fire-and-forget message to `dst`, departing at `self.now`.
+    pub fn post<T: Any + Send>(&self, dst: NodeId, kind: u32, value: T, wire_bytes: u64) {
+        self.post_at(dst, kind, value, wire_bytes, self.now);
+    }
+
+    /// Fire-and-forget message departing at an explicit time (used when a
+    /// handler performed additional work before sending).
+    pub fn post_at<T: Any + Send>(
+        &self,
+        dst: NodeId,
+        kind: u32,
+        value: T,
+        wire_bytes: u64,
+        depart: u64,
+    ) {
+        self.net.post_from_handler(self.node, dst, kind, Box::new(value), wire_bytes, depart);
+    }
+
+    /// Number of nodes in the fabric.
+    pub fn nodes(&self) -> usize {
+        self.net.nodes()
+    }
+}
+
+/// A protocol handler: `(ctx, requester, payload) -> outcome`.
+pub type Handler = Box<dyn Fn(&HandlerCtx<'_>, NodeId, Payload) -> Outcome + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downcast_roundtrip() {
+        let p: Payload = Box::new(42u32);
+        assert_eq!(downcast::<u32>(p), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload type mismatch")]
+    fn downcast_wrong_type_panics() {
+        let p: Payload = Box::new(42u32);
+        let _: u64 = downcast::<u64>(p);
+    }
+
+    #[test]
+    fn outcome_constructors() {
+        let o = Outcome::reply(7u8, 16);
+        assert!(o.reply.is_some());
+        assert_eq!(o.extra_ns, 0);
+        let o = Outcome::done_costing(99);
+        assert!(o.reply.is_none());
+        assert_eq!(o.extra_ns, 99);
+    }
+}

@@ -1,0 +1,71 @@
+//! Per-node handler registry.
+
+use crate::message::{Handler, HandlerCtx, NodeId, Outcome, Payload};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Maps message kinds to protocol handlers on one node.
+///
+/// Protocols (software DSM, hybrid DSM, HAMSTER sync/task/cluster modules)
+/// register their handlers during node initialization; the node's
+/// communication daemon dispatches through the router afterwards.
+/// Registration after the daemon has started is allowed (the map is
+/// behind an `RwLock`), which HAMSTER's task module uses to install
+/// forwarding handlers lazily.
+#[derive(Default)]
+pub struct Router {
+    handlers: RwLock<HashMap<u32, Handler>>,
+}
+
+impl Router {
+    /// An empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `handler` for message `kind`. Panics if the kind is taken:
+    /// protocol kind spaces are statically partitioned (see the `kinds`
+    /// constants in each protocol crate), so a clash is a bug.
+    pub fn register<F>(&self, kind: u32, handler: F)
+    where
+        F: Fn(&HandlerCtx<'_>, NodeId, Payload) -> Outcome + Send + Sync + 'static,
+    {
+        let prev = self.handlers.write().insert(kind, Box::new(handler));
+        assert!(prev.is_none(), "handler kind {kind:#x} registered twice");
+    }
+
+    /// Dispatch a message. Panics on unknown kinds (protocol bug).
+    pub fn dispatch(&self, ctx: &HandlerCtx<'_>, src: NodeId, kind: u32, payload: Payload) -> Outcome {
+        let guard = self.handlers.read();
+        let h = guard
+            .get(&kind)
+            .unwrap_or_else(|| panic!("no handler for message kind {kind:#x}"));
+        h(ctx, src, payload)
+    }
+
+    /// Whether a handler is registered for `kind`.
+    pub fn knows(&self, kind: u32) -> bool {
+        self.handlers.read().contains_key(&kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_knows() {
+        let r = Router::new();
+        assert!(!r.knows(1));
+        r.register(1, |_ctx, _src, _p| Outcome::done());
+        assert!(r.knows(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_register_panics() {
+        let r = Router::new();
+        r.register(7, |_, _, _| Outcome::done());
+        r.register(7, |_, _, _| Outcome::done());
+    }
+}

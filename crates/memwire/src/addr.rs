@@ -1,0 +1,147 @@
+//! Global addresses, regions, and pages.
+//!
+//! The global memory abstraction (paper §3.1) names memory with
+//! region-relative addresses: an allocation call yields a region, and all
+//! shared accesses are `(region, offset)` pairs packed into a
+//! [`GlobalAddr`]. Page granularity matters to the software DSM (fault,
+//! twin, and diff units) and to home placement in both DSMs.
+
+/// Size of a DSM page in bytes (the testbed's x86 page size).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of an allocated global region.
+pub type RegionId = u32;
+
+/// A global address: region id in the high 32 bits, byte offset within
+/// the region in the low 32 bits (regions are < 4 GiB, ample for the
+/// paper's working sets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalAddr(pub u64);
+
+impl GlobalAddr {
+    /// Address of `offset` within `region`.
+    #[inline]
+    pub fn new(region: RegionId, offset: u32) -> Self {
+        Self(((region as u64) << 32) | offset as u64)
+    }
+
+    /// The region this address points into.
+    #[inline]
+    pub fn region(self) -> RegionId {
+        (self.0 >> 32) as RegionId
+    }
+
+    /// Byte offset within the region.
+    #[inline]
+    pub fn offset(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// The page containing this address.
+    #[inline]
+    pub fn page(self) -> PageId {
+        PageId { region: self.region(), index: self.offset() / PAGE_SIZE as u32 }
+    }
+
+    /// Byte offset within the containing page.
+    #[inline]
+    pub fn page_offset(self) -> usize {
+        self.offset() as usize % PAGE_SIZE
+    }
+
+    /// This address displaced by `bytes`.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // address arithmetic, not ops::Add
+    pub fn add(self, bytes: u32) -> Self {
+        Self::new(self.region(), self.offset() + bytes)
+    }
+}
+
+/// A page within a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId {
+    /// The region this page belongs to.
+    pub region: RegionId,
+    /// Zero-based page index within the region.
+    pub index: u32,
+}
+
+impl PageId {
+    /// Address of the first byte of this page.
+    pub fn base(self) -> GlobalAddr {
+        GlobalAddr::new(self.region, self.index * PAGE_SIZE as u32)
+    }
+
+    /// Pack into a u64 (for wire messages and mailbox tags).
+    pub fn pack(self) -> u64 {
+        ((self.region as u64) << 32) | self.index as u64
+    }
+
+    /// Unpack from [`PageId::pack`].
+    pub fn unpack(v: u64) -> Self {
+        Self { region: (v >> 32) as u32, index: v as u32 }
+    }
+}
+
+/// Number of pages needed to hold `bytes`.
+pub fn pages_for(bytes: usize) -> u32 {
+    bytes.div_ceil(PAGE_SIZE) as u32
+}
+
+/// The range of pages `[first, last]` touched by `len` bytes at `addr`.
+pub fn page_span(addr: GlobalAddr, len: usize) -> (PageId, PageId) {
+    assert!(len > 0, "empty span has no pages");
+    let first = addr.page();
+    let last = addr.add(len as u32 - 1).page();
+    (first, last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_packing() {
+        let a = GlobalAddr::new(3, 0x1234);
+        assert_eq!(a.region(), 3);
+        assert_eq!(a.offset(), 0x1234);
+        assert_eq!(a.page(), PageId { region: 3, index: 1 });
+        assert_eq!(a.page_offset(), 0x234);
+    }
+
+    #[test]
+    fn page_base_and_pack_roundtrip() {
+        let p = PageId { region: 9, index: 7 };
+        assert_eq!(p.base(), GlobalAddr::new(9, 7 * 4096));
+        assert_eq!(PageId::unpack(p.pack()), p);
+    }
+
+    #[test]
+    fn add_moves_within_region() {
+        let a = GlobalAddr::new(1, 100).add(28);
+        assert_eq!(a, GlobalAddr::new(1, 128));
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(pages_for(0), 0);
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(4096), 1);
+        assert_eq!(pages_for(4097), 2);
+    }
+
+    #[test]
+    fn page_span_covers_straddles() {
+        let (f, l) = page_span(GlobalAddr::new(0, 4090), 10);
+        assert_eq!(f.index, 0);
+        assert_eq!(l.index, 1);
+        let (f, l) = page_span(GlobalAddr::new(0, 0), 4096);
+        assert_eq!((f.index, l.index), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty span")]
+    fn empty_span_panics() {
+        let _ = page_span(GlobalAddr::new(0, 0), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Region allocation with distribution annotations.
+//!
+//! HAMSTER's memory-management module lets the user "specify coherence
+//! constraints and distribution annotations for any memory subsystem"
+//! (paper §4.2). The [`Distribution`] enum captures the placement
+//! annotations; [`Arena`] is the in-region bump allocator backing
+//! fine-grained allocation calls (`Tmk_malloc`, `jia_alloc`, …).
+
+use crate::addr::{GlobalAddr, RegionId, PAGE_SIZE};
+
+/// How a region's pages are assigned home nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Contiguous chunks of pages per node (the default for array codes).
+    Block,
+    /// Pages dealt round-robin across nodes.
+    Cyclic,
+    /// Chunks of `N` pages dealt round-robin across nodes (aligning a
+    /// multi-page row or block with one home).
+    BlockCyclic(u32),
+    /// All pages homed on one node (TreadMarks-style single-node
+    /// allocation; also used for small control structures).
+    OnNode(usize),
+}
+
+impl Distribution {
+    /// Home node for `page_index` of a region of `total_pages`, over
+    /// `nodes` nodes.
+    pub fn home_of(self, page_index: u32, total_pages: u32, nodes: usize) -> usize {
+        assert!(nodes > 0);
+        assert!(page_index < total_pages.max(1));
+        match self {
+            Distribution::Block => {
+                let chunk = total_pages.max(1).div_ceil(nodes as u32);
+                ((page_index / chunk) as usize).min(nodes - 1)
+            }
+            Distribution::Cyclic => page_index as usize % nodes,
+            Distribution::BlockCyclic(chunk) => {
+                assert!(chunk > 0, "BlockCyclic chunk must be positive");
+                (page_index / chunk) as usize % nodes
+            }
+            Distribution::OnNode(n) => {
+                assert!(n < nodes, "home node {n} out of range");
+                n
+            }
+        }
+    }
+}
+
+/// Bump allocator inside one region.
+#[derive(Debug)]
+pub struct Arena {
+    region: RegionId,
+    size: u32,
+    next: u32,
+}
+
+impl Arena {
+    /// An arena over a region of `size` bytes.
+    pub fn new(region: RegionId, size: usize) -> Self {
+        assert!(size > 0 && size <= u32::MAX as usize, "region size out of range");
+        Self { region, size: size as u32, next: 0 }
+    }
+
+    /// Allocate `bytes` aligned to `align` (a power of two). Returns
+    /// `None` when the region is exhausted.
+    pub fn alloc(&mut self, bytes: usize, align: usize) -> Option<GlobalAddr> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        assert!(bytes > 0, "zero-sized allocation");
+        let mask = align as u32 - 1;
+        let start = (self.next + mask) & !mask;
+        let end = start.checked_add(bytes as u32)?;
+        if end > self.size {
+            return None;
+        }
+        self.next = end;
+        Some(GlobalAddr::new(self.region, start))
+    }
+
+    /// Allocate a whole number of pages, page-aligned.
+    pub fn alloc_pages(&mut self, pages: u32) -> Option<GlobalAddr> {
+        self.alloc(pages as usize * PAGE_SIZE, PAGE_SIZE)
+    }
+
+    /// Bytes remaining (ignoring alignment padding).
+    pub fn remaining(&self) -> usize {
+        (self.size - self.next) as usize
+    }
+
+    /// The region this arena allocates from.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_distribution_chunks() {
+        // 8 pages over 4 nodes -> 2 pages per node.
+        let d = Distribution::Block;
+        let homes: Vec<usize> = (0..8).map(|i| d.home_of(i, 8, 4)).collect();
+        assert_eq!(homes, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn block_distribution_uneven() {
+        // 5 pages over 4 nodes -> chunk of 2: homes 0,0,1,1,2.
+        let d = Distribution::Block;
+        let homes: Vec<usize> = (0..5).map(|i| d.home_of(i, 5, 4)).collect();
+        assert_eq!(homes, vec![0, 0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn cyclic_distribution_wraps() {
+        let d = Distribution::Cyclic;
+        let homes: Vec<usize> = (0..5).map(|i| d.home_of(i, 5, 3)).collect();
+        assert_eq!(homes, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn block_cyclic_chunks_round_robin() {
+        let d = Distribution::BlockCyclic(2);
+        let homes: Vec<usize> = (0..8).map(|i| d.home_of(i, 8, 3)).collect();
+        assert_eq!(homes, vec![0, 0, 1, 1, 2, 2, 0, 0]);
+    }
+
+    #[test]
+    fn on_node_pins() {
+        let d = Distribution::OnNode(2);
+        assert!((0..4).all(|i| d.home_of(i, 4, 4) == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn on_node_out_of_range() {
+        Distribution::OnNode(5).home_of(0, 1, 4);
+    }
+
+    #[test]
+    fn arena_bump_and_align() {
+        let mut a = Arena::new(7, 4096);
+        let x = a.alloc(10, 8).unwrap();
+        assert_eq!(x.offset(), 0);
+        let y = a.alloc(10, 64).unwrap();
+        assert_eq!(y.offset(), 64);
+        assert_eq!(y.region(), 7);
+    }
+
+    #[test]
+    fn arena_exhaustion() {
+        let mut a = Arena::new(0, 100);
+        assert!(a.alloc(64, 1).is_some());
+        assert!(a.alloc(64, 1).is_none());
+        assert_eq!(a.remaining(), 36);
+    }
+
+    #[test]
+    fn alloc_pages_is_page_aligned() {
+        let mut a = Arena::new(0, 3 * PAGE_SIZE);
+        let _ = a.alloc(100, 8).unwrap();
+        let p = a.alloc_pages(1).unwrap();
+        assert_eq!(p.page_offset(), 0);
+        assert_eq!(p.page().index, 1);
+    }
+}

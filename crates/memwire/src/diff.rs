@@ -1,0 +1,164 @@
+//! Twin/diff write detection.
+//!
+//! The software DSM detects modifications the TreadMarks/JiaJia way: the
+//! first write to a page in an interval snapshots a pristine *twin*; at a
+//! release point the current page is compared against the twin and the
+//! changed byte runs are encoded as a *diff*, which is shipped to the
+//! page's home and applied there. Diffs from different writers to
+//! disjoint parts of a page merge cleanly (the usual false-sharing
+//! remedy of multiple-writer protocols).
+
+use crate::addr::PAGE_SIZE;
+
+/// One run of modified bytes within a page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffRun {
+    /// Byte offset of the run within the page.
+    pub offset: u16,
+    /// The new bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// The encoded difference between a twin and the current page contents.
+///
+/// ```
+/// use memwire::{Diff, PAGE_SIZE};
+/// let twin = vec![0u8; PAGE_SIZE];
+/// let mut page = twin.clone();
+/// page[100..108].copy_from_slice(&0x0102030405060708u64.to_le_bytes());
+/// let diff = Diff::between(&twin, &page);
+/// assert_eq!(diff.changed_bytes(), 8);
+///
+/// let mut home = twin.clone();
+/// diff.apply(&mut home);
+/// assert_eq!(home, page);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Diff {
+    /// The changed byte runs, in ascending offset order.
+    pub runs: Vec<DiffRun>,
+}
+
+impl Diff {
+    /// Compare `current` against its pristine `twin` and encode the
+    /// changed runs. Both slices must be exactly one page.
+    pub fn between(twin: &[u8], current: &[u8]) -> Self {
+        assert_eq!(twin.len(), PAGE_SIZE, "twin must be one page");
+        assert_eq!(current.len(), PAGE_SIZE, "page must be one page");
+        let mut runs = Vec::new();
+        let mut i = 0;
+        while i < PAGE_SIZE {
+            if twin[i] != current[i] {
+                let start = i;
+                while i < PAGE_SIZE && twin[i] != current[i] {
+                    i += 1;
+                }
+                runs.push(DiffRun { offset: start as u16, bytes: current[start..i].to_vec() });
+            } else {
+                i += 1;
+            }
+        }
+        Self { runs }
+    }
+
+    /// Apply this diff to `page` (the home copy).
+    pub fn apply(&self, page: &mut [u8]) {
+        assert_eq!(page.len(), PAGE_SIZE, "target must be one page");
+        for run in &self.runs {
+            let start = run.offset as usize;
+            page[start..start + run.bytes.len()].copy_from_slice(&run.bytes);
+        }
+    }
+
+    /// True if nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Total count of changed bytes.
+    pub fn changed_bytes(&self) -> usize {
+        self.runs.iter().map(|r| r.bytes.len()).sum()
+    }
+
+    /// Size of this diff on the wire: 4 bytes of header per run plus the
+    /// payload bytes (matches the JiaJia encoding granularity).
+    pub fn wire_bytes(&self) -> u64 {
+        self.runs.iter().map(|r| 4 + r.bytes.len() as u64).sum::<u64>() + 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_of(byte: u8) -> Vec<u8> {
+        vec![byte; PAGE_SIZE]
+    }
+
+    #[test]
+    fn identical_pages_give_empty_diff() {
+        let twin = page_of(0);
+        let d = Diff::between(&twin, &twin);
+        assert!(d.is_empty());
+        assert_eq!(d.changed_bytes(), 0);
+    }
+
+    #[test]
+    fn single_run_encoded() {
+        let twin = page_of(0);
+        let mut cur = twin.clone();
+        cur[100..110].fill(7);
+        let d = Diff::between(&twin, &cur);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].offset, 100);
+        assert_eq!(d.runs[0].bytes, vec![7; 10]);
+    }
+
+    #[test]
+    fn apply_reconstructs_current() {
+        let twin = page_of(1);
+        let mut cur = twin.clone();
+        cur[0] = 9;
+        cur[4095] = 9;
+        cur[2000..2100].fill(3);
+        let d = Diff::between(&twin, &cur);
+        let mut home = twin.clone();
+        d.apply(&mut home);
+        assert_eq!(home, cur);
+    }
+
+    #[test]
+    fn disjoint_diffs_merge() {
+        // Two writers modify disjoint halves of the same page; applying
+        // both diffs to the home must preserve both sets of writes
+        // (multiple-writer protocol invariant).
+        let twin = page_of(0);
+        let mut a = twin.clone();
+        a[..100].fill(1);
+        let mut b = twin.clone();
+        b[200..300].fill(2);
+        let da = Diff::between(&twin, &a);
+        let db = Diff::between(&twin, &b);
+        let mut home = twin.clone();
+        da.apply(&mut home);
+        db.apply(&mut home);
+        assert!(home[..100].iter().all(|&x| x == 1));
+        assert!(home[200..300].iter().all(|&x| x == 2));
+        assert!(home[100..200].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn wire_bytes_tracks_payload() {
+        let twin = page_of(0);
+        let mut cur = twin.clone();
+        cur[0..8].fill(5);
+        let d = Diff::between(&twin, &cur);
+        assert_eq!(d.wire_bytes(), 8 + 4 + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "one page")]
+    fn wrong_size_rejected() {
+        let _ = Diff::between(&[0u8; 10], &[0u8; 10]);
+    }
+}

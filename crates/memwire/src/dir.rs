@@ -1,0 +1,126 @@
+//! The region directory: cluster-wide agreement on what was allocated.
+//!
+//! Global allocation in the JiaJia/HLRC/SPMD family is *synchronous*: all
+//! nodes call the allocation routine collectively and in the same order
+//! (paper §5.2: "these DSM APIs use synchronous allocation routines
+//! involving all nodes"). Region ids are therefore assigned
+//! deterministically per node, and the directory — replicated metadata
+//! on a real cluster — is shared state here, written idempotently by
+//! every participant and verified for agreement.
+
+use crate::addr::{pages_for, RegionId};
+use crate::arena::Distribution;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Metadata of one allocated region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionMeta {
+    /// Requested size in bytes.
+    pub size: usize,
+    /// Number of pages backing the region.
+    pub pages: u32,
+    /// Home-placement policy of the region's pages.
+    pub dist: Distribution,
+}
+
+impl RegionMeta {
+    /// Metadata for `size` bytes distributed per `dist`.
+    pub fn new(size: usize, dist: Distribution) -> Self {
+        assert!(size > 0, "empty region");
+        Self { size, pages: pages_for(size), dist }
+    }
+
+    /// Home node of `page_index` on a cluster of `nodes`.
+    pub fn home_of(&self, page_index: u32, nodes: usize) -> usize {
+        self.dist.home_of(page_index, self.pages, nodes)
+    }
+}
+
+/// The cluster-wide region table.
+#[derive(Debug, Default)]
+pub struct RegionDir {
+    regions: RwLock<HashMap<RegionId, RegionMeta>>,
+}
+
+impl RegionDir {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `meta` for `id`. Collective allocation means every node
+    /// registers the same metadata; the first write wins and later ones
+    /// must agree (divergence is a lockstep violation and panics).
+    pub fn register(&self, id: RegionId, meta: RegionMeta) {
+        let mut g = self.regions.write();
+        match g.get(&id) {
+            None => {
+                g.insert(id, meta);
+            }
+            Some(prev) => assert_eq!(
+                *prev, meta,
+                "collective allocation disagreement on region {id}"
+            ),
+        }
+    }
+
+    /// Metadata of `id`. Panics on unknown regions (use-before-alloc bug).
+    pub fn meta(&self, id: RegionId) -> RegionMeta {
+        *self
+            .regions
+            .read()
+            .get(&id)
+            .unwrap_or_else(|| panic!("region {id} not allocated"))
+    }
+
+    /// Whether `id` exists.
+    pub fn exists(&self, id: RegionId) -> bool {
+        self.regions.read().contains_key(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let d = RegionDir::new();
+        let m = RegionMeta::new(10_000, Distribution::Block);
+        d.register(1, m);
+        assert_eq!(d.meta(1), m);
+        assert_eq!(d.meta(1).pages, 3);
+        assert!(d.exists(1));
+        assert!(!d.exists(2));
+    }
+
+    #[test]
+    fn idempotent_reregistration() {
+        let d = RegionDir::new();
+        let m = RegionMeta::new(4096, Distribution::Cyclic);
+        d.register(5, m);
+        d.register(5, m); // every node registers; same data is fine
+    }
+
+    #[test]
+    #[should_panic(expected = "disagreement")]
+    fn conflicting_registration_panics() {
+        let d = RegionDir::new();
+        d.register(5, RegionMeta::new(4096, Distribution::Cyclic));
+        d.register(5, RegionMeta::new(8192, Distribution::Cyclic));
+    }
+
+    #[test]
+    #[should_panic(expected = "not allocated")]
+    fn unknown_region_panics() {
+        RegionDir::new().meta(9);
+    }
+
+    #[test]
+    fn home_mapping_through_meta() {
+        let m = RegionMeta::new(8 * 4096, Distribution::Block);
+        assert_eq!(m.home_of(0, 4), 0);
+        assert_eq!(m.home_of(7, 4), 3);
+    }
+}

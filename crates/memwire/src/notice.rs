@@ -1,0 +1,94 @@
+//! Write notices and intervals.
+//!
+//! Scope consistency transmits *which* pages were modified, not the
+//! modifications themselves, along synchronization edges: a lock grant
+//! carries the notices of intervals performed under that lock, a barrier
+//! broadcasts the union of everyone's notices. Receivers invalidate the
+//! listed pages so the next access re-fetches a current copy from home.
+
+use crate::addr::PageId;
+
+/// Notice that a page was modified in some interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WriteNotice {
+    /// The modified page.
+    pub page: PageId,
+}
+
+/// One synchronization interval on one node: the pages that node wrote
+/// between two consecutive release points.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Interval {
+    /// The pages written in this interval, sorted and deduplicated.
+    pub notices: Vec<WriteNotice>,
+}
+
+impl Interval {
+    /// An interval covering the given modified pages.
+    pub fn from_pages(pages: &[PageId]) -> Self {
+        let mut notices: Vec<WriteNotice> =
+            pages.iter().map(|&page| WriteNotice { page }).collect();
+        notices.sort();
+        notices.dedup();
+        Self { notices }
+    }
+
+    /// Merge another interval's notices into this one.
+    pub fn merge(&mut self, other: &Interval) {
+        self.notices.extend_from_slice(&other.notices);
+        self.notices.sort();
+        self.notices.dedup();
+    }
+
+    /// Wire size: 8 bytes per notice plus a small header.
+    pub fn wire_bytes(&self) -> u64 {
+        8 + 8 * self.notices.len() as u64
+    }
+
+    /// True if no pages were written.
+    pub fn is_empty(&self) -> bool {
+        self.notices.is_empty()
+    }
+
+    /// The noticed page ids.
+    pub fn pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.notices.iter().map(|n| n.page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> PageId {
+        PageId { region: 0, index: i }
+    }
+
+    #[test]
+    fn from_pages_sorts_and_dedups() {
+        let iv = Interval::from_pages(&[pid(3), pid(1), pid(3)]);
+        let pages: Vec<_> = iv.pages().collect();
+        assert_eq!(pages, vec![pid(1), pid(3)]);
+    }
+
+    #[test]
+    fn merge_unions() {
+        let mut a = Interval::from_pages(&[pid(1), pid(2)]);
+        let b = Interval::from_pages(&[pid(2), pid(5)]);
+        a.merge(&b);
+        let pages: Vec<_> = a.pages().collect();
+        assert_eq!(pages, vec![pid(1), pid(2), pid(5)]);
+    }
+
+    #[test]
+    fn wire_bytes_scales_with_notices() {
+        assert_eq!(Interval::default().wire_bytes(), 8);
+        assert_eq!(Interval::from_pages(&[pid(1), pid(2)]).wire_bytes(), 24);
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(Interval::default().is_empty());
+        assert!(!Interval::from_pages(&[pid(0)]).is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Process-shared region storage for hardware-backed platforms.
+//!
+//! On the SMP platform (hardware cache coherence) and on the hybrid-DSM
+//! platform (SCI remote memory), every node can physically load and store
+//! any global location; only the *cost* differs. [`RegionStore`] provides
+//! that physical substrate inside the simulation process: regions of
+//! relaxed-atomic bytes that all node threads may access concurrently.
+//!
+//! Byte-level relaxed atomics mirror real hardware: racy unsynchronized
+//! accesses may tear (exactly as on the machine), while properly
+//! synchronized programs — which charge lock/barrier/flush costs through
+//! the DSM layers — observe coherent values.
+
+use crate::addr::{GlobalAddr, RegionId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// One physically shared region.
+pub struct Region {
+    bytes: Box<[AtomicU8]>,
+}
+
+impl Region {
+    fn new(size: usize) -> Self {
+        let mut v = Vec::with_capacity(size);
+        v.resize_with(size, || AtomicU8::new(0));
+        Self { bytes: v.into_boxed_slice() }
+    }
+
+    /// Region size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True for an empty region (never constructed in practice).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Read `out.len()` bytes at `offset`.
+    pub fn read_bytes(&self, offset: usize, out: &mut [u8]) {
+        let src = &self.bytes[offset..offset + out.len()];
+        for (o, s) in out.iter_mut().zip(src) {
+            *o = s.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Write `data` at `offset`.
+    pub fn write_bytes(&self, offset: usize, data: &[u8]) {
+        let dst = &self.bytes[offset..offset + data.len()];
+        for (d, s) in dst.iter().zip(data) {
+            d.store(*s, Ordering::Relaxed);
+        }
+    }
+
+    /// Read a little-endian u64.
+    pub fn read_u64(&self, offset: usize) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(offset, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Write a little-endian u64.
+    pub fn write_u64(&self, offset: usize, v: u64) {
+        self.write_bytes(offset, &v.to_le_bytes());
+    }
+
+    /// Read an f64.
+    pub fn read_f64(&self, offset: usize) -> f64 {
+        f64::from_bits(self.read_u64(offset))
+    }
+
+    /// Write an f64.
+    pub fn write_f64(&self, offset: usize, v: f64) {
+        self.write_u64(offset, v.to_bits());
+    }
+}
+
+/// All physically shared regions of one experiment run.
+#[derive(Default)]
+pub struct RegionStore {
+    regions: RwLock<HashMap<RegionId, Arc<Region>>>,
+}
+
+impl RegionStore {
+    /// An empty store.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Create a region of `size` zeroed bytes. Panics if the id exists
+    /// (allocation is globally coordinated, so a duplicate is a bug).
+    pub fn create(&self, id: RegionId, size: usize) -> Arc<Region> {
+        let region = Arc::new(Region::new(size));
+        let prev = self.regions.write().insert(id, region.clone());
+        assert!(prev.is_none(), "region {id} created twice");
+        region
+    }
+
+    /// Look up a region.
+    pub fn get(&self, id: RegionId) -> Arc<Region> {
+        self.regions
+            .read()
+            .get(&id)
+            .unwrap_or_else(|| panic!("region {id} does not exist"))
+            .clone()
+    }
+
+    /// Whether a region exists.
+    pub fn exists(&self, id: RegionId) -> bool {
+        self.regions.read().contains_key(&id)
+    }
+
+    /// Convenience typed access through a [`GlobalAddr`].
+    pub fn read_f64(&self, a: GlobalAddr) -> f64 {
+        self.get(a.region()).read_f64(a.offset() as usize)
+    }
+
+    /// Convenience typed store through a [`GlobalAddr`].
+    pub fn write_f64(&self, a: GlobalAddr, v: f64) {
+        self.get(a.region()).write_f64(a.offset() as usize, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_read_write() {
+        let s = RegionStore::new();
+        let r = s.create(1, 64);
+        r.write_u64(8, 0xDEAD_BEEF);
+        assert_eq!(r.read_u64(8), 0xDEAD_BEEF);
+        assert_eq!(r.read_u64(0), 0);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let s = RegionStore::new();
+        s.create(2, 64);
+        let a = GlobalAddr::new(2, 16);
+        s.write_f64(a, 3.25);
+        assert_eq!(s.read_f64(a), 3.25);
+    }
+
+    #[test]
+    fn bulk_bytes_roundtrip() {
+        let s = RegionStore::new();
+        let r = s.create(3, 4096);
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        r.write_bytes(100, &data);
+        let mut out = vec![0u8; 1000];
+        r.read_bytes(100, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "created twice")]
+    fn duplicate_region_panics() {
+        let s = RegionStore::new();
+        s.create(4, 8);
+        s.create(4, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn missing_region_panics() {
+        RegionStore::new().get(99);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes_preserved() {
+        let s = RegionStore::new();
+        let r = s.create(5, 1024);
+        std::thread::scope(|sc| {
+            for t in 0..4usize {
+                let r = &r;
+                sc.spawn(move || {
+                    r.write_bytes(t * 256, &vec![t as u8 + 1; 256]);
+                });
+            }
+        });
+        let mut out = vec![0u8; 1024];
+        r.read_bytes(0, &mut out);
+        for t in 0..4 {
+            assert!(out[t * 256..(t + 1) * 256].iter().all(|&b| b == t as u8 + 1));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! ANL/PARMACS macros (the SPLASH programming style), as a HAMSTER
+//! programming model.
+//!
+//! The SPLASH benchmarks are written against the Argonne National
+//! Laboratory m4 macro package (`MAIN_ENV`, `G_MALLOC`, `LOCK`,
+//! `BARRIER`, …). Rust's `macro_rules!` stands in for m4: each macro
+//! expands to a call on the [`Anl`] context, which maps 1:1 onto
+//! HAMSTER services — the paper's thinnest kind of adapter.
+
+use hamster_core::{GlobalAddr, Hamster};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// The ANL environment of one process.
+pub struct Anl {
+    ham: Hamster,
+    next_lock: AtomicU32,
+    next_barrier: AtomicU32,
+}
+
+impl Anl {
+    /// `MAIN_INITENV`: set up the environment.
+    pub fn init(ham: Hamster) -> Anl {
+        Anl { ham, next_lock: AtomicU32::new(1), next_barrier: AtomicU32::new(1) }
+    }
+
+    /// `G_MALLOC`: shared allocation.
+    pub fn g_malloc(&self, bytes: usize) -> GlobalAddr {
+        self.ham.mem().alloc_default(bytes).expect("G_MALLOC").addr()
+    }
+
+    /// `LOCKDEC`+`LOCKINIT`: allocate a lock id (identical on all
+    /// processes by lockstep).
+    pub fn lock_init(&self) -> u32 {
+        self.next_lock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// `BARDEC`+`BARINIT`: allocate a barrier id.
+    pub fn barrier_init(&self) -> u32 {
+        self.next_barrier.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// `LOCK`.
+    pub fn lock(&self, l: u32) {
+        self.ham.cons().acquire_scope(l);
+    }
+
+    /// `UNLOCK`.
+    pub fn unlock(&self, l: u32) {
+        self.ham.cons().release_scope(l);
+    }
+
+    /// `ALOCK`: element `i` of a lock array (distinct ids per element).
+    pub fn alock(&self, base: u32, i: u32) {
+        self.lock(base.wrapping_add(i.wrapping_mul(7919)) & 0x3FFF_FFFF);
+    }
+
+    /// `AULOCK`.
+    pub fn aulock(&self, base: u32, i: u32) {
+        self.unlock(base.wrapping_add(i.wrapping_mul(7919)) & 0x3FFF_FFFF);
+    }
+
+    /// `BARRIER`.
+    pub fn barrier(&self, b: u32) {
+        self.ham.cons().barrier_sync(b);
+    }
+
+    /// `CLOCK`: microseconds since start.
+    pub fn clock_us(&self) -> u64 {
+        self.ham.wtime_ns() / 1_000
+    }
+
+    /// `MAIN_END`.
+    pub fn main_end(&self) {
+        self.ham.cons().barrier_sync(0);
+    }
+
+    /// The underlying HAMSTER handle.
+    pub fn ham(&self) -> &Hamster {
+        &self.ham
+    }
+}
+
+/// `MAIN_ENV` / `MAIN_INITENV`: bind the ANL environment.
+#[macro_export]
+macro_rules! MAIN_INITENV {
+    ($ham:expr) => {
+        $crate::anl::Anl::init($ham)
+    };
+}
+
+/// `G_MALLOC(env, bytes)`.
+#[macro_export]
+macro_rules! G_MALLOC {
+    ($env:expr, $bytes:expr) => {
+        $env.g_malloc($bytes)
+    };
+}
+
+/// `LOCK(env, l)`.
+#[macro_export]
+macro_rules! LOCK {
+    ($env:expr, $l:expr) => {
+        $env.lock($l)
+    };
+}
+
+/// `UNLOCK(env, l)`.
+#[macro_export]
+macro_rules! UNLOCK {
+    ($env:expr, $l:expr) => {
+        $env.unlock($l)
+    };
+}
+
+/// `BARRIER(env, b)`.
+#[macro_export]
+macro_rules! BARRIER {
+    ($env:expr, $b:expr) => {
+        $env.barrier($b)
+    };
+}
+
+/// `CLOCK(env)`.
+#[macro_export]
+macro_rules! CLOCK {
+    ($env:expr) => {
+        $env.clock_us()
+    };
+}
+
+/// `MAIN_END(env)`.
+#[macro_export]
+macro_rules! MAIN_END {
+    ($env:expr) => {
+        $env.main_end()
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn alock_ids_stay_in_application_range() {
+        // ALOCK must never collide with the reserved atomic-lock range
+        // (0x4000_0000 and above).
+        for base in [1u32, 1000, 0x3FFF_0000] {
+            for i in [0u32, 1, 63, 1024, u32::MAX] {
+                let id = base.wrapping_add(i.wrapping_mul(7919)) & 0x3FFF_FFFF;
+                assert!(id < 0x4000_0000);
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! A POSIX-thread-style distributed thread API, as a HAMSTER
+//! programming model.
+//!
+//! The paper's thread models are the *thick* end of Table 2: POSIX
+//! semantics require a forwarding mechanism so that threading routines
+//! execute on the node where the target thread runs (thread creation
+//! forwards to the node the new thread should occupy). HAMSTER
+//! intentionally omits such a framework from its services; the adapters
+//! build it from the Task module's remote execution and the
+//! Synchronization module's events — exactly as described in §5.2.
+//!
+//! Naming follows POSIX loosely (`create`/`join`/`Mutex`/`Cond`), with
+//! distributed placement made explicit where POSIX has no equivalent.
+
+use crate::waitq::{WaitQueue, QUEUE_BYTES};
+use hamster_core::{Hamster, TaskHandle};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+// Ids minted by this model live in dedicated ranges so they cannot
+// collide with application lock ids.
+const MUTEX_BASE: u32 = 0x0100_0000;
+const RWLOCK_BASE: u32 = 0x0180_0000;
+const COND_EVENT_BASE: u32 = 0x0600_0000;
+
+/// The POSIX-model environment of one node.
+pub struct Pthreads {
+    ham: Hamster,
+    next_thread_node: AtomicU32,
+    next_event: AtomicU32,
+}
+
+/// A distributed thread handle.
+#[derive(Debug, Clone, Copy)]
+pub struct Pthread {
+    task: TaskHandle,
+}
+
+impl Pthread {
+    /// The node the thread runs on.
+    pub fn node(&self) -> usize {
+        self.task.node()
+    }
+}
+
+/// A process-shared mutex (global lock id).
+#[derive(Debug, Clone, Copy)]
+pub struct PthreadMutex {
+    id: u32,
+}
+
+/// A process-shared reader-writer lock (global lock id).
+#[derive(Debug, Clone, Copy)]
+pub struct PthreadRwlock {
+    id: u32,
+}
+
+/// A process-shared condition variable (wait queue in global memory).
+#[derive(Debug, Clone, Copy)]
+pub struct PthreadCond {
+    queue: WaitQueue,
+}
+
+impl Pthreads {
+    /// Bind the model to a node.
+    pub fn init(ham: Hamster) -> Pthreads {
+        Pthreads {
+            ham,
+            next_thread_node: AtomicU32::new(1),
+            next_event: AtomicU32::new(0),
+        }
+    }
+
+    /// `pthread_self`-ish: the node id this environment runs on.
+    pub fn self_id(&self) -> usize {
+        self.ham.task().rank()
+    }
+
+    /// `pthread_create`: start `f` on an explicitly chosen node. The
+    /// creation request is forwarded to `node`; the new thread gets its
+    /// own HAMSTER handle there.
+    pub fn create_on(&self, node: usize, f: impl FnOnce(Hamster) + Send + 'static) -> Pthread {
+        Pthread { task: self.ham.task().remote_exec(node, f) }
+    }
+
+    /// `pthread_create` with default placement: round-robin across
+    /// nodes (the distributed default the paper's model uses).
+    pub fn create(&self, f: impl FnOnce(Hamster) + Send + 'static) -> Pthread {
+        let n = self.ham.task().nodes();
+        let node = (self.self_id()
+            + 1
+            + self.next_thread_node.fetch_add(1, Ordering::Relaxed) as usize)
+            % n;
+        self.create_on(node, f)
+    }
+
+    /// `pthread_join`.
+    pub fn join(&self, t: Pthread) {
+        self.ham.task().join(t.task);
+    }
+
+    /// `pthread_mutex_init`: mint a process-shared mutex. All nodes
+    /// must mint in lockstep (or share handles through global memory).
+    pub fn mutex_init(&self, n: u32) -> PthreadMutex {
+        PthreadMutex { id: MUTEX_BASE + n }
+    }
+
+    /// `pthread_mutex_lock` (an acquire edge of the platform's
+    /// consistency model, as pthread semantics demand).
+    pub fn mutex_lock(&self, m: PthreadMutex) {
+        self.ham.cons().acquire_scope(m.id);
+    }
+
+    /// `pthread_mutex_unlock` (a release edge).
+    pub fn mutex_unlock(&self, m: PthreadMutex) {
+        self.ham.cons().release_scope(m.id);
+    }
+
+    /// `pthread_rwlock_init`: mint a process-shared reader-writer lock.
+    pub fn rwlock_init(&self, n: u32) -> PthreadRwlock {
+        PthreadRwlock { id: RWLOCK_BASE + n }
+    }
+
+    /// `pthread_rwlock_rdlock`.
+    pub fn rwlock_rdlock(&self, l: PthreadRwlock) {
+        self.ham.sync().read_lock(l.id);
+    }
+
+    /// `pthread_rwlock_wrlock` (an acquire edge, like a mutex).
+    pub fn rwlock_wrlock(&self, l: PthreadRwlock) {
+        self.ham.cons().acquire_scope(l.id);
+    }
+
+    /// `pthread_rwlock_unlock` (a release edge for writers; readers
+    /// publish nothing).
+    pub fn rwlock_unlock(&self, l: PthreadRwlock) {
+        self.ham.cons().release_scope(l.id);
+    }
+
+    /// `pthread_cond_init`: allocate the condition's wait queue in
+    /// global memory. Must be called collectively (it allocates).
+    pub fn cond_init(&self) -> PthreadCond {
+        let region = self.ham.mem().alloc_default(QUEUE_BYTES).expect("cond_init");
+        PthreadCond { queue: WaitQueue::at(region.addr()) }
+    }
+
+    /// `pthread_cond_wait`: atomically release the mutex and block;
+    /// re-acquires the mutex before returning. The caller must hold
+    /// `m`.
+    pub fn cond_wait(&self, c: PthreadCond, m: PthreadMutex) {
+        let event = COND_EVENT_BASE + self.next_event.fetch_add(1, Ordering::Relaxed) % 0x0100_0000;
+        c.queue.push(&self.ham, self.self_id(), event);
+        self.mutex_unlock(m);
+        self.ham.sync().wait_event(event);
+        self.mutex_lock(m);
+    }
+
+    /// `pthread_cond_signal`: wake one waiter. The caller must hold the
+    /// associated mutex.
+    pub fn cond_signal(&self, c: PthreadCond) {
+        c.queue.wake_one(&self.ham);
+    }
+
+    /// `pthread_cond_broadcast`: wake all waiters. The caller must hold
+    /// the associated mutex.
+    pub fn cond_broadcast(&self, c: PthreadCond) {
+        c.queue.wake_all(&self.ham);
+    }
+
+    /// `pthread_barrier_wait` over all nodes.
+    pub fn barrier_wait(&self, id: u32) {
+        self.ham.sync().barrier(id);
+    }
+
+    /// `sched_yield`: a small fixed delay.
+    pub fn yield_now(&self) {
+        self.ham.compute(1_000);
+    }
+
+    /// The underlying HAMSTER handle.
+    pub fn ham(&self) -> &Hamster {
+        &self.ham
+    }
+}

@@ -1,0 +1,90 @@
+//! The SMP/SPMD model: the SPMD model extended with intra-node worker
+//! tasks.
+//!
+//! Paper §3.3 integrates multiprocessors two ways; this model is the
+//! combination: process-style SPMD across nodes *plus* native-thread
+//! workers inside each node (on the dual-CPU testbed, one worker per
+//! spare CPU). Workers are spawned through the Task module's remote
+//! execution onto the *same* node, which models them as sibling CPUs.
+
+use crate::spmd::{Spmd, SharedArray};
+use hamster_core::{Hamster, TaskHandle};
+
+/// A node's binding to the SMP/SPMD model: everything SPMD offers,
+/// plus worker management.
+pub struct SmpSpmd {
+    spmd: Spmd,
+    workers: parking_lot::Mutex<Vec<TaskHandle>>,
+}
+
+/// Enter the model.
+pub fn smp_spmd_begin(ham: Hamster) -> SmpSpmd {
+    SmpSpmd { spmd: crate::spmd::spmd_begin(ham), workers: parking_lot::Mutex::new(Vec::new()) }
+}
+
+impl SmpSpmd {
+    /// The embedded SPMD model (all of its calls apply).
+    pub fn spmd(&self) -> &Spmd {
+        &self.spmd
+    }
+
+    /// Spawn `f` as a worker on this node's spare CPU. The worker gets
+    /// its own HAMSTER handle with an independent clock.
+    pub fn spawn_worker(&self, f: impl FnOnce(Hamster) + Send + 'static) {
+        let me = self.spmd.my_rank();
+        let t = self.spmd.ham().task().remote_exec(me, f);
+        self.workers.lock().push(t);
+    }
+
+    /// Join every outstanding worker.
+    pub fn join_workers(&self) {
+        let drained: Vec<TaskHandle> = self.workers.lock().drain(..).collect();
+        for t in drained {
+            self.spmd.ham().task().join(t);
+        }
+    }
+
+    /// Split `[lo, hi)` between this CPU and one worker, run `f` on
+    /// both halves concurrently, and join. `f` must be clonable state
+    /// shared via global memory — it receives `(ham, lo, hi)`.
+    pub fn parallel_halves(
+        &self,
+        lo: usize,
+        hi: usize,
+        f: impl Fn(&Hamster, usize, usize) + Send + Sync + Clone + 'static,
+    ) {
+        let mid = lo + (hi - lo) / 2;
+        let g = f.clone();
+        self.spawn_worker(move |ham| g(&ham, mid, hi));
+        f(self.spmd.ham(), lo, mid);
+        self.join_workers();
+    }
+
+    /// Convenience passthroughs for the common SPMD calls.
+    pub fn my_rank(&self) -> usize {
+        self.spmd.my_rank()
+    }
+
+    /// World size (nodes, not CPUs).
+    pub fn num_procs(&self) -> usize {
+        self.spmd.num_procs()
+    }
+
+    /// Shared array allocation.
+    pub fn shared_array(&self, len: usize) -> SharedArray {
+        self.spmd.shared_array(len)
+    }
+
+    /// Global barrier (joins workers first, so barriers always see a
+    /// quiesced node).
+    pub fn barrier(&self, id: u32) {
+        self.join_workers();
+        self.spmd.barrier(id);
+    }
+
+    /// Leave the model.
+    pub fn end(&self) {
+        self.join_workers();
+        self.spmd.spmd_end();
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-CPU virtual clocks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing virtual clock in nanoseconds.
+///
+/// Each simulated CPU owns one clock. The running application thread
+/// advances it by compute costs; the communication layer advances it by
+/// message round-trip costs; synchronization points join clocks together
+/// (a barrier advances every participant to the maximum).
+///
+/// Clocks are shared (`Arc`) because communication handlers executing on a
+/// service thread must be able to read the owner's time, and because
+/// synchronization constructs need to advance peers.
+///
+/// ```
+/// let clock = sim::VirtualClock::new();
+/// clock.advance(1_000);          // 1 µs of computation
+/// clock.advance_to(5_000);       // a reply arrived at t = 5 µs
+/// clock.advance_to(3_000);       // never goes backwards
+/// assert_eq!(clock.now(), 5_000);
+/// ```
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    ns: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A new clock starting at time zero.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self { ns: AtomicU64::new(0) })
+    }
+
+    /// A new clock starting at `t0` nanoseconds.
+    pub fn starting_at(t0: u64) -> Arc<Self> {
+        Arc::new(Self { ns: AtomicU64::new(t0) })
+    }
+
+    /// Current virtual time in nanoseconds.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.ns.load(Ordering::Acquire)
+    }
+
+    /// Advance the clock by `delta` nanoseconds and return the new time.
+    #[inline]
+    pub fn advance(&self, delta: u64) -> u64 {
+        self.ns.fetch_add(delta, Ordering::AcqRel) + delta
+    }
+
+    /// Advance the clock to at least `t` (no-op if already past) and return
+    /// the resulting time. Used when an event completes at an absolute time,
+    /// e.g. a reply message arriving.
+    #[inline]
+    pub fn advance_to(&self, t: u64) -> u64 {
+        let mut cur = self.ns.load(Ordering::Acquire);
+        while cur < t {
+            match self
+                .ns
+                .compare_exchange_weak(cur, t, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return t,
+                Err(seen) => cur = seen,
+            }
+        }
+        cur
+    }
+}
+
+/// A lightweight stopwatch over a [`VirtualClock`], used to measure phases
+/// of a benchmark in virtual time (paper §4.4: "platform-independent support
+/// for application timing measurements").
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: u64,
+}
+
+impl Stopwatch {
+    /// Start measuring at the clock's current time.
+    pub fn start(clock: &VirtualClock) -> Self {
+        Self { start: clock.now() }
+    }
+
+    /// Elapsed virtual nanoseconds since `start`.
+    pub fn elapsed(&self, clock: &VirtualClock) -> u64 {
+        clock.now().saturating_sub(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), 0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = VirtualClock::new();
+        c.advance(10);
+        c.advance(5);
+        assert_eq!(c.now(), 15);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = VirtualClock::new();
+        c.advance_to(100);
+        assert_eq!(c.now(), 100);
+        // Going backwards is a no-op.
+        c.advance_to(50);
+        assert_eq!(c.now(), 100);
+        c.advance_to(150);
+        assert_eq!(c.now(), 150);
+    }
+
+    #[test]
+    fn starting_at_offset() {
+        let c = VirtualClock::starting_at(42);
+        assert_eq!(c.now(), 42);
+    }
+
+    #[test]
+    fn stopwatch_measures_elapsed() {
+        let c = VirtualClock::new();
+        let sw = Stopwatch::start(&c);
+        c.advance(1_000);
+        assert_eq!(sw.elapsed(&c), 1_000);
+    }
+
+    #[test]
+    fn concurrent_advance_to_keeps_max() {
+        let c = VirtualClock::new();
+        std::thread::scope(|s| {
+            for t in [30u64, 10, 50, 20] {
+                let c = &c;
+                s.spawn(move || {
+                    c.advance_to(t);
+                });
+            }
+        });
+        assert_eq!(c.now(), 50);
+    }
+}

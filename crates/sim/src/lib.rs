@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! Virtual-time substrate for the HAMSTER reproduction.
+//!
+//! The paper evaluates HAMSTER on a four-node dual-Xeon cluster with both
+//! SCI and Fast Ethernet interconnects. We reproduce the *protocols* for
+//! real (every page fetch, diff, write notice, and lock message actually
+//! happens between node threads) but model *time* virtually: each simulated
+//! CPU owns a monotonically increasing nanosecond clock, computation and
+//! communication advance it by cost-model amounts, and contended resources
+//! (page homes, lock managers, memory buses) are queueing servers.
+//!
+//! This crate is the foundation everything else builds on:
+//!
+//! * [`VirtualClock`] — a per-CPU nanosecond clock.
+//! * [`Server`] — a FIFO queueing server used to model contended resources.
+//! * [`CostModel`] / [`LinkCost`] — interconnect and machine constants.
+//! * [`stats`] — named atomic counters backing HAMSTER's per-module
+//!   performance monitoring (paper §4.3).
+
+pub mod clock;
+pub mod cost;
+pub mod server;
+pub mod stats;
+
+pub use clock::VirtualClock;
+pub use cost::{CostModel, LinkCost, MachineCost, SciAccessCost};
+pub use server::{Bus, Server};
+pub use stats::{Counter, StatSet};

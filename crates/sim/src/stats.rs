@@ -1,0 +1,197 @@
+//! Named atomic counters: the substrate of HAMSTER's performance
+//! monitoring (paper §4.3).
+//!
+//! Each HAMSTER management module owns a [`StatSet`]; the module exposes
+//! query/reset services on top of it. Counters are independent of the base
+//! architecture: the modules increment them in software regardless of what
+//! the platform provides.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One monotonically increasing statistic.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero, returning the previous value.
+    pub fn reset(&self) -> u64 {
+        self.value.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// A named set of counters belonging to one module.
+///
+/// The set is fixed at construction: modules declare their statistics up
+/// front so that lookups on the hot path are an index, not a hash.
+#[derive(Debug, Clone)]
+pub struct StatSet {
+    names: Arc<Vec<&'static str>>,
+    counters: Arc<Vec<Counter>>,
+}
+
+impl StatSet {
+    /// Build a set with the given counter names. Names must be unique.
+    pub fn new(names: &[&'static str]) -> Self {
+        let mut seen = std::collections::BTreeSet::new();
+        for n in names {
+            assert!(seen.insert(*n), "duplicate counter name {n:?}");
+        }
+        Self {
+            names: Arc::new(names.to_vec()),
+            counters: Arc::new(names.iter().map(|_| Counter::new()).collect()),
+        }
+    }
+
+    /// Number of counters in the set.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if the set has no counters.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Index of a named counter, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| *n == name)
+    }
+
+    /// Counter at a known index (hot path).
+    #[inline]
+    pub fn at(&self, idx: usize) -> &Counter {
+        &self.counters[idx]
+    }
+
+    /// Add `n` to the named counter. Panics on unknown names: statistics
+    /// are declared at module construction, so an unknown name is a bug.
+    pub fn add(&self, name: &str, n: u64) {
+        let idx = self
+            .index_of(name)
+            .unwrap_or_else(|| panic!("unknown counter {name:?}"));
+        self.counters[idx].add(n);
+    }
+
+    /// Read the named counter.
+    pub fn get(&self, name: &str) -> u64 {
+        let idx = self
+            .index_of(name)
+            .unwrap_or_else(|| panic!("unknown counter {name:?}"));
+        self.counters[idx].get()
+    }
+
+    /// Snapshot all counters as a name → value map (the module's
+    /// query-statistics service).
+    pub fn snapshot(&self) -> BTreeMap<&'static str, u64> {
+        self.names
+            .iter()
+            .zip(self.counters.iter())
+            .map(|(n, c)| (*n, c.get()))
+            .collect()
+    }
+
+    /// Reset every counter to zero (the module's reset service).
+    pub fn reset_all(&self) {
+        for c in self.counters.iter() {
+            c.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_add_get_reset() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.reset(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn statset_named_access() {
+        let s = StatSet::new(&["page_faults", "diffs_sent"]);
+        s.add("page_faults", 3);
+        s.add("diffs_sent", 1);
+        assert_eq!(s.get("page_faults"), 3);
+        assert_eq!(s.get("diffs_sent"), 1);
+    }
+
+    #[test]
+    fn snapshot_and_reset() {
+        let s = StatSet::new(&["a", "b"]);
+        s.add("a", 2);
+        let snap = s.snapshot();
+        assert_eq!(snap["a"], 2);
+        assert_eq!(snap["b"], 0);
+        s.reset_all();
+        assert_eq!(s.get("a"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown counter")]
+    fn unknown_name_panics() {
+        let s = StatSet::new(&["a"]);
+        s.add("nope", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_rejected() {
+        let _ = StatSet::new(&["a", "a"]);
+    }
+
+    #[test]
+    fn clone_shares_counters() {
+        let s = StatSet::new(&["a"]);
+        let t = s.clone();
+        s.add("a", 1);
+        assert_eq!(t.get("a"), 1);
+    }
+
+    #[test]
+    fn concurrent_increments_are_counted() {
+        let s = StatSet::new(&["hits"]);
+        std::thread::scope(|sc| {
+            for _ in 0..4 {
+                let s = s.clone();
+                sc.spawn(move || {
+                    for _ in 0..1000 {
+                        s.add("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.get("hits"), 4000);
+    }
+}

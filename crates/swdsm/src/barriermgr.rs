@@ -1,0 +1,153 @@
+//! Centralized barrier management with interval exchange.
+//!
+//! Each barrier id is managed by one node (`id % nodes`). Arrivals carry
+//! the arriving node's interval (its write notices since the last
+//! synchronization); the release broadcast carries everyone's intervals,
+//! letting each node invalidate exactly the pages *others* wrote.
+
+use memwire::Interval;
+use std::collections::HashMap;
+
+/// Pending state of one barrier at its manager.
+#[derive(Debug, Default)]
+struct BarrierState {
+    epoch: u64,
+    arrived: Vec<(usize, Interval)>,
+    /// Latest virtual arrival time seen this epoch.
+    latest_ns: u64,
+}
+
+/// All barriers managed by one node.
+#[derive(Debug, Default)]
+pub struct BarrierMgr {
+    barriers: HashMap<u32, BarrierState>,
+}
+
+/// What the manager does after an arrival.
+#[derive(Debug, PartialEq)]
+pub enum BarrierStep {
+    /// Still waiting for more arrivals.
+    Waiting,
+    /// Everyone arrived: release at `release_ns` with these intervals.
+    Release {
+        /// The epoch being released.
+        epoch: u64,
+        /// Virtual time of the release (latest arrival).
+        release_ns: u64,
+        /// Every participant's interval, sorted by rank.
+        intervals: Vec<(usize, Interval)>,
+    },
+}
+
+impl BarrierMgr {
+    /// An empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Node `who` arrived at barrier `id` in `epoch` at virtual time
+    /// `arrive_ns`, publishing `interval`. `expected` is the number of
+    /// participants (the whole cluster).
+    pub fn arrive(
+        &mut self,
+        id: u32,
+        epoch: u64,
+        who: usize,
+        interval: Interval,
+        arrive_ns: u64,
+        expected: usize,
+    ) -> BarrierStep {
+        let st = self.barriers.entry(id).or_default();
+        if st.arrived.is_empty() {
+            st.epoch = epoch;
+        }
+        assert_eq!(
+            st.epoch, epoch,
+            "barrier {id}: node {who} arrived for epoch {epoch}, manager in {}",
+            st.epoch
+        );
+        assert!(
+            !st.arrived.iter().any(|(n, _)| *n == who),
+            "barrier {id}: node {who} arrived twice in epoch {epoch}"
+        );
+        st.arrived.push((who, interval));
+        st.latest_ns = st.latest_ns.max(arrive_ns);
+        if st.arrived.len() == expected {
+            let mut intervals = std::mem::take(&mut st.arrived);
+            intervals.sort_by_key(|(n, _)| *n);
+            let release_ns = st.latest_ns;
+            st.latest_ns = 0;
+            BarrierStep::Release { epoch, release_ns, intervals }
+        } else {
+            BarrierStep::Waiting
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memwire::PageId;
+
+    fn iv(pages: &[u32]) -> Interval {
+        Interval::from_pages(
+            &pages.iter().map(|&i| PageId { region: 0, index: i }).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn waits_until_all_arrive() {
+        let mut m = BarrierMgr::new();
+        assert_eq!(m.arrive(0, 1, 0, iv(&[1]), 100, 3), BarrierStep::Waiting);
+        assert_eq!(m.arrive(0, 1, 1, iv(&[]), 300, 3), BarrierStep::Waiting);
+        match m.arrive(0, 1, 2, iv(&[2]), 200, 3) {
+            BarrierStep::Release { epoch, release_ns, intervals } => {
+                assert_eq!(epoch, 1);
+                assert_eq!(release_ns, 300); // max of arrivals
+                assert_eq!(intervals.len(), 3);
+                assert_eq!(intervals[0].0, 0);
+                assert_eq!(intervals[0].1, iv(&[1]));
+            }
+            BarrierStep::Waiting => panic!("should release"),
+        }
+    }
+
+    #[test]
+    fn next_epoch_starts_clean() {
+        let mut m = BarrierMgr::new();
+        m.arrive(0, 1, 0, iv(&[]), 10, 2);
+        m.arrive(0, 1, 1, iv(&[]), 20, 2);
+        // Epoch 2 reuses the state slot.
+        assert_eq!(m.arrive(0, 2, 1, iv(&[]), 30, 2), BarrierStep::Waiting);
+        match m.arrive(0, 2, 0, iv(&[]), 25, 2) {
+            BarrierStep::Release { epoch, release_ns, .. } => {
+                assert_eq!(epoch, 2);
+                assert_eq!(release_ns, 30);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn independent_barrier_ids() {
+        let mut m = BarrierMgr::new();
+        assert_eq!(m.arrive(1, 1, 0, iv(&[]), 10, 2), BarrierStep::Waiting);
+        assert_eq!(m.arrive(2, 1, 0, iv(&[]), 10, 2), BarrierStep::Waiting);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrived twice")]
+    fn double_arrival_panics() {
+        let mut m = BarrierMgr::new();
+        m.arrive(0, 1, 0, iv(&[]), 10, 3);
+        m.arrive(0, 1, 0, iv(&[]), 11, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch")]
+    fn epoch_mismatch_panics() {
+        let mut m = BarrierMgr::new();
+        m.arrive(0, 1, 0, iv(&[]), 10, 3);
+        m.arrive(0, 2, 1, iv(&[]), 11, 3);
+    }
+}

@@ -1,0 +1,122 @@
+//! The home store: master copies of the pages homed on one node.
+
+use memwire::{Diff, PageId, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// Master copies of all pages homed on one node.
+///
+/// Pages materialize lazily as zero-filled on first touch (allocation is
+/// a distributed agreement on region metadata; homes need no setup
+/// traffic). The store is accessed both by the owning node's application
+/// thread (local reads/writes) and by its communication daemon (remote
+/// fetches and diff application), hence lives behind a mutex in
+/// [`crate::SwDsm`].
+#[derive(Debug, Default)]
+pub struct HomeStore {
+    pages: HashMap<PageId, Vec<u8>>,
+}
+
+impl HomeStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The master copy of `page`, created zero-filled on first touch.
+    pub fn page_mut(&mut self, page: PageId) -> &mut Vec<u8> {
+        self.pages.entry(page).or_insert_with(|| vec![0; PAGE_SIZE])
+    }
+
+    /// Copy of the master page (for remote fetch replies).
+    pub fn snapshot(&mut self, page: PageId) -> Vec<u8> {
+        self.page_mut(page).clone()
+    }
+
+    /// Apply a diff to the master copy.
+    pub fn apply_diff(&mut self, page: PageId, diff: &Diff) {
+        diff.apply(self.page_mut(page));
+    }
+
+    /// Replace the master copy wholesale (whole-page write-back mode).
+    pub fn replace(&mut self, page: PageId, bytes: Vec<u8>) {
+        assert_eq!(bytes.len(), PAGE_SIZE);
+        self.pages.insert(page, bytes);
+    }
+
+    /// Read `out.len()` bytes at `offset` within `page`.
+    pub fn read(&mut self, page: PageId, offset: usize, out: &mut [u8]) {
+        let p = self.page_mut(page);
+        out.copy_from_slice(&p[offset..offset + out.len()]);
+    }
+
+    /// Write `data` at `offset` within `page`.
+    pub fn write(&mut self, page: PageId, offset: usize, data: &[u8]) {
+        let p = self.page_mut(page);
+        p[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Number of materialized pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True before any page is touched.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> PageId {
+        PageId { region: 1, index: i }
+    }
+
+    #[test]
+    fn lazy_zero_fill() {
+        let mut h = HomeStore::new();
+        assert!(h.is_empty());
+        let mut out = [9u8; 4];
+        h.read(pid(0), 100, &mut out);
+        assert_eq!(out, [0; 4]);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut h = HomeStore::new();
+        h.write(pid(2), 8, &[1, 2, 3]);
+        let mut out = [0u8; 3];
+        h.read(pid(2), 8, &mut out);
+        assert_eq!(out, [1, 2, 3]);
+    }
+
+    #[test]
+    fn apply_diff_merges_into_master() {
+        let mut h = HomeStore::new();
+        h.write(pid(3), 0, &[7; 16]);
+        let twin = vec![0u8; PAGE_SIZE];
+        let mut cur = twin.clone();
+        cur[100..104].fill(5);
+        let d = Diff::between(&twin, &cur);
+        h.apply_diff(pid(3), &d);
+        let mut out = [0u8; 4];
+        h.read(pid(3), 100, &mut out);
+        assert_eq!(out, [5; 4]);
+        // Earlier writes outside the diff survive.
+        let mut keep = [0u8; 1];
+        h.read(pid(3), 0, &mut keep);
+        assert_eq!(keep, [7]);
+    }
+
+    #[test]
+    fn snapshot_is_independent_copy() {
+        let mut h = HomeStore::new();
+        h.write(pid(4), 0, &[1]);
+        let snap = h.snapshot(pid(4));
+        h.write(pid(4), 0, &[2]);
+        assert_eq!(snap[0], 1);
+    }
+}

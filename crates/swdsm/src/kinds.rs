@@ -1,0 +1,27 @@
+//! Message-kind constants of the software-DSM protocol.
+//!
+//! Kind spaces are statically partitioned across the workspace:
+//! `0x1xx` software DSM, `0x2xx` hybrid DSM, `0x3xx` HAMSTER modules,
+//! `0x4xx` programming models.
+
+/// Fetch a page from its home (request → page data).
+pub const GET_PAGE: u32 = 0x100;
+/// Apply a batch of diffs at the home (request → ack).
+pub const APPLY_DIFFS: u32 = 0x101;
+/// Acquire a lock (request → grant or queued).
+pub const LOCK_REQ: u32 = 0x102;
+/// Release a lock (one-way to the manager).
+pub const LOCK_REL: u32 = 0x103;
+/// Lock grant delivered to a queued requester (one-way).
+pub const LOCK_GRANT: u32 = 0x104;
+/// Barrier arrival (one-way to the manager).
+pub const BARRIER_ARRIVE: u32 = 0x105;
+/// Barrier release (one-way to every participant).
+pub const BARRIER_RELEASE: u32 = 0x106;
+/// Whole-page write-back (ablation mode; request → ack).
+pub const PUT_PAGE: u32 = 0x107;
+/// Dissemination-barrier round `r` messages use kind `DISS_BASE + r`
+/// (one-way; rounds are bounded by log2 of the node count).
+pub const DISS_BASE: u32 = 0x140;
+/// Exclusive upper bound of the dissemination kind range (32 rounds).
+pub const DISS_END: u32 = 0x160;

@@ -1,0 +1,333 @@
+//! Distributed lock management.
+//!
+//! Locks are distributed across manager nodes (`lock % nodes`). The
+//! manager serializes ownership and, under scope consistency, stores the
+//! write notices published by each release so it can hand them to the
+//! next acquirer (the "lock grant carries notices" edge of Scope
+//! Consistency). Notice history is cleared when a barrier makes
+//! everything globally visible.
+
+use memwire::Interval;
+use std::collections::{HashMap, VecDeque};
+
+/// Lock acquisition mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Many concurrent holders (readers).
+    Shared,
+    /// One holder (writers; also plain mutexes).
+    Excl,
+}
+
+/// State of one lock at its manager.
+#[derive(Debug, Default)]
+pub struct LockState {
+    /// Current holders (one if exclusive, any number if shared).
+    pub holders: Vec<usize>,
+    /// Whether the current holders hold exclusively.
+    pub excl: bool,
+    /// Waiters with their requested mode and virtual arrival time.
+    /// Grants go to the earliest *virtual* arrival, which keeps lock
+    /// handover independent of the real-time order in which the
+    /// manager's daemon happened to process requests.
+    pub queue: VecDeque<(usize, Mode, u64)>,
+    /// Notices accumulated from releases under this lock, per writer.
+    pub notices: Vec<(usize, Interval)>,
+    /// Virtual time the last *exclusive* hold ended (causal floor for
+    /// shared grants: readers may overlap each other but never a
+    /// writer).
+    pub free_excl_ns: u64,
+    /// Virtual time the lock last became free of any holder (causal
+    /// floor for exclusive grants).
+    pub free_any_ns: u64,
+}
+
+/// All locks managed by one node.
+#[derive(Debug, Default)]
+pub struct LockMgr {
+    locks: HashMap<u32, LockState>,
+}
+
+/// Outcome of an acquire attempt at the manager.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Acquire {
+    /// Granted immediately; attached notices must be applied by the
+    /// acquirer before entering the critical section, and the grant is
+    /// not effective before the given virtual instant.
+    Granted(Vec<(usize, Interval)>, u64),
+    /// Enqueued; a grant will be posted on release.
+    Queued,
+}
+
+impl LockMgr {
+    /// An empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Node `who` asks for `lock` exclusively.
+    pub fn acquire(&mut self, lock: u32, who: usize) -> Acquire {
+        self.acquire_mode(lock, who, Mode::Excl, 0)
+    }
+
+    /// Node `who` asks for `lock` in `mode`, arriving at virtual time
+    /// `arrive_ns`. Shared requests join the current holders only while
+    /// no writer is queued (writer-preference keeps writers from
+    /// starving under a reader stream).
+    pub fn acquire_mode(&mut self, lock: u32, who: usize, mode: Mode, arrive_ns: u64) -> Acquire {
+        let st = self.locks.entry(lock).or_default();
+        assert!(!st.holders.contains(&who), "node {who} re-acquired held lock {lock}");
+        let grantable = match mode {
+            Mode::Excl => st.holders.is_empty(),
+            Mode::Shared => {
+                st.holders.is_empty() || (!st.excl && st.queue.is_empty())
+            }
+        };
+        if grantable {
+            let floor = match mode {
+                Mode::Excl => st.free_any_ns,
+                Mode::Shared => st.free_excl_ns,
+            };
+            st.holders.push(who);
+            st.excl = mode == Mode::Excl;
+            Acquire::Granted(st.notices.clone(), floor)
+        } else {
+            st.queue.push_back((who, mode, arrive_ns));
+            Acquire::Queued
+        }
+    }
+
+    /// Node `who` releases `lock`, publishing `interval`. Returns the
+    /// holders to grant next (one writer, or a batch of readers), each
+    /// with the notices they must apply.
+    pub fn release(
+        &mut self,
+        lock: u32,
+        who: usize,
+        interval: Interval,
+        now_ns: u64,
+    ) -> Vec<(usize, Vec<(usize, Interval)>)> {
+        let st = self
+            .locks
+            .get_mut(&lock)
+            .unwrap_or_else(|| panic!("release of unknown lock {lock}"));
+        let pos = st
+            .holders
+            .iter()
+            .position(|&h| h == who)
+            .unwrap_or_else(|| panic!("node {who} released lock {lock} it does not hold"));
+        let was_excl = st.excl;
+        st.holders.swap_remove(pos);
+        if st.holders.is_empty() {
+            st.free_any_ns = st.free_any_ns.max(now_ns);
+            if was_excl {
+                st.free_excl_ns = st.free_excl_ns.max(now_ns);
+            }
+        }
+        if !interval.is_empty() {
+            match st.notices.iter_mut().find(|(n, _)| *n == who) {
+                Some((_, iv)) => iv.merge(&interval),
+                None => st.notices.push((who, interval)),
+            }
+        }
+        if !st.holders.is_empty() {
+            return Vec::new(); // other readers still inside
+        }
+        let mut grants = Vec::new();
+        // Grant the earliest virtual arrival.
+        let Some(first) = st
+            .queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, _, t))| *t)
+            .map(|(i, _)| i)
+        else {
+            return grants;
+        };
+        let (next, mode, _) = st.queue.remove(first).unwrap();
+        st.holders.push(next);
+        st.excl = mode == Mode::Excl;
+        grants.push((next, st.notices.clone()));
+        if mode == Mode::Shared {
+            // Release every queued reader that arrived before the
+            // earliest queued writer (writer preference beyond that).
+            let writer_cutoff = st
+                .queue
+                .iter()
+                .filter(|(_, m, _)| *m == Mode::Excl)
+                .map(|(_, _, t)| *t)
+                .min()
+                .unwrap_or(u64::MAX);
+            let mut i = 0;
+            while i < st.queue.len() {
+                let (_, m, t) = st.queue[i];
+                if m == Mode::Shared && t <= writer_cutoff {
+                    let (r, _, _) = st.queue.remove(i).unwrap();
+                    st.holders.push(r);
+                    grants.push((r, st.notices.clone()));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        grants
+    }
+
+    /// A barrier made all writes globally visible: drop notice history.
+    pub fn clear_notices(&mut self) {
+        for st in self.locks.values_mut() {
+            st.notices.clear();
+        }
+    }
+
+    /// Introspection for tests: the state of `lock`.
+    ///
+    /// Note: grants at release time follow *virtual* arrival order, not
+    /// queue insertion order (see [`LockState::queue`]).
+    pub fn state(&self, lock: u32) -> Option<&LockState> {
+        self.locks.get(&lock)
+    }
+}
+
+#[cfg(test)]
+mod rw_tests {
+    use super::*;
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let mut m = LockMgr::new();
+        assert!(matches!(m.acquire_mode(1, 0, Mode::Shared, 10), Acquire::Granted(..)));
+        assert!(matches!(m.acquire_mode(1, 1, Mode::Shared, 20), Acquire::Granted(..)));
+        assert_eq!(m.acquire_mode(1, 2, Mode::Excl, 30), Acquire::Queued);
+        // A reader arriving after a queued writer must wait (writer
+        // preference).
+        assert_eq!(m.acquire_mode(1, 3, Mode::Shared, 40), Acquire::Queued);
+        assert!(m.release(1, 0, Interval::default(), 50).is_empty());
+        let grants = m.release(1, 1, Interval::default(), 60);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].0, 2); // the writer goes first
+        let grants = m.release(1, 2, Interval::default(), 70);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].0, 3);
+    }
+
+    #[test]
+    fn reader_batch_released_together() {
+        let mut m = LockMgr::new();
+        m.acquire_mode(1, 0, Mode::Excl, 5);
+        assert_eq!(m.acquire_mode(1, 1, Mode::Shared, 10), Acquire::Queued);
+        assert_eq!(m.acquire_mode(1, 2, Mode::Shared, 15), Acquire::Queued);
+        let grants = m.release(1, 0, Interval::default(), 20);
+        let granted: Vec<usize> = grants.iter().map(|(n, _)| *n).collect();
+        assert_eq!(granted, vec![1, 2]);
+    }
+
+    #[test]
+    fn writer_notices_reach_readers() {
+        let mut m = LockMgr::new();
+        m.acquire_mode(1, 0, Mode::Excl, 1);
+        let iv = Interval::from_pages(&[memwire::PageId { region: 0, index: 4 }]);
+        assert!(m.release(1, 0, iv.clone(), 2).is_empty());
+        match m.acquire_mode(1, 1, Mode::Shared, 3) {
+            Acquire::Granted(n, floor) => {
+                assert_eq!(n, vec![(0, iv)]);
+                // The previous hold was exclusive, so even a shared
+                // grant is floored by its release.
+                assert_eq!(floor, 2);
+            }
+            Acquire::Queued => panic!("lock should be free"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memwire::PageId;
+
+    fn iv(pages: &[u32]) -> Interval {
+        Interval::from_pages(
+            &pages.iter().map(|&i| PageId { region: 0, index: i }).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn free_lock_granted_immediately() {
+        let mut m = LockMgr::new();
+        assert_eq!(m.acquire(1, 0), Acquire::Granted(vec![], 0));
+    }
+
+    #[test]
+    fn held_lock_queues() {
+        let mut m = LockMgr::new();
+        m.acquire(1, 0);
+        assert_eq!(m.acquire(1, 1), Acquire::Queued);
+        assert_eq!(m.acquire(1, 2), Acquire::Queued);
+        // Release hands over in FIFO order with notices attached.
+        let grants = m.release(1, 0, iv(&[4]), 100);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].0, 1);
+        assert_eq!(grants[0].1, vec![(0, iv(&[4]))]);
+        let grants = m.release(1, 1, Interval::default(), 200);
+        assert_eq!(grants[0].0, 2);
+        assert!(m.release(1, 2, Interval::default(), 300).is_empty());
+        assert!(m.state(1).unwrap().holders.is_empty());
+        // A later immediate exclusive grant carries the causal floor.
+        assert_eq!(m.acquire(1, 3), Acquire::Granted(vec![(0, iv(&[4]))], 300));
+    }
+
+    #[test]
+    fn notices_accumulate_across_critical_sections() {
+        let mut m = LockMgr::new();
+        m.acquire(7, 0);
+        m.release(7, 0, iv(&[1]), 1);
+        m.acquire(7, 1);
+        m.release(7, 1, iv(&[2]), 2);
+        match m.acquire(7, 2) {
+            Acquire::Granted(n, _) => {
+                assert_eq!(n.len(), 2);
+                assert_eq!(n[0], (0, iv(&[1])));
+                assert_eq!(n[1], (1, iv(&[2])));
+            }
+            Acquire::Queued => panic!("lock should be free"),
+        }
+    }
+
+    #[test]
+    fn same_writer_notices_merge() {
+        let mut m = LockMgr::new();
+        m.acquire(7, 0);
+        m.release(7, 0, iv(&[1]), 1);
+        m.acquire(7, 0);
+        m.release(7, 0, iv(&[3]), 2);
+        match m.acquire(7, 1) {
+            Acquire::Granted(n, _) => assert_eq!(n, vec![(0, iv(&[1, 3]))]),
+            Acquire::Queued => panic!(),
+        }
+    }
+
+    #[test]
+    fn barrier_clears_notices() {
+        let mut m = LockMgr::new();
+        m.acquire(7, 0);
+        m.release(7, 0, iv(&[1]), 9);
+        m.clear_notices();
+        assert_eq!(m.acquire(7, 1), Acquire::Granted(vec![], 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn foreign_release_panics() {
+        let mut m = LockMgr::new();
+        m.acquire(1, 0);
+        m.release(1, 3, Interval::default(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-acquired")]
+    fn reentrant_acquire_panics() {
+        let mut m = LockMgr::new();
+        m.acquire(1, 0);
+        m.acquire(1, 0);
+    }
+}

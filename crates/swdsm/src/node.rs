@@ -1,0 +1,963 @@
+//! The per-node DSM engine: access functions, interval flushing,
+//! synchronization, and the cluster-shared protocol state.
+
+use crate::barriermgr::{BarrierMgr, BarrierStep};
+
+use crate::home::HomeStore;
+use crate::kinds;
+use crate::lockmgr::{Acquire, LockMgr};
+use crate::proto::*;
+use cluster::{Cluster, NodeCtx};
+use interconnect::{downcast, Outcome};
+use memwire::{
+    CachedPage, Diff, Distribution, GlobalAddr, Interval, PageId, PageTable, RegionDir,
+    RegionMeta, PAGE_SIZE,
+};
+use parking_lot::Mutex;
+use sim::{MachineCost, StatSet};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Barrier ids with the top bit set are reserved for internal use
+/// (collective allocation).
+const ALLOC_BARRIER: u32 = 0x8000_0000;
+
+/// Region ids at or above this belong to single-node (TreadMarks-style)
+/// allocations and encode the allocating rank.
+const LOCAL_REGION_BASE: u32 = 1 << 24;
+
+/// Protocol tunables of the software DSM.
+#[derive(Debug, Clone, Copy)]
+pub struct DsmConfig {
+    /// Ship whole pages home at release points instead of diffs
+    /// (ablation baseline; much more wire traffic).
+    pub whole_page_writeback: bool,
+    /// Scope consistency on lock edges: grants carry write notices and
+    /// acquirers invalidate exactly those pages. When false, acquirers
+    /// conservatively invalidate their whole cache (the pre-scope
+    /// "barrier-wide invalidation" baseline).
+    pub notices_on_locks: bool,
+    /// Cost of one page-fault trap (SIGSEGV + kernel + handler entry).
+    pub fault_trap_ns: u64,
+    /// Cost of snapshotting a twin (one page copy).
+    pub twin_ns: u64,
+    /// Cost of scanning a page against its twin to encode a diff.
+    pub diff_scan_ns: u64,
+    /// Fixed cost of applying one diff at the home...
+    pub diff_apply_base_ns: u64,
+    /// ...plus this much per changed byte.
+    pub diff_apply_per_byte_ns: u64,
+    /// Cost for the home to copy a page into a fetch reply.
+    pub page_copy_ns: u64,
+    /// Maximum cached (remotely homed) pages per node; 0 = unbounded.
+    /// Real JiaJia bounds its page cache by available memory; evictions
+    /// write dirty pages home and drop clean ones FIFO.
+    pub cache_pages: usize,
+    /// Adaptive home migration (JiaJia's optimization): a page diffed by
+    /// the same single remote writer `migration_threshold` times in a row
+    /// migrates its home to that writer at the next barrier, turning its
+    /// future diffs into local writes.
+    pub home_migration: bool,
+    /// Consecutive same-writer diffs before a page migrates.
+    pub migration_threshold: u32,
+    /// Barrier algorithm: the centralized manager (default, JiaJia's
+    /// scheme) or a dissemination barrier (log2(n) pairwise rounds —
+    /// no manager hotspot, but no quiescent point for home migration,
+    /// so migration stays off under dissemination).
+    pub barrier_algo: BarrierAlgo,
+}
+
+/// Selectable barrier algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BarrierAlgo {
+    /// Arrivals gather at `id % nodes`; the manager broadcasts releases.
+    #[default]
+    Central,
+    /// log2(n) rounds of pairwise exchanges, each carrying the senders'
+    /// accumulated write notices.
+    Dissemination,
+}
+
+impl Default for DsmConfig {
+    fn default() -> Self {
+        Self {
+            whole_page_writeback: false,
+            notices_on_locks: true,
+            fault_trap_ns: 20_000,
+            twin_ns: 3_000,
+            diff_scan_ns: 4_000,
+            diff_apply_base_ns: 1_000,
+            diff_apply_per_byte_ns: 1,
+            page_copy_ns: 2_000,
+            cache_pages: 0,
+            home_migration: false,
+            migration_threshold: 2,
+            barrier_algo: BarrierAlgo::default(),
+        }
+    }
+}
+
+/// Cluster-shared state of the software DSM: home stores, lock and
+/// barrier managers, the region directory, and per-node statistics.
+pub struct SwDsm {
+    cfg: DsmConfig,
+    nodes: usize,
+    machine: MachineCost,
+    dir: RegionDir,
+    homes: Vec<Mutex<HomeStore>>,
+    lockmgrs: Vec<Arc<Mutex<LockMgr>>>,
+    barriermgrs: Vec<Mutex<BarrierMgr>>,
+    stats: Vec<StatSet>,
+    /// Pages whose home moved away from their distribution-derived node
+    /// (the migration directory; real JiaJia piggybacks it on barriers).
+    home_override: parking_lot::RwLock<HashMap<PageId, usize>>,
+    /// Per-home tracking of consecutive same-writer diffs, and the
+    /// migration candidates gathered for the next barrier.
+    migration: Vec<Mutex<MigrationTrack>>,
+}
+
+#[derive(Default)]
+struct MigrationTrack {
+    last_writer: HashMap<PageId, (usize, u32)>,
+    candidates: Vec<(PageId, usize)>,
+}
+
+/// The per-node statistics exposed by the DSM (JiaJia-style counters).
+pub const STAT_NAMES: &[&str] = &[
+    "getpages",
+    "diffs",
+    "diff_bytes",
+    "lock_acquires",
+    "lock_queued",
+    "barriers",
+    "invalidations",
+    "twins",
+    "traps",
+    "evictions",
+    "migrations",
+    "reads",
+    "writes",
+];
+
+impl SwDsm {
+    /// Create the DSM over `cluster` and register its protocol handlers
+    /// on every node. Call once, before [`Cluster::run`].
+    pub fn install(cluster: &Cluster, cfg: DsmConfig) -> Arc<SwDsm> {
+        let nodes = cluster.config().nodes;
+        let dsm = Arc::new(SwDsm {
+            cfg,
+            nodes,
+            machine: cluster.config().cost.machine,
+            dir: RegionDir::new(),
+            homes: (0..nodes).map(|_| Mutex::new(HomeStore::new())).collect(),
+            lockmgrs: (0..nodes).map(|_| Arc::new(Mutex::new(LockMgr::new()))).collect(),
+            barriermgrs: (0..nodes).map(|_| Mutex::new(BarrierMgr::new())).collect(),
+            stats: (0..nodes).map(|_| StatSet::new(STAT_NAMES)).collect(),
+            home_override: parking_lot::RwLock::new(HashMap::new()),
+            migration: (0..nodes).map(|_| Mutex::new(MigrationTrack::default())).collect(),
+        });
+        dsm.register_handlers(cluster);
+        dsm
+    }
+
+    /// Per-node statistics.
+    pub fn stats(&self, node: usize) -> &StatSet {
+        &self.stats[node]
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &DsmConfig {
+        &self.cfg
+    }
+
+    /// Home node of `page` (migration directory first, then the
+    /// allocation's distribution).
+    pub fn home_of(&self, page: PageId) -> usize {
+        if self.cfg.home_migration {
+            if let Some(&home) = self.home_override.read().get(&page) {
+                return home;
+            }
+        }
+        if page.region >= LOCAL_REGION_BASE {
+            // Single-node allocations are homed on the allocating rank.
+            ((page.region >> 24) - 1) as usize
+        } else {
+            self.dir.meta(page.region).home_of(page.index, self.nodes)
+        }
+    }
+
+    /// Record a remote diff for migration tracking (at the home `node`).
+    fn track_diff_writer(&self, node: usize, page: PageId, writer: usize) {
+        if !self.cfg.home_migration || writer == node {
+            return;
+        }
+        let mut t = self.migration[node].lock();
+        let entry = t.last_writer.entry(page).or_insert((writer, 0));
+        if entry.0 == writer {
+            entry.1 += 1;
+        } else {
+            *entry = (writer, 1);
+        }
+        if entry.1 >= self.cfg.migration_threshold
+            && !t.candidates.iter().any(|(p, _)| *p == page)
+        {
+            t.candidates.push((page, writer));
+        }
+    }
+
+    /// Apply pending migrations (called by the barrier manager while
+    /// every node is blocked — the quiescent point the real protocol
+    /// piggybacks on). Returns how many pages moved (their contents ride
+    /// the barrier traffic).
+    fn apply_migrations(&self) -> u64 {
+        if !self.cfg.home_migration {
+            return 0;
+        }
+        let mut moved = 0;
+        for node in 0..self.nodes {
+            let candidates = {
+                let mut t = self.migration[node].lock();
+                let candidates = std::mem::take(&mut t.candidates);
+                // Migrated pages start tracking afresh at the new home.
+                for (page, _) in &candidates {
+                    t.last_writer.remove(page);
+                }
+                candidates
+            };
+            for (page, new_home) in candidates {
+                let old_home = self.home_of(page);
+                if old_home == new_home {
+                    continue;
+                }
+                let bytes = self.homes[old_home].lock().snapshot(page);
+                self.homes[new_home].lock().replace(page, bytes);
+                self.home_override.write().insert(page, new_home);
+                self.stats[new_home].add("migrations", 1);
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    fn register_handlers(self: &Arc<Self>, cluster: &Cluster) {
+        let net = cluster.network();
+
+        // Page fetch: reply with a snapshot of the master copy.
+        let dsm = self.clone();
+        net.register_all(kinds::GET_PAGE, move |node| {
+            let dsm = dsm.clone();
+            move |_ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                let req = downcast::<GetPage>(p);
+                debug_assert_eq!(dsm.home_of(req.page), node, "fetch sent to non-home");
+                let bytes = dsm.homes[node].lock().snapshot(req.page);
+                Outcome::reply_costing(
+                    PageData { bytes },
+                    PAGE_SIZE as u64 + 16,
+                    dsm.cfg.page_copy_ns,
+                )
+            }
+        });
+
+        // Diff application at the home.
+        let dsm = self.clone();
+        net.register_all(kinds::APPLY_DIFFS, move |node| {
+            let dsm = dsm.clone();
+            move |_ctx: &interconnect::HandlerCtx<'_>, src, p| {
+                let msg = downcast::<ApplyDiffs>(p);
+                let mut extra = 0;
+                {
+                    let mut home = dsm.homes[node].lock();
+                    for (page, diff) in &msg.diffs {
+                        debug_assert_eq!(dsm.home_of(*page), node, "diff sent to non-home");
+                        extra += dsm.cfg.diff_apply_base_ns
+                            + dsm.cfg.diff_apply_per_byte_ns * diff.changed_bytes() as u64;
+                        home.apply_diff(*page, diff);
+                    }
+                }
+                for (page, _) in &msg.diffs {
+                    dsm.track_diff_writer(node, *page, src);
+                }
+                Outcome::reply_costing((), 8, extra)
+            }
+        });
+
+        // Whole-page write-back (ablation mode).
+        let dsm = self.clone();
+        net.register_all(kinds::PUT_PAGE, move |node| {
+            let dsm = dsm.clone();
+            move |_ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                let msg = downcast::<PutPages>(p);
+                let extra = msg.pages.len() as u64 * dsm.cfg.page_copy_ns;
+                let mut home = dsm.homes[node].lock();
+                for (page, bytes) in msg.pages {
+                    home.replace(page, bytes);
+                }
+                Outcome::reply_costing((), 8, extra)
+            }
+        });
+
+        // Lock acquire at the manager.
+        let dsm = self.clone();
+        net.register_all(kinds::LOCK_REQ, move |node| {
+            let mgr = dsm.lockmgrs[node].clone();
+            move |ctx: &interconnect::HandlerCtx<'_>, src, p| {
+                let req = downcast::<LockReq>(p);
+                match mgr.lock().acquire_mode(req.lock, src, req.mode, ctx.now) {
+                    Acquire::Granted(notices, not_before) => {
+                        let bytes = notices_wire_bytes(&notices);
+                        Outcome::reply_not_before(
+                            LockReply::Granted(notices),
+                            bytes,
+                            not_before,
+                        )
+                    }
+                    Acquire::Queued => Outcome::reply(LockReply::Queued, 8),
+                }
+            }
+        });
+
+        // Lock release at the manager: may hand over to a queued waiter.
+        let dsm = self.clone();
+        net.register_all(kinds::LOCK_REL, move |node| {
+            let mgr = dsm.lockmgrs[node].clone();
+            move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                let rel = downcast::<LockRel>(p);
+                for (next, notices) in
+                    mgr.lock().release(rel.lock, rel.releaser, rel.interval, ctx.now)
+                {
+                    let bytes = notices_wire_bytes(&notices);
+                    ctx.post(next, kinds::LOCK_GRANT, LockGrant { lock: rel.lock, notices }, bytes);
+                }
+                Outcome::done()
+            }
+        });
+
+        // Deferred lock grant arriving at a queued requester.
+        net.register_all(kinds::LOCK_GRANT, |node| {
+            let mailbox = net.mailbox(node);
+            move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                let grant = downcast::<LockGrant>(p);
+                let tag = interconnect::mailbox::tag(kinds::LOCK_GRANT, grant.lock);
+                mailbox.deposit(tag, Box::new(grant), ctx.now);
+                Outcome::done()
+            }
+        });
+
+        // Barrier arrival at the manager.
+        let dsm = self.clone();
+        net.register_all(kinds::BARRIER_ARRIVE, move |node| {
+            let dsm = dsm.clone();
+            move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                let arr = downcast::<BarrierArrive>(p);
+                let step = dsm.barriermgrs[node].lock().arrive(
+                    arr.id,
+                    arr.epoch,
+                    arr.who,
+                    arr.interval,
+                    ctx.now,
+                    dsm.nodes,
+                );
+                if let BarrierStep::Release { epoch, release_ns, intervals } = step {
+                    // Quiescent point: every node is blocked in this
+                    // barrier, so pending home migrations apply now. No
+                    // page content moves: the new home is the page's
+                    // last writer, whose copy is already current — only
+                    // the directory entries ride the release broadcast.
+                    let moved = dsm.apply_migrations();
+                    let rel = BarrierRelease { id: arr.id, epoch, intervals };
+                    let bytes = rel.wire_bytes() + moved * 16;
+                    for dst in 0..dsm.nodes {
+                        ctx.post_at(dst, kinds::BARRIER_RELEASE, rel.clone(), bytes, release_ns);
+                    }
+                }
+                Outcome::done()
+            }
+        });
+
+        // Dissemination-barrier rounds: deposit into the receiver's
+        // mailbox under (round, id).
+        for round in 0..(kinds::DISS_END - kinds::DISS_BASE) {
+            let kind = kinds::DISS_BASE + round;
+            net.register_all(kind, |node| {
+                let mb = net.mailbox(node);
+                move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                    let msg = downcast::<DissMsg>(p);
+                    mb.deposit(interconnect::mailbox::tag(kind, msg.id), Box::new(msg), ctx.now);
+                    Outcome::done()
+                }
+            });
+        }
+
+        // Barrier release at each participant.
+        let dsm = self.clone();
+        net.register_all(kinds::BARRIER_RELEASE, |node| {
+            let dsm = dsm.clone();
+            let mailbox = net.mailbox(node);
+            move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                let rel = downcast::<BarrierRelease>(p);
+                // A barrier makes all prior writes visible everywhere;
+                // notice history on locks managed here is now redundant.
+                dsm.lockmgrs[node].lock().clear_notices();
+                let tag = interconnect::mailbox::tag(kinds::BARRIER_RELEASE, rel.id);
+                mailbox.deposit(tag, Box::new(rel), ctx.now);
+                Outcome::done()
+            }
+        });
+    }
+
+    /// Bind a per-node engine. One per node thread.
+    pub fn node(self: &Arc<Self>, ctx: NodeCtx) -> DsmNode {
+        DsmNode {
+            dsm: self.clone(),
+            rank: ctx.rank(),
+            ctx,
+            table: Mutex::new(PageTable::new()),
+            local_mods: Mutex::new(BTreeSet::new()),
+            epoch_mods: Mutex::new(Interval::default()),
+            next_region: Mutex::new(NextRegions { collective: 1, local: 0 }),
+            epochs: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct NextRegions {
+    /// Next collective region id (identical on all nodes by lockstep).
+    collective: u32,
+    /// Next single-node region counter (combined with the rank).
+    local: u32,
+}
+
+/// The per-node software-DSM engine.
+///
+/// All shared accesses go through the access functions below (the
+/// Shasta-style software-check scheme standing in for mmap/SIGSEGV; see
+/// DESIGN.md). The engine is `Send` so thread programming models can
+/// hand it between threads, but it represents *one* node CPU's view.
+pub struct DsmNode {
+    dsm: Arc<SwDsm>,
+    rank: usize,
+    ctx: NodeCtx,
+    table: Mutex<PageTable>,
+    /// Home-local pages written in the current interval.
+    local_mods: Mutex<BTreeSet<PageId>>,
+    /// Union of this node's intervals since the last barrier. A barrier
+    /// must re-announce writes already published through lock releases,
+    /// otherwise peers keep cached copies that predate those critical
+    /// sections.
+    epoch_mods: Mutex<Interval>,
+    next_region: Mutex<NextRegions>,
+    /// Barrier id → next epoch.
+    epochs: Mutex<HashMap<u32, u64>>,
+}
+
+impl DsmNode {
+    /// This node's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.dsm.nodes
+    }
+
+    /// The underlying node context (clock, compute charging).
+    pub fn ctx(&self) -> &NodeCtx {
+        &self.ctx
+    }
+
+    /// The cluster-wide DSM instance.
+    pub fn dsm(&self) -> &Arc<SwDsm> {
+        &self.dsm
+    }
+
+    fn stat(&self, name: &str, n: u64) {
+        self.dsm.stats[self.rank].add(name, n);
+    }
+
+    fn machine(&self) -> &MachineCost {
+        &self.dsm.machine
+    }
+
+    // ---- allocation ----------------------------------------------------
+
+    /// Collective allocation: every node must call `alloc` in the same
+    /// order with the same arguments (JiaJia/HLRC semantics, implicit
+    /// barrier included). Returns the region's base address.
+    pub fn alloc(&self, bytes: usize, dist: Distribution) -> GlobalAddr {
+        let region = {
+            let mut g = self.next_region.lock();
+            let id = g.collective;
+            assert!(id < LOCAL_REGION_BASE, "collective region ids exhausted");
+            g.collective += 1;
+            id
+        };
+        self.dsm.dir.register(region, RegionMeta::new(bytes, dist));
+        self.barrier(ALLOC_BARRIER);
+        GlobalAddr::new(region, 0)
+    }
+
+    /// Single-node allocation (TreadMarks `Tmk_malloc` semantics): only
+    /// the caller allocates; all pages are homed here; no barrier. The
+    /// address must be delivered to other nodes explicitly (the model
+    /// layer's distribute routine).
+    pub fn alloc_local(&self, bytes: usize) -> GlobalAddr {
+        let region = {
+            let mut g = self.next_region.lock();
+            let id = LOCAL_REGION_BASE * (self.rank as u32 + 1) + g.local;
+            g.local += 1;
+            id
+        };
+        self.dsm
+            .dir
+            .register(region, RegionMeta::new(bytes, Distribution::OnNode(self.rank)));
+        GlobalAddr::new(region, 0)
+    }
+
+    /// Adopt a region allocated elsewhere (receiver side of an address
+    /// distribution). Registers the same metadata locally; idempotent.
+    pub fn adopt(&self, addr: GlobalAddr, bytes: usize, home: usize) {
+        self.dsm
+            .dir
+            .register(addr.region(), RegionMeta::new(bytes, Distribution::OnNode(home)));
+    }
+
+    // ---- access functions ----------------------------------------------
+
+    /// Read `out.len()` bytes from global memory at `addr`.
+    pub fn read_bytes(&self, addr: GlobalAddr, out: &mut [u8]) {
+        self.stat("reads", 1);
+        self.ctx.compute(self.machine().dsm_check_ns);
+        self.charge_local_access(out.len());
+        let mut done = 0;
+        while done < out.len() {
+            let a = addr.add(done as u32);
+            let page = a.page();
+            let off = a.page_offset();
+            let chunk = (PAGE_SIZE - off).min(out.len() - done);
+            self.ensure_readable(page);
+            self.copy_from_page(page, off, &mut out[done..done + chunk]);
+            done += chunk;
+        }
+    }
+
+    /// Write `data` to global memory at `addr`.
+    pub fn write_bytes(&self, addr: GlobalAddr, data: &[u8]) {
+        self.stat("writes", 1);
+        self.ctx.compute(self.machine().dsm_check_ns);
+        self.charge_local_access(data.len());
+        let mut done = 0;
+        while done < data.len() {
+            let a = addr.add(done as u32);
+            let page = a.page();
+            let off = a.page_offset();
+            let chunk = (PAGE_SIZE - off).min(data.len() - done);
+            self.ensure_writable(page);
+            self.copy_to_page(page, off, &data[done..done + chunk]);
+            done += chunk;
+        }
+    }
+
+    /// Read a u64.
+    pub fn read_u64(&self, addr: GlobalAddr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Write a u64.
+    pub fn write_u64(&self, addr: GlobalAddr, v: u64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// Read an f64.
+    pub fn read_f64(&self, addr: GlobalAddr) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Write an f64.
+    pub fn write_f64(&self, addr: GlobalAddr, v: f64) {
+        self.write_u64(addr, v.to_bits());
+    }
+
+    fn charge_local_access(&self, bytes: usize) {
+        if bytes <= 64 {
+            // Word access: a cached load/store.
+            self.ctx.compute(self.machine().local_access_ns);
+        } else {
+            // Bulk access streams through the node's memory bus (the
+            // same accounting every platform uses, so memory-bound
+            // kernels compare fairly across SMP and the DSMs).
+            self.ctx.bus_transfer(bytes as u64);
+        }
+    }
+
+    fn is_home(&self, page: PageId) -> bool {
+        self.dsm.home_of(page) == self.rank
+    }
+
+    fn copy_from_page(&self, page: PageId, off: usize, out: &mut [u8]) {
+        if self.is_home(page) {
+            self.dsm.homes[self.rank].lock().read(page, off, out);
+        } else {
+            let table = self.table.lock();
+            let p = table.get(page).expect("readable page vanished");
+            out.copy_from_slice(&p.data[off..off + out.len()]);
+        }
+    }
+
+    fn copy_to_page(&self, page: PageId, off: usize, data: &[u8]) {
+        if self.is_home(page) {
+            self.dsm.homes[self.rank].lock().write(page, off, data);
+        } else {
+            let mut table = self.table.lock();
+            let p = table.get_mut(page).expect("writable page vanished");
+            p.data[off..off + data.len()].copy_from_slice(data);
+        }
+    }
+
+    /// Make `page` locally readable, fetching from its home on a miss.
+    fn ensure_readable(&self, page: PageId) {
+        if self.is_home(page) {
+            return;
+        }
+        if self.table.lock().get(page).is_some() {
+            return;
+        }
+        self.fetch_page(page);
+    }
+
+    /// Make `page` locally writable (twinning on the first write).
+    fn ensure_writable(&self, page: PageId) {
+        if self.is_home(page) {
+            self.local_mods.lock().insert(page);
+            return;
+        }
+        let mut table = self.table.lock();
+        match table.get_mut(page) {
+            Some(p) if p.state == memwire::PageState::Writable => {}
+            Some(p) => {
+                // Write fault on a read-only copy: trap + twin.
+                self.stat("traps", 1);
+                self.stat("twins", 1);
+                self.ctx.compute(self.dsm.cfg.fault_trap_ns + self.dsm.cfg.twin_ns);
+                p.make_writable();
+            }
+            None => {
+                drop(table);
+                self.fetch_page(page);
+                let mut table = self.table.lock();
+                let p = table.get_mut(page).expect("fetched page vanished");
+                self.stat("twins", 1);
+                self.ctx.compute(self.dsm.cfg.twin_ns);
+                p.make_writable();
+            }
+        }
+    }
+
+    fn fetch_page(&self, page: PageId) {
+        self.stat("traps", 1);
+        self.stat("getpages", 1);
+        self.ctx.compute(self.dsm.cfg.fault_trap_ns);
+        self.make_room();
+        let home = self.dsm.home_of(page);
+        let reply = self.ctx.port().request(home, kinds::GET_PAGE, GetPage { page }, 24);
+        let data = downcast::<PageData>(reply);
+        self.table.lock().install(page, CachedPage::read_only(data.bytes));
+    }
+
+    /// Enforce the page-cache bound before installing a new page: drop
+    /// a clean victim, or diff a dirty one home first (JiaJia's
+    /// memory-pressure write-back).
+    fn make_room(&self) {
+        let cap = self.dsm.cfg.cache_pages;
+        if cap == 0 {
+            return;
+        }
+        loop {
+            let victim = {
+                let mut table = self.table.lock();
+                if table.len() < cap {
+                    return;
+                }
+                table.victim()
+            };
+            let Some((page, state)) = victim else { return };
+            if state == memwire::PageState::Writable {
+                self.flush_dirty_subset(&[page]);
+            }
+            if self.table.lock().invalidate(page) {
+                self.stat("evictions", 1);
+            }
+        }
+    }
+
+    // ---- interval flushing (release) -------------------------------------
+
+    /// Push this interval's modifications home and return the interval's
+    /// write notices. Called at every release point (unlock, barrier).
+    fn flush_interval(&self) -> Interval {
+        let dirty = {
+            let table = self.table.lock();
+            table.writable_pages()
+        };
+        let local: Vec<PageId> = std::mem::take(&mut *self.local_mods.lock()).into_iter().collect();
+
+        let mut all_pages = dirty.clone();
+        all_pages.extend_from_slice(&local);
+        let interval = Interval::from_pages(&all_pages);
+        if dirty.is_empty() {
+            return interval;
+        }
+
+        if self.dsm.cfg.whole_page_writeback {
+            let mut by_home: HashMap<usize, Vec<(PageId, Vec<u8>)>> = HashMap::new();
+            {
+                let mut table = self.table.lock();
+                for page in &dirty {
+                    let (_twin, cur) = table.downgrade(*page);
+                    self.ctx.compute(self.dsm.cfg.page_copy_ns);
+                    by_home.entry(self.dsm.home_of(*page)).or_default().push((*page, cur));
+                }
+            }
+            self.stat("diffs", dirty.len() as u64);
+            let msgs: Vec<_> = by_home
+                .into_iter()
+                .map(|(home, pages)| {
+                    let msg = PutPages { pages };
+                    let bytes = msg.wire_bytes();
+                    self.stat("diff_bytes", bytes);
+                    (home, kinds::PUT_PAGE, msg, bytes)
+                })
+                .collect();
+            let _acks = self.ctx.port().request_batch(msgs);
+        } else {
+            let mut by_home: HashMap<usize, Vec<(PageId, Diff)>> = HashMap::new();
+            {
+                let mut table = self.table.lock();
+                for page in &dirty {
+                    let (twin, cur) = table.downgrade(*page);
+                    self.ctx.compute(self.dsm.cfg.diff_scan_ns);
+                    let diff = Diff::between(&twin, &cur);
+                    if !diff.is_empty() {
+                        by_home.entry(self.dsm.home_of(*page)).or_default().push((*page, diff));
+                    }
+                }
+            }
+            let msgs: Vec<_> = by_home
+                .into_iter()
+                .map(|(home, diffs)| {
+                    self.stat("diffs", diffs.len() as u64);
+                    let msg = ApplyDiffs { diffs };
+                    let bytes = msg.wire_bytes();
+                    self.stat("diff_bytes", bytes);
+                    (home, kinds::APPLY_DIFFS, msg, bytes)
+                })
+                .collect();
+            if !msgs.is_empty() {
+                let _acks = self.ctx.port().request_batch(msgs);
+            }
+        }
+        interval
+    }
+
+    /// Invalidate cached copies of pages that `notices` says other nodes
+    /// wrote. A page that is locally dirty (written outside the incoming
+    /// synchronization's scope, e.g. under false sharing) has its diff
+    /// flushed home first so no writes are lost.
+    fn apply_notices(&self, notices: &[(usize, Interval)]) {
+        let mut stale: Vec<PageId> = Vec::new();
+        {
+            let table = self.table.lock();
+            for (writer, interval) in notices {
+                if *writer == self.rank {
+                    continue;
+                }
+                for page in interval.pages() {
+                    // Home copies already hold the writers' diffs.
+                    if !self.is_home(page) && table.get(page).is_some() {
+                        stale.push(page);
+                    }
+                }
+            }
+        }
+        if stale.is_empty() {
+            return;
+        }
+        stale.sort();
+        stale.dedup();
+        self.flush_dirty_subset(&stale);
+        let mut table = self.table.lock();
+        for page in stale {
+            if table.invalidate(page) {
+                self.stat("invalidations", 1);
+            }
+        }
+    }
+
+    /// Diff-and-ship any dirty pages among `pages` (pre-invalidation
+    /// rescue path; rare under proper synchronization discipline).
+    fn flush_dirty_subset(&self, pages: &[PageId]) {
+        let mut by_home: HashMap<usize, Vec<(PageId, Diff)>> = HashMap::new();
+        {
+            let mut table = self.table.lock();
+            for &page in pages {
+                let dirty = matches!(
+                    table.get(page),
+                    Some(p) if p.state == memwire::PageState::Writable
+                );
+                if dirty {
+                    let (twin, cur) = table.downgrade(page);
+                    self.ctx.compute(self.dsm.cfg.diff_scan_ns);
+                    let diff = Diff::between(&twin, &cur);
+                    if !diff.is_empty() {
+                        by_home.entry(self.dsm.home_of(page)).or_default().push((page, diff));
+                    }
+                }
+            }
+        }
+        let msgs: Vec<_> = by_home
+            .into_iter()
+            .map(|(home, diffs)| {
+                self.stat("diffs", diffs.len() as u64);
+                let msg = ApplyDiffs { diffs };
+                let bytes = msg.wire_bytes();
+                self.stat("diff_bytes", bytes);
+                (home, kinds::APPLY_DIFFS, msg, bytes)
+            })
+            .collect();
+        if !msgs.is_empty() {
+            let _acks = self.ctx.port().request_batch(msgs);
+        }
+    }
+
+    /// Drop every cached copy (conservative acquire in the
+    /// no-lock-notices ablation mode). Dirty pages are flushed home
+    /// first.
+    fn invalidate_all_cached(&self) {
+        let _ = self.flush_interval();
+        let mut table = self.table.lock();
+        let n = table.len() as u64;
+        table.clear();
+        self.stat("invalidations", n);
+    }
+
+    // ---- synchronization -------------------------------------------------
+
+    /// Acquire global lock `lock` exclusively.
+    pub fn acquire(&self, lock: u32) {
+        self.acquire_mode(lock, crate::lockmgr::Mode::Excl);
+    }
+
+    /// Acquire global lock `lock` in shared (reader) mode: concurrent
+    /// readers hold it together; writers exclude everyone.
+    pub fn acquire_shared(&self, lock: u32) {
+        self.acquire_mode(lock, crate::lockmgr::Mode::Shared);
+    }
+
+    fn acquire_mode(&self, lock: u32, mode: crate::lockmgr::Mode) {
+        self.stat("lock_acquires", 1);
+        let mgr = lock as usize % self.dsm.nodes;
+        let reply = self.ctx.port().request(mgr, kinds::LOCK_REQ, LockReq { lock, mode }, 16);
+        let notices = match downcast::<LockReply>(reply) {
+            LockReply::Granted(notices) => notices,
+            LockReply::Queued => {
+                self.stat("lock_queued", 1);
+                let tag = interconnect::mailbox::tag(kinds::LOCK_GRANT, lock);
+                let grant = downcast::<LockGrant>(self.ctx.port().wait_mailbox(tag));
+                assert_eq!(grant.lock, lock);
+                grant.notices
+            }
+        };
+        if self.dsm.cfg.notices_on_locks {
+            self.apply_notices(&notices);
+        } else {
+            self.invalidate_all_cached();
+        }
+    }
+
+    /// Release global lock `lock`, publishing this interval's writes.
+    pub fn release(&self, lock: u32) {
+        let interval = self.flush_interval();
+        self.epoch_mods.lock().merge(&interval);
+        let mgr = lock as usize % self.dsm.nodes;
+        let rel = LockRel { lock, releaser: self.rank, interval };
+        let bytes = 16 + rel.interval.wire_bytes();
+        self.ctx.port().post(mgr, kinds::LOCK_REL, rel, bytes);
+    }
+
+    /// Global barrier `id`: flushes the interval, exchanges write
+    /// notices, and invalidates what others wrote.
+    pub fn barrier(&self, id: u32) {
+        self.stat("barriers", 1);
+        let mut interval = std::mem::take(&mut *self.epoch_mods.lock());
+        interval.merge(&self.flush_interval());
+        let epoch = {
+            let mut g = self.epochs.lock();
+            let e = g.entry(id).or_insert(0);
+            *e += 1;
+            *e
+        };
+        match self.dsm.cfg.barrier_algo {
+            BarrierAlgo::Central => {
+                let mgr = id as usize % self.dsm.nodes;
+                let arr = BarrierArrive { id, epoch, who: self.rank, interval };
+                let bytes = 24 + arr.interval.wire_bytes();
+                self.ctx.port().post(mgr, kinds::BARRIER_ARRIVE, arr, bytes);
+                let tag = interconnect::mailbox::tag(kinds::BARRIER_RELEASE, id);
+                let rel = downcast::<BarrierRelease>(self.ctx.port().wait_mailbox(tag));
+                assert_eq!(rel.epoch, epoch, "barrier {id}: epoch mismatch");
+                self.apply_notices(&rel.intervals);
+            }
+            BarrierAlgo::Dissemination => {
+                let notices = self.barrier_dissemination(id, epoch, interval);
+                self.apply_notices(&notices);
+            }
+        }
+    }
+
+    /// Dissemination barrier: after round r every node knows the
+    /// intervals of 2^(r+1) nodes; after ceil(log2(n)) rounds, of all.
+    fn barrier_dissemination(
+        &self,
+        id: u32,
+        epoch: u64,
+        interval: Interval,
+    ) -> Vec<(usize, Interval)> {
+        let n = self.dsm.nodes;
+        let mut knowledge: Vec<(usize, Interval)> = vec![(self.rank, interval)];
+        let mut dist = 1usize;
+        let mut round = 0u32;
+        while dist < n {
+            let kind = kinds::DISS_BASE + round;
+            assert!(kind < kinds::DISS_END, "too many dissemination rounds");
+            let to = (self.rank + dist) % n;
+            let msg =
+                DissMsg { id, epoch, round, knowledge: knowledge.clone() };
+            let bytes = msg.wire_bytes();
+            self.ctx.port().post(to, kind, msg, bytes);
+            let got = downcast::<DissMsg>(
+                self.ctx.port().wait_mailbox(interconnect::mailbox::tag(kind, id)),
+            );
+            assert_eq!(got.epoch, epoch, "dissemination barrier {id}: epoch skew");
+            for (node, iv) in got.knowledge {
+                match knowledge.iter_mut().find(|(k, _)| *k == node) {
+                    Some((_, mine)) => mine.merge(&iv),
+                    None => knowledge.push((node, iv)),
+                }
+            }
+            dist *= 2;
+            round += 1;
+        }
+        // Local lock managers may drop their notice history now.
+        self.dsm.lockmgrs[self.rank].lock().clear_notices();
+        knowledge
+    }
+
+    /// Orderly exit: one final barrier so all writes are home.
+    pub fn exit(&self) {
+        self.barrier(ALLOC_BARRIER);
+    }
+}
+

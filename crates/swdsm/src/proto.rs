@@ -1,0 +1,168 @@
+//! Wire messages of the software-DSM protocol.
+
+use memwire::{Diff, Interval, PageId};
+
+/// Request a copy of `page` from its home.
+#[derive(Debug, Clone, Copy)]
+pub struct GetPage {
+    /// The page to fetch (must be homed at the destination).
+    pub page: PageId,
+}
+
+/// Reply to [`GetPage`]: the page contents.
+pub struct PageData {
+    /// A snapshot of the master copy.
+    pub bytes: Vec<u8>,
+}
+
+/// Ship diffs (all homed at the destination) for application.
+pub struct ApplyDiffs {
+    /// The diffs, all homed at the destination.
+    pub diffs: Vec<(PageId, Diff)>,
+}
+
+impl ApplyDiffs {
+    /// Wire size of the batch.
+    pub fn wire_bytes(&self) -> u64 {
+        self.diffs.iter().map(|(_, d)| 8 + d.wire_bytes()).sum::<u64>() + 8
+    }
+}
+
+/// Whole pages shipped home (ablation mode).
+pub struct PutPages {
+    /// Full replacement contents, all homed at the destination.
+    pub pages: Vec<(PageId, Vec<u8>)>,
+}
+
+impl PutPages {
+    /// Wire size of the batch.
+    pub fn wire_bytes(&self) -> u64 {
+        self.pages.iter().map(|(_, p)| 8 + p.len() as u64).sum::<u64>() + 8
+    }
+}
+
+/// Acquire `lock`.
+#[derive(Debug, Clone, Copy)]
+pub struct LockReq {
+    /// The lock to acquire.
+    pub lock: u32,
+    /// Shared (reader) or exclusive acquisition.
+    pub mode: crate::lockmgr::Mode,
+}
+
+/// Reply to [`LockReq`].
+pub enum LockReply {
+    /// The lock was free; notices accumulated under it ride along.
+    Granted(Vec<(usize, Interval)>),
+    /// The lock is held; a [`LockGrant`] will be posted later.
+    Queued,
+}
+
+/// Deferred grant posted to a queued requester.
+pub struct LockGrant {
+    /// The granted lock.
+    pub lock: u32,
+    /// Write notices accumulated under the lock, per writer.
+    pub notices: Vec<(usize, Interval)>,
+}
+
+/// Release `lock`, publishing the releasing interval's notices.
+pub struct LockRel {
+    /// The lock being released.
+    pub lock: u32,
+    /// The releasing node.
+    pub releaser: usize,
+    /// The releaser's interval (its writes in the critical section).
+    pub interval: Interval,
+}
+
+/// Node `who` reached barrier `id` with its interval.
+pub struct BarrierArrive {
+    /// Barrier identifier.
+    pub id: u32,
+    /// The arriving node's epoch for this barrier.
+    pub epoch: u64,
+    /// The arriving node.
+    pub who: usize,
+    /// Its write notices since the last synchronization.
+    pub interval: Interval,
+}
+
+/// Barrier `id` released; everyone's intervals attached.
+#[derive(Clone)]
+pub struct BarrierRelease {
+    /// Barrier identifier.
+    pub id: u32,
+    /// The released epoch.
+    pub epoch: u64,
+    /// Every participant's interval.
+    pub intervals: Vec<(usize, Interval)>,
+}
+
+impl BarrierRelease {
+    /// Wire size of the release broadcast.
+    pub fn wire_bytes(&self) -> u64 {
+        self.intervals.iter().map(|(_, iv)| 8 + iv.wire_bytes()).sum::<u64>() + 16
+    }
+}
+
+/// One round of the dissemination barrier: the sender's accumulated
+/// knowledge of everyone's intervals so far.
+#[derive(Clone)]
+pub struct DissMsg {
+    /// Barrier identifier.
+    pub id: u32,
+    /// The sender's epoch for this barrier.
+    pub epoch: u64,
+    /// Dissemination round number.
+    pub round: u32,
+    /// Intervals of every node the sender has heard from so far.
+    pub knowledge: Vec<(usize, Interval)>,
+}
+
+impl DissMsg {
+    /// Wire size of this round's exchange.
+    pub fn wire_bytes(&self) -> u64 {
+        notices_wire_bytes(&self.knowledge) + 24
+    }
+}
+
+/// Wire size of a notice list.
+pub fn notices_wire_bytes(notices: &[(usize, Interval)]) -> u64 {
+    notices.iter().map(|(_, iv)| 8 + iv.wire_bytes()).sum::<u64>() + 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memwire::PAGE_SIZE;
+
+    #[test]
+    fn apply_diffs_wire_size() {
+        let twin = vec![0u8; PAGE_SIZE];
+        let mut cur = twin.clone();
+        cur[..16].fill(1);
+        let d = Diff::between(&twin, &cur);
+        let msg = ApplyDiffs { diffs: vec![(PageId { region: 0, index: 0 }, d)] };
+        // 8 header + (8 page id + diff wire bytes)
+        assert_eq!(msg.wire_bytes(), 8 + 8 + (8 + 4 + 16));
+    }
+
+    #[test]
+    fn put_pages_wire_size_counts_full_pages() {
+        let msg = PutPages {
+            pages: vec![(PageId { region: 0, index: 0 }, vec![0u8; PAGE_SIZE])],
+        };
+        assert_eq!(msg.wire_bytes(), 8 + 8 + PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn barrier_release_wire_size() {
+        let rel = BarrierRelease {
+            id: 0,
+            epoch: 1,
+            intervals: vec![(0, Interval::from_pages(&[PageId { region: 0, index: 3 }]))],
+        };
+        assert_eq!(rel.wire_bytes(), 16 + 8 + 16);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based protocol tests: random workloads against a
+//! sequential reference memory.
+
+use cluster::{Cluster, FabricConfig, LinkKind};
+use memwire::Distribution;
+use proptest::prelude::*;
+use swdsm::{DsmConfig, SwDsm};
+
+/// A random single-writer plan: each node owns a byte range of one
+/// shared region and performs writes there across several barrier
+/// epochs; afterwards every node must read back the exact reference
+/// image.
+#[derive(Debug, Clone)]
+struct Plan {
+    /// (epoch, node, offset-within-slice, value)
+    writes: Vec<(u8, u8, u16, u8)>,
+    epochs: u8,
+    dist: Distribution,
+}
+
+const NODES: usize = 3;
+const SLICE: usize = 3 * 4096; // bytes per node, page-misaligned on purpose
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    (
+        proptest::collection::vec(
+            (0u8..4, 0u8..NODES as u8, any::<u16>(), any::<u8>()),
+            1..120,
+        ),
+        prop_oneof![
+            Just(Distribution::Block),
+            Just(Distribution::Cyclic),
+            Just(Distribution::OnNode(1)),
+        ],
+    )
+        .prop_map(|(writes, dist)| Plan { writes, epochs: 4, dist })
+}
+
+fn reference_image(plan: &Plan) -> Vec<u8> {
+    let mut mem = vec![0u8; NODES * SLICE];
+    let mut writes = plan.writes.clone();
+    // Writes apply in epoch order; within an epoch, writers touch
+    // disjoint slices so any order works.
+    writes.sort_by_key(|w| w.0);
+    for (_, node, off, val) in writes {
+        let o = node as usize * SLICE + off as usize % SLICE;
+        mem[o] = val;
+    }
+    mem
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_single_writer_programs_converge(plan in plan_strategy()) {
+        let cluster = Cluster::new(FabricConfig::new(NODES, LinkKind::Ethernet));
+        let dsm = SwDsm::install(&cluster, DsmConfig::default());
+        let expected = reference_image(&plan);
+        let plan = std::sync::Arc::new(plan);
+        let (_, results) = cluster.run(|ctx| {
+            let node = dsm.node(ctx);
+            let me = node.rank() as u8;
+            let a = node.alloc(NODES * SLICE, plan.dist);
+            node.barrier(1);
+            for epoch in 0..plan.epochs {
+                for &(e, writer, off, val) in &plan.writes {
+                    if e == epoch && writer == me {
+                        let o = writer as usize * SLICE + off as usize % SLICE;
+                        node.write_bytes(a.add(o as u32), &[val]);
+                    }
+                }
+                node.barrier(2);
+            }
+            let mut image = vec![0u8; NODES * SLICE];
+            node.read_bytes(a, &mut image);
+            node.barrier(3);
+            image
+        });
+        for (rank, image) in results.iter().enumerate() {
+            prop_assert_eq!(image.as_slice(), expected.as_slice(), "node {} diverged", rank);
+        }
+    }
+
+    #[test]
+    fn lock_counter_exact_under_random_schedules(
+        increments in proptest::collection::vec(1u64..5, NODES..=NODES),
+        think_ns in proptest::collection::vec(0u64..50_000, NODES..=NODES),
+    ) {
+        let cluster = Cluster::new(FabricConfig::new(NODES, LinkKind::Ethernet));
+        let dsm = SwDsm::install(&cluster, DsmConfig::default());
+        let incs = increments.clone();
+        let thinks = think_ns.clone();
+        let (_, finals) = cluster.run(|ctx| {
+            let node = dsm.node(ctx);
+            let a = node.alloc(4096, Distribution::Block);
+            node.barrier(1);
+            for _ in 0..incs[node.rank()] {
+                node.acquire(1);
+                let v = node.read_u64(a);
+                node.ctx().compute(thinks[node.rank()]);
+                node.write_u64(a, v + 1);
+                node.release(1);
+            }
+            node.barrier(2);
+            node.read_u64(a)
+        });
+        let expect: u64 = increments.iter().sum();
+        prop_assert!(finals.iter().all(|&v| v == expect), "lost updates: {finals:?}");
+    }
+
+    #[test]
+    fn whole_page_mode_matches_diff_mode(plan in plan_strategy()) {
+        let run = |cfg: DsmConfig| {
+            let cluster = Cluster::new(FabricConfig::new(NODES, LinkKind::Ethernet));
+            let dsm = SwDsm::install(&cluster, cfg);
+            let plan = plan.clone();
+            let (_, results) = cluster.run(move |ctx| {
+                let node = dsm.node(ctx);
+                let me = node.rank() as u8;
+                let a = node.alloc(NODES * SLICE, plan.dist);
+                node.barrier(1);
+                for epoch in 0..plan.epochs {
+                    for &(e, writer, off, val) in &plan.writes {
+                        if e == epoch && writer == me {
+                            let o = writer as usize * SLICE + off as usize % SLICE;
+                            node.write_bytes(a.add(o as u32), &[val]);
+                        }
+                    }
+                    node.barrier(2);
+                }
+                let mut image = vec![0u8; NODES * SLICE];
+                node.read_bytes(a, &mut image);
+                node.barrier(3);
+                image
+            });
+            results
+        };
+        let with_diffs = run(DsmConfig::default());
+        let with_pages = run(DsmConfig { whole_page_writeback: true, ..Default::default() });
+        prop_assert_eq!(with_diffs, with_pages);
+    }
+}

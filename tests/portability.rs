@@ -1,0 +1,177 @@
+//! Workspace-level integration: the portability matrix.
+//!
+//! Every programming model × every platform, one small program each —
+//! the full cross product behind the paper's §5.4 claim that models and
+//! platforms compose freely through the single HAMSTER core.
+
+use hamster::core::{ClusterConfig, PlatformKind, Runtime};
+
+const PLATFORMS: [PlatformKind; 3] =
+    [PlatformKind::Smp, PlatformKind::HybridDsm, PlatformKind::SwDsm];
+
+fn on_each_platform(nodes: usize, f: impl Fn(&hamster::core::Hamster) -> u64 + Send + Sync) {
+    let mut results = Vec::new();
+    for platform in PLATFORMS {
+        let rt = Runtime::new(ClusterConfig::new(nodes, platform));
+        let (_, rs) = rt.run(|ham| f(ham));
+        assert!(rs.iter().all(|&v| v == rs[0]), "{platform:?}: nodes disagree: {rs:?}");
+        results.push(rs[0]);
+    }
+    assert!(
+        results.iter().all(|&v| v == results[0]),
+        "platforms disagree: {results:?}"
+    );
+}
+
+#[test]
+fn spmd_model_everywhere() {
+    on_each_platform(3, |ham| {
+        let spmd = hamster::models::spmd::spmd_begin(ham.clone());
+        let arr = spmd.shared_array(12);
+        spmd.barrier(1);
+        let (lo, hi) = spmd.my_block(12);
+        for i in lo..hi {
+            spmd.put(&arr, i, (i * i) as f64);
+        }
+        spmd.barrier(2);
+        let mut out = vec![0.0; 12];
+        spmd.get_range(&arr, 0, &mut out);
+        spmd.spmd_end();
+        out.iter().sum::<f64>() as u64
+    });
+}
+
+#[test]
+fn jiajia_model_everywhere() {
+    on_each_platform(2, |ham| {
+        let jia = hamster::models::jiajia::jia_init(ham.clone());
+        let a = jia.jia_alloc(4096);
+        jia.jia_barrier();
+        jia.jia_lock(1);
+        let v = jia.load_u64(a);
+        jia.store_u64(a, v + 7);
+        jia.jia_unlock(1);
+        jia.jia_barrier();
+        let out = jia.load_u64(a);
+        jia.jia_exit();
+        out
+    });
+}
+
+#[test]
+fn hlrc_model_everywhere() {
+    on_each_platform(2, |ham| {
+        let h = hamster::models::hlrc::hlrc_init(ham.clone());
+        let a = h.malloc(4096);
+        h.barrier(1);
+        if h.my_pid() == 0 {
+            h.acquire(2);
+            h.write_long(a, 99);
+            h.release(2);
+        }
+        h.barrier(2);
+        let v = h.read_long(a);
+        h.exit();
+        v
+    });
+}
+
+#[test]
+fn shmem_model_everywhere() {
+    on_each_platform(4, |ham| {
+        let sh = hamster::models::shmem::shmem_init(ham.clone());
+        let sym = sh.malloc(128);
+        sh.barrier_all();
+        sh.long_p(sym, 0, 1 + sh.my_pe() as u64, (sh.my_pe() + 1) % sh.n_pes());
+        sh.quiet();
+        sh.barrier_all();
+        let got = sh.long_g(sym, 0, sh.my_pe());
+        sh.finalize();
+        // Sum across nodes differs per node; reduce through the model.
+        let scratch = sh.malloc(512);
+        sh.barrier_all();
+        sh.double_sum_to_all(scratch, got as f64) as u64
+    });
+}
+
+#[test]
+fn anl_model_everywhere() {
+    on_each_platform(2, |ham| {
+        let env = hamster::models::anl::Anl::init(ham.clone());
+        let a = env.g_malloc(64);
+        let l = env.lock_init();
+        let b = env.barrier_init();
+        env.barrier(b);
+        env.lock(l);
+        let v = env.ham().mem().read_u64(a);
+        env.ham().mem().write_u64(a, v + 3);
+        env.unlock(l);
+        env.barrier(b);
+        let out = env.ham().mem().read_u64(a);
+        env.main_end();
+        out
+    });
+}
+
+#[test]
+fn treadmarks_model_on_software_dsm() {
+    // Single-node allocation semantics only make sense on the DSM
+    // platforms; exercise the full distribute flow on the software DSM.
+    let rt = Runtime::new(ClusterConfig::new(4, PlatformKind::SwDsm));
+    let (_, rs) = rt.run(|ham| {
+        let tmk = hamster::models::treadmarks::tmk_startup(ham.clone());
+        let a = if tmk.tmk_proc_id() == 2 {
+            let a = tmk.tmk_malloc(4096);
+            tmk.store_u64(a, 1234);
+            tmk.tmk_distribute(a, 4096);
+            a
+        } else {
+            tmk.tmk_receive_distribution()
+        };
+        tmk.tmk_barrier(1);
+        let v = tmk.load_u64(a);
+        tmk.tmk_exit();
+        v
+    });
+    assert_eq!(rs, vec![1234; 4]);
+}
+
+#[test]
+fn native_and_hamster_agree_on_results() {
+    // The Figure 2 setup must be result-identical, not just
+    // overhead-comparable.
+    use hamster::apps::world::{run_hamster, run_native};
+    let (_, native) = run_native(4, Default::default(), apps_sum);
+    let cfg = ClusterConfig::new(4, PlatformKind::SwDsm);
+    let (_, ham) = run_hamster(&cfg, apps_sum);
+    assert_eq!(native, ham);
+
+    fn apps_sum<W: hamster::apps::World>(w: &W) -> u64 {
+        let r = hamster::apps::lu::lu(w, 32);
+        r.checksum
+    }
+}
+
+#[test]
+fn virtual_time_ordering_across_platforms() {
+    // For a communication-heavy pattern, Ethernet must cost more
+    // virtual time than SCI, which must cost more than the SMP.
+    let mut times = Vec::new();
+    for platform in PLATFORMS {
+        let rt = Runtime::new(ClusterConfig::new(4, platform));
+        let (report, _) = rt.run(|ham| {
+            let r = ham.mem().alloc_default(16 * 4096).unwrap();
+            ham.sync().barrier(1);
+            for round in 0..8u32 {
+                let slot = ((ham.task().rank() as u32 + round) % 16) * 4096;
+                ham.mem().write_u64(r.addr().add(slot), round as u64);
+                ham.sync().barrier(10 + round);
+                let _ = ham.mem().read_u64(r.addr().add(((slot as usize + 4096) % (16 * 4096)) as u32));
+            }
+        });
+        times.push(report.sim_time_ns);
+    }
+    let (smp, sci, eth) = (times[0], times[1], times[2]);
+    assert!(smp < sci, "SMP ({smp}) should beat SCI ({sci})");
+    assert!(sci < eth, "SCI ({sci}) should beat Ethernet ({eth})");
+}

@@ -18,6 +18,7 @@
 use crate::matmult::FLOP_NS;
 use crate::report::{checksum_f64, BenchResult};
 use crate::world::World;
+use hamster_core::PhaseTimer;
 use memwire::{Distribution, GlobalAddr, PAGE_SIZE};
 
 /// Effective memory traffic per updated element (bytes): the blocked
@@ -56,7 +57,12 @@ pub fn lu<W: World>(w: &W, n: usize) -> BenchResult {
     let rank = w.rank();
 
     let mut result = BenchResult::default();
+    // Phase profiling (paper Fig. 2's breakdown) through the
+    // platform-independent PhaseTimer service: each transition also
+    // lands on the global trace timeline as a `phase` span.
+    let mut pt = PhaseTimer::new(rank);
     let t_start = w.now_ns();
+    pt.enter_at(t_start, "init");
 
     // Serial initialization on the master (write-only remote traffic).
     if rank == 0 {
@@ -70,7 +76,7 @@ pub fn lu<W: World>(w: &W, n: usize) -> BenchResult {
     }
     w.barrier(1);
     let t_init_done = w.now_ns();
-    result.phase("init", t_init_done - t_start);
+    pt.close_at(t_init_done);
 
     // Pull my rows into private memory (home-local after init's diffs).
     let my_rows: Vec<usize> = (0..n).filter(|&i| owner(i, n, p) == rank).collect();
@@ -83,14 +89,12 @@ pub fn lu<W: World>(w: &W, n: usize) -> BenchResult {
         })
         .collect();
 
-    let mut core_ns = 0u64;
-    let mut bar_ns = 0u64;
     let mut pivot = vec![0.0f64; n];
 
     for k in 0..n - 1 {
         // The owner scales row k right of the diagonal and publishes it.
         if owner(k, n, p) == rank {
-            let t = w.now_ns();
+            pt.enter_at(w.now_ns(), "core");
             let r = private.get_mut(&k).expect("owner missing row");
             let akk = r[k];
             for v in r[k + 1..].iter_mut() {
@@ -98,14 +102,14 @@ pub fn lu<W: World>(w: &W, n: usize) -> BenchResult {
             }
             w.write_f64s(row(k), r);
             w.compute((n - k) as u64 * FLOP_NS);
-            core_ns += w.now_ns() - t;
+            pt.close_at(w.now_ns());
         }
-        let t = w.now_ns();
+        pt.enter_at(w.now_ns(), "bar");
         w.barrier(2);
-        bar_ns += w.now_ns() - t;
+        pt.close_at(w.now_ns());
 
         // Everyone updates its private trailing rows with row k.
-        let t = w.now_ns();
+        pt.enter_at(w.now_ns(), "core");
         if owner(k, n, p) == rank {
             pivot.copy_from_slice(&private[&k]);
         } else {
@@ -122,11 +126,11 @@ pub fn lu<W: World>(w: &W, n: usize) -> BenchResult {
         }
         w.compute(updated * 2 * (n - k) as u64 * FLOP_NS);
         w.private_traffic(updated * (n - k) as u64 * 16 / BLOCKED_TRAFFIC_DENOM);
-        core_ns += w.now_ns() - t;
+        pt.close_at(w.now_ns());
 
-        let t = w.now_ns();
+        pt.enter_at(w.now_ns(), "bar");
         w.barrier(3);
-        bar_ns += w.now_ns() - t;
+        pt.close_at(w.now_ns());
     }
 
     // Publish the factorization for verification.
@@ -135,8 +139,9 @@ pub fn lu<W: World>(w: &W, n: usize) -> BenchResult {
     }
     w.barrier(4);
 
-    result.phase("core", core_ns);
-    result.phase("bar", bar_ns);
+    for (name, ns) in pt.into_totals() {
+        result.phase(name, ns);
+    }
     result.total_ns = w.now_ns() - t_start;
     result.phase("no_init", result.total_ns - (t_init_done - t_start));
 

@@ -15,6 +15,7 @@
 
 use crate::report::{checksum_f64, BenchResult};
 use crate::world::World;
+use hamster_core::PhaseTimer;
 use memwire::{Distribution, GlobalAddr};
 
 /// Cost of updating one grid cell (ns): four dependent FP adds plus a
@@ -51,6 +52,11 @@ pub fn sor<W: World>(w: &W, n: usize, iters: usize, optimized: bool) -> BenchRes
     let nxt = w.alloc_dist(bytes, dist);
     let row = |base: GlobalAddr, i: usize| base.add((i * n * 8) as u32);
 
+    // Phase profiling through the PhaseTimer service (also lands as
+    // `phase` spans on the global trace timeline).
+    let mut pt = PhaseTimer::new(w.rank());
+    pt.enter_at(w.now_ns(), "init");
+
     // Every node initializes its partition in both buffers.
     let (lo, hi) = w.my_block(n);
     for i in lo..hi {
@@ -60,6 +66,7 @@ pub fn sor<W: World>(w: &W, n: usize, iters: usize, optimized: bool) -> BenchRes
     }
     w.barrier(1);
     let t0 = w.now_ns();
+    pt.close_at(t0);
 
     // Interior rows this node updates (global rows 0 and n-1 are fixed).
     let ulo = lo.max(1);
@@ -74,12 +81,14 @@ pub fn sor<W: World>(w: &W, n: usize, iters: usize, optimized: bool) -> BenchRes
         let mut ghost_bot = vec![0.0f64; n];
         for (src, dst) in [(cur, nxt), (nxt, cur)].iter().cycle().take(iters) {
             // Fetch neighbours' edge rows from shared memory.
+            pt.enter_at(w.now_ns(), "exchange");
             if lo > 0 {
                 w.read_f64s(row(*src, lo - 1), &mut ghost_top);
             }
             if hi < n {
                 w.read_f64s(row(*src, hi), &mut ghost_bot);
             }
+            pt.enter_at(w.now_ns(), "compute");
             for i in ulo..uhi {
                 let li = i - lo;
                 let top = if li == 0 { &ghost_top } else { &mine[li - 1] };
@@ -89,13 +98,16 @@ pub fn sor<W: World>(w: &W, n: usize, iters: usize, optimized: bool) -> BenchRes
             w.compute((uhi.saturating_sub(ulo) * n) as u64 * CELL_NS);
             std::mem::swap(&mut mine, &mut next);
             // Publish my edge rows for the neighbours' next sweep.
+            pt.enter_at(w.now_ns(), "exchange");
             if ulo < uhi {
                 w.write_f64s(row(*dst, ulo), &mine[ulo - lo]);
                 if uhi - 1 != ulo {
                     w.write_f64s(row(*dst, uhi - 1), &mine[uhi - 1 - lo]);
                 }
             }
+            pt.enter_at(w.now_ns(), "barrier");
             w.barrier(2);
+            pt.close_at(w.now_ns());
         }
         // Write my final rows back for verification.
         for i in lo..hi {
@@ -111,6 +123,7 @@ pub fn sor<W: World>(w: &W, n: usize, iters: usize, optimized: bool) -> BenchRes
         let mut src = cur;
         let mut dst = nxt;
         for _ in 0..iters {
+            pt.enter_at(w.now_ns(), "compute");
             if ulo < uhi {
                 // Prime the three-row window; afterwards each step reads
                 // only the new bottom row (rows i-1 and i are still in
@@ -126,7 +139,9 @@ pub fn sor<W: World>(w: &W, n: usize, iters: usize, optimized: bool) -> BenchRes
                 std::mem::swap(&mut mid, &mut bot);
             }
             w.compute((uhi.saturating_sub(ulo) * n) as u64 * CELL_NS);
+            pt.enter_at(w.now_ns(), "barrier");
             w.barrier(2);
+            pt.close_at(w.now_ns());
             std::mem::swap(&mut src, &mut dst);
         }
         if src != cur {
@@ -149,7 +164,7 @@ pub fn sor<W: World>(w: &W, n: usize, iters: usize, optimized: bool) -> BenchRes
         }
     }
     w.barrier(4);
-    BenchResult { total_ns, phases: Default::default(), checksum }
+    BenchResult { total_ns, phases: pt.into_totals(), checksum }
 }
 
 /// Sequential reference sweep for tests.

@@ -165,6 +165,17 @@ impl HamsterWorld {
     pub fn new(ham: Hamster) -> Self {
         Self { jia: models::jiajia::jia_init(ham) }
     }
+
+    /// The HAMSTER handle underneath the JiaJia adapter — for
+    /// monitoring and tracing around a benchmark run.
+    pub fn ham(&self) -> &Hamster {
+        self.jia.ham()
+    }
+
+    /// The JiaJia adapter binding itself (e.g. for its call counters).
+    pub fn jia(&self) -> &Jia {
+        &self.jia
+    }
 }
 
 impl World for HamsterWorld {

@@ -7,6 +7,7 @@
 //! every call, unified messaging layer on every message).
 //! Positive = slowdown under HAMSTER; negative = speedup.
 
+use bench::report::{write_report, Json};
 use bench::suite::{suite_hamster_repeat, suite_native_repeat, Sizes, ROWS};
 use bench::{bar, Args};
 use hamster_core::PlatformKind;
@@ -19,6 +20,31 @@ fn main() {
     let native = suite_native_repeat(args.nodes, sizes, repeat);
     eprintln!("running HAMSTER suite ({} nodes, best of {repeat})...", args.nodes);
     let ham = suite_hamster_repeat(args.nodes, PlatformKind::SwDsm, sizes, repeat);
+
+    let rows = ROWS
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let (n, h) = (native.secs[i], ham.secs[i]);
+            Json::obj([
+                ("benchmark", Json::str(*row)),
+                ("native_s", Json::num(n)),
+                ("hamster_s", Json::num(h)),
+                ("overhead_pct", Json::num((h - n) / n * 100.0)),
+            ])
+        })
+        .collect();
+    write_report(
+        "fig2",
+        &Json::obj([
+            ("figure", Json::str("fig2")),
+            ("title", Json::str("Overhead of execution with HAMSTER vs native SW-DSM")),
+            ("nodes", Json::int(args.nodes)),
+            ("quick", Json::Bool(args.quick)),
+            ("repeat", Json::int(repeat)),
+            ("rows", Json::Arr(rows)),
+        ]),
+    );
 
     if args.csv {
         println!("benchmark,native_s,hamster_s,overhead_pct");

@@ -2,6 +2,7 @@
 //! baseline (4 nodes). Same binaries, only the HAMSTER configuration
 //! (platform) changes. Positive = hybrid faster.
 
+use bench::report::{write_report, Json};
 use bench::suite::{suite_hamster, Sizes, ROWS};
 use bench::{bar, Args};
 use hamster_core::PlatformKind;
@@ -13,6 +14,30 @@ fn main() {
     let sw = suite_hamster(args.nodes, PlatformKind::SwDsm, sizes);
     eprintln!("running hybrid-DSM suite ({} nodes)...", args.nodes);
     let hy = suite_hamster(args.nodes, PlatformKind::HybridDsm, sizes);
+
+    let rows = ROWS
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let (s, h) = (sw.secs[i], hy.secs[i]);
+            Json::obj([
+                ("benchmark", Json::str(*row)),
+                ("swdsm_s", Json::num(s)),
+                ("hybrid_s", Json::num(h)),
+                ("advantage_pct", Json::num((s - h) / s * 100.0)),
+            ])
+        })
+        .collect();
+    write_report(
+        "fig3",
+        &Json::obj([
+            ("figure", Json::str("fig3")),
+            ("title", Json::str("Hybrid-DSM performance with SW-DSM as baseline")),
+            ("nodes", Json::int(args.nodes)),
+            ("quick", Json::Bool(args.quick)),
+            ("rows", Json::Arr(rows)),
+        ]),
+    );
 
     if args.csv {
         println!("benchmark,swdsm_s,hybrid_s,advantage_pct");

@@ -6,6 +6,7 @@
 //! two single-CPU nodes. Values are execution time normalized to the
 //! hardware DSM (100%); above 100% = slower than the SMP.
 
+use bench::report::{write_report, Json};
 use bench::suite::{suite_hamster, Sizes, ROWS};
 use bench::Args;
 use hamster_core::PlatformKind;
@@ -19,6 +20,32 @@ fn main() {
     let hy = suite_hamster(args.nodes, PlatformKind::HybridDsm, sizes);
     eprintln!("running software-DSM suite ({} nodes)...", args.nodes);
     let sw = suite_hamster(args.nodes, PlatformKind::SwDsm, sizes);
+
+    let rows = ROWS
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let (h, y, s) = (hw.secs[i], hy.secs[i], sw.secs[i]);
+            Json::obj([
+                ("benchmark", Json::str(*row)),
+                ("hw_s", Json::num(h)),
+                ("hybrid_s", Json::num(y)),
+                ("sw_s", Json::num(s)),
+                ("hybrid_pct", Json::num(y / h * 100.0)),
+                ("sw_pct", Json::num(s / h * 100.0)),
+            ])
+        })
+        .collect();
+    write_report(
+        "fig4",
+        &Json::obj([
+            ("figure", Json::str("fig4")),
+            ("title", Json::str("Hardware- vs Hybrid- vs Software-DSM, normalized to hardware")),
+            ("nodes", Json::int(args.nodes)),
+            ("quick", Json::Bool(args.quick)),
+            ("rows", Json::Arr(rows)),
+        ]),
+    );
 
     if args.csv {
         println!("benchmark,hw_s,hybrid_s,sw_s,hybrid_pct,sw_pct");

@@ -6,6 +6,7 @@
 //! cargo run -p bench --release --bin primitives
 //! ```
 
+use bench::report::{write_report, Json};
 use hamster_core::{ClusterConfig, Distribution, PlatformKind, Runtime};
 
 fn measure(platform: PlatformKind, nodes: usize) -> Vec<(&'static str, f64)> {
@@ -85,6 +86,29 @@ fn main() {
         [PlatformKind::Smp, PlatformKind::HybridDsm, PlatformKind::SwDsm];
     let all: Vec<Vec<(&str, f64)>> =
         platforms.iter().map(|&p| measure(p, nodes)).collect();
+
+    let rows = all[0]
+        .iter()
+        .enumerate()
+        .map(|(i, (name, smp_us))| {
+            Json::obj([
+                ("operation", Json::str(*name)),
+                ("smp_us", Json::num(*smp_us)),
+                ("hybrid_us", Json::num(all[1][i].1)),
+                ("swdsm_us", Json::num(all[2][i].1)),
+            ])
+        })
+        .collect();
+    write_report(
+        "primitives",
+        &Json::obj([
+            ("table", Json::str("primitives")),
+            ("title", Json::str("Primitive operation costs per platform (virtual us)")),
+            ("nodes", Json::int(nodes)),
+            ("rows", Json::Arr(rows)),
+        ]),
+    );
+
     println!(
         "{:<28} {:>14} {:>14} {:>14}",
         "operation", "SMP", "hybrid DSM", "software DSM"

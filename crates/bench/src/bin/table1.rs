@@ -1,17 +1,43 @@
 //! Table 1: benchmarks and their working sets.
 
+use bench::report::{write_report, Json};
+
+const BENCHES: [(&str, &str); 5] = [
+    ("Matrix Multiplication", "1024x1024 matrix"),
+    ("Computation of pi", "10M intervals"),
+    ("Successive Over Relaxation (SOR)", "1024x1024 matrix"),
+    ("LU Decomposition", "1024x1024 matrix"),
+    ("WATER (Molecular Simulation)", "288 / 343 molecules"),
+];
+
 fn main() {
+    write_report(
+        "table1",
+        &Json::obj([
+            ("table", Json::str("table1")),
+            ("title", Json::str("Benchmarks and their working sets")),
+            (
+                "rows",
+                Json::Arr(
+                    BENCHES
+                        .iter()
+                        .map(|(name, ws)| {
+                            Json::obj([
+                                ("benchmark", Json::str(*name)),
+                                ("working_set", Json::str(*ws)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    );
+
     println!("Table 1. Benchmarks and Their Working Sets");
     println!("{:-<58}", "");
     println!("{:<38} {:<20}", "Benchmark", "Working Set");
     println!("{:-<58}", "");
-    for (name, ws) in [
-        ("Matrix Multiplication", "1024x1024 matrix"),
-        ("Computation of pi", "10M intervals"),
-        ("Successive Over Relaxation (SOR)", "1024x1024 matrix"),
-        ("LU Decomposition", "1024x1024 matrix"),
-        ("WATER (Molecular Simulation)", "288 / 343 molecules"),
-    ] {
+    for (name, ws) in BENCHES {
         println!("{name:<38} {ws:<20}");
     }
     println!("{:-<58}", "");

@@ -3,6 +3,16 @@
 //! repository's actual adapter sources.
 
 use bench::loc::{count_model, ModelCount};
+use bench::report::{write_report, Json};
+
+fn model_row(m: &ModelCount) -> Json {
+    Json::obj([
+        ("model", Json::str(m.name)),
+        ("lines", Json::int(m.lines)),
+        ("api_calls", Json::int(m.api_calls)),
+        ("lines_per_call", Json::num(m.lines_per_call())),
+    ])
+}
 
 fn main() {
     let models: Vec<ModelCount> = vec![
@@ -18,6 +28,27 @@ fn main() {
     ];
     let support = count_model("(support: wait queues)", include_str!("../../../models/src/waitq.rs"));
     let omp = count_model("(extension: OpenMP-style)", include_str!("../../../models/src/omp.rs"));
+
+    let total_lines: usize = models.iter().map(|m| m.lines).sum();
+    let total_calls: usize = models.iter().map(|m| m.api_calls).sum();
+    write_report(
+        "table2",
+        &Json::obj([
+            ("table", Json::str("table2")),
+            ("title", Json::str("Implementation complexity of programming models using HAMSTER")),
+            ("rows", Json::Arr(models.iter().map(model_row).collect())),
+            (
+                "average",
+                Json::obj([
+                    ("lines", Json::int(total_lines / models.len())),
+                    ("api_calls", Json::int(total_calls / models.len())),
+                    ("lines_per_call", Json::num(total_lines as f64 / total_calls as f64)),
+                ]),
+            ),
+            ("support", model_row(&support)),
+            ("extension", model_row(&omp)),
+        ]),
+    );
 
     println!("Table 2. Implementation Complexity of Programming Models Using HAMSTER");
     println!("{:-<70}", "");

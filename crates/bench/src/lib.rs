@@ -17,8 +17,13 @@
 //! All numbers are *virtual* times from the simulated cluster (see
 //! DESIGN.md); shapes, not absolute values, are the reproduction
 //! target. Run with `--quick` for reduced working sets.
+//!
+//! Besides its pretty table each binary writes a machine-readable
+//! `BENCH_<name>.json` artifact into the current directory (see
+//! [`report`] and OBSERVABILITY.md).
 
 pub mod loc;
+pub mod report;
 pub mod suite;
 
 /// Parse the common CLI flags: `--quick` (reduced sizes) and

@@ -1,0 +1,203 @@
+//! Machine-readable JSON reports for the benchmark binaries.
+//!
+//! Every figure/table binary emits a `BENCH_<name>.json` file next to
+//! its pretty-printed table, so downstream tooling (CI artifact upload,
+//! plotting, regression tracking) never has to scrape stdout. The
+//! writer is hand-rolled — the harness runs fully offline, with no
+//! serde available — and produces deterministic, pretty-printed JSON.
+//!
+//! ```
+//! use bench::report::Json;
+//! let doc = Json::obj([
+//!     ("figure", Json::str("fig2")),
+//!     ("nodes", Json::int(4)),
+//!     ("rows", Json::Arr(vec![Json::obj([
+//!         ("benchmark", Json::str("MatMult")),
+//!         ("overhead_pct", Json::num(1.25)),
+//!     ])])),
+//! ]);
+//! let text = doc.pretty();
+//! assert!(text.contains("\"figure\": \"fig2\""));
+//! assert!(text.contains("\"overhead_pct\": 1.25"));
+//! ```
+
+use std::fmt::Write as _;
+
+/// A JSON value (the subset the reports need).
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (emitted without a decimal point).
+    Int(i64),
+    /// A float (emitted in Rust's shortest round-trip form; non-finite
+    /// values degrade to `null`, which JSON requires).
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved as built.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Shorthand for an integer value.
+    pub fn int(v: impl TryInto<i64>) -> Json {
+        Json::Int(v.try_into().unwrap_or(i64::MAX))
+    }
+
+    /// Shorthand for a float value.
+    pub fn num(v: f64) -> Json {
+        Json::Num(v)
+    }
+
+    /// Build an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Pretty-print with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Num(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    pad(out, indent + 1);
+                    escape_into(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Write `doc` to `BENCH_<name>.json` in the current directory and
+/// note the path on stderr. Panics (with the I/O error) on failure —
+/// a benchmark run whose artifact cannot be saved should not look
+/// successful.
+pub fn write_report(name: &str, doc: &Json) {
+    let path = format!("BENCH_{name}.json");
+    std::fs::write(&path, doc.pretty())
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Bool(true).pretty(), "true\n");
+        assert_eq!(Json::int(42u64).pretty(), "42\n");
+        assert_eq!(Json::num(1.5).pretty(), "1.5\n");
+        assert_eq!(Json::num(f64::NAN).pretty(), "null\n");
+        assert_eq!(Json::str("a\"b\\c\n").pretty(), "\"a\\\"b\\\\c\\n\"\n");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]\n");
+        assert_eq!(Json::obj(Vec::<(&str, Json)>::new()).pretty(), "{}\n");
+    }
+
+    #[test]
+    fn object_preserves_order_and_indents() {
+        let doc = Json::obj([
+            ("b", Json::int(1u64)),
+            ("a", Json::Arr(vec![Json::str("x")])),
+        ]);
+        let text = doc.pretty();
+        assert_eq!(text, "{\n  \"b\": 1,\n  \"a\": [\n    \"x\"\n  ]\n}\n");
+        assert!(text.find("\"b\"").unwrap() < text.find("\"a\"").unwrap());
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let text = Json::str("\u{1}").pretty();
+        assert_eq!(text, "\"\\u0001\"\n");
+    }
+
+    #[test]
+    fn exported_reports_parse_as_chrome_trace_rejects() {
+        // Sanity-check against the independent parser in hamster-core:
+        // a bench report is valid JSON but NOT a Chrome trace, so the
+        // validator must parse it fine and then reject the schema.
+        let doc = Json::obj([("rows", Json::Arr(vec![]))]);
+        let err = hamster_core::validate_chrome_trace(&doc.pretty());
+        assert!(err.is_err());
+    }
+}

@@ -46,7 +46,7 @@ impl Cluster {
             .build();
         let clocks = (0..config.nodes).map(|_| VirtualClock::starting_at(STARTUP_NS)).collect();
         let buses = (0..config.nodes)
-            .map(|_| Arc::new(Bus::with_bandwidth(config.cost.machine.mem_bus_bytes_per_sec)))
+            .map(|n| Arc::new(Bus::with_bandwidth(config.cost.machine.mem_bus_bytes_per_sec).for_node(n)))
             .collect();
         let registry = Arc::new(Registry::from_config(&config));
         Self { config, network, clocks, buses, registry }

@@ -36,17 +36,30 @@ impl NodeCore {
         self.runtime.upgrade().expect("HAMSTER runtime torn down")
     }
 
-    /// Record a trace event (no-op unless tracing was started).
+    /// Record a trace event. Feeds both the node-local [`Tracer`] (when
+    /// the application started it) and the process-global
+    /// [`sim::trace`] session (when an external tool opened one); a
+    /// no-op costing two atomic loads otherwise.
     #[inline]
     pub fn trace(&self, module: &'static str, op: &'static str, arg: u64) {
-        if self.tracer.is_enabled() {
-            self.tracer.record(TraceEvent {
-                t_ns: self.platform.ctx().clock().now(),
-                node: self.platform.rank(),
-                module,
-                op,
-                arg,
-            });
+        let local = self.tracer.is_enabled();
+        let global = sim::trace::enabled();
+        if !local && !global {
+            return;
+        }
+        let ev = TraceEvent {
+            t_ns: self.platform.ctx().clock().now(),
+            dur_ns: 0,
+            node: self.platform.rank(),
+            module,
+            op,
+            arg,
+        };
+        if local {
+            self.tracer.record(ev);
+        }
+        if global {
+            sim::trace::emit(ev);
         }
     }
 }

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! # HAMSTER — the Hybrid-dsm based Adaptive and Modular Shared memory
 //! archiTEctuRe
 //!
@@ -56,7 +56,11 @@ pub use mixed::EngineHint;
 pub use platform::{Platform, PlatformCaps};
 pub use runtime::{run_spmd, Runtime};
 pub use task_mgmt::{TaskHandle, TaskMgmt};
-pub use trace::{merge_timelines, TraceEvent, Tracer};
+pub use timing::{PhaseAccumulator, PhaseTimer, Timer};
+pub use trace::{
+    chrome_trace_json, gantt_summary, merge_timelines, validate_chrome_trace, TraceEvent,
+    TraceSession, Tracer,
+};
 
 // Re-exported so programming models and applications need only this
 // crate for common vocabulary.

@@ -4,6 +4,24 @@
 //! the underlying architecture provides, and exposes query/reset
 //! services. Tools, run-time systems, or the application itself can read
 //! them — architecture- and programming-model-independently.
+//!
+//! ```
+//! use hamster_core::{ClusterConfig, PlatformKind, Runtime};
+//!
+//! let rt = Runtime::new(ClusterConfig::new(2, PlatformKind::Smp));
+//! let (_, counts) = rt.run(|ham| {
+//!     let r = ham.mem().alloc_default(64).unwrap();
+//!     ham.sync().barrier(1);
+//!     ham.mem().write_u64(r.addr(), 7);
+//!     ham.sync().barrier(2);
+//!     // The query service: one module at a time, per node.
+//!     ham.monitor().query("mem")["writes"]
+//! });
+//! assert!(counts.iter().all(|&w| w >= 1));
+//! ```
+//!
+//! (The full counter vocabulary of every layer is catalogued in the
+//! repository's `OBSERVABILITY.md`.)
 
 use sim::StatSet;
 use std::collections::BTreeMap;

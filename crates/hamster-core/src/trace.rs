@@ -1,32 +1,57 @@
-//! Event tracing: a virtual-time-stamped record of HAMSTER service
-//! activity, for external tools.
+//! Event tracing: a virtual-time-stamped record of HAMSTER service and
+//! protocol activity, plus exporters for external tools.
 //!
-//! Counters (paper §4.3) aggregate; traces *order*. A per-node ring
-//! buffer records `(virtual time, module, operation, argument)` for
-//! every traced service call while tracing is enabled, cheap enough to
-//! leave compiled in (one atomic load when disabled). Merged across
-//! nodes, the trace is a cluster-wide timeline — the hook an external
-//! monitoring or visualization tool attaches to.
+//! Counters (paper §4.3) aggregate; traces *order*. Two collection
+//! mechanisms share one event type ([`TraceEvent`], re-exported from
+//! [`sim::trace`]):
+//!
+//! * the per-node [`Tracer`] ring buffer, started and drained through
+//!   [`crate::Hamster::tracer`] — the application-visible hook an
+//!   external monitoring tool attaches to (see `examples/trace_tool.rs`);
+//! * the process-global [`TraceSession`], which additionally captures
+//!   events from the layers *below* the HAMSTER interface — page faults,
+//!   diffs and write notices in the software DSM, SCI transactions in
+//!   the hybrid DSM, interconnect requests, and bus-window stalls —
+//!   stamped with the emitting node and virtual time.
+//!
+//! A finished timeline renders to Chrome's `trace_event` JSON format
+//! ([`chrome_trace_json`], loadable in `chrome://tracing` or Perfetto)
+//! or to a plain-text per-node Gantt chart ([`gantt_summary`]).
+//!
+//! ```
+//! use hamster_core::trace::{chrome_trace_json, validate_chrome_trace, TraceEvent};
+//!
+//! let events = [TraceEvent {
+//!     t_ns: 1_500, dur_ns: 800, node: 0, module: "swdsm", op: "page_fault", arg: 4096,
+//! }];
+//! let json = chrome_trace_json(&events);
+//! assert_eq!(validate_chrome_trace(&json).unwrap(), 1);
+//! ```
 
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 
-/// One traced service call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TraceEvent {
-    /// Virtual time of the call (ns).
-    pub t_ns: u64,
-    /// Node that issued it.
-    pub node: usize,
-    /// HAMSTER module ("mem", "sync", "cons", "task", "cluster").
-    pub module: &'static str,
-    /// Operation ("lock", "barrier", "alloc", …).
-    pub op: &'static str,
-    /// Operation argument (lock id, barrier id, address, byte count…).
-    pub arg: u64,
-}
+pub use sim::trace::{TraceEvent, TraceSession};
 
 /// Per-node trace buffer (bounded; oldest events are dropped first).
+///
+/// ```
+/// use hamster_core::{ClusterConfig, PlatformKind, Runtime};
+///
+/// let rt = Runtime::new(ClusterConfig::new(2, PlatformKind::Smp));
+/// let (_report, timelines) = rt.run(|ham| {
+///     ham.tracer().start();
+///     ham.sync().lock(3);
+///     ham.sync().unlock(3);
+///     ham.sync().barrier(0);
+///     ham.tracer().stop();
+///     ham.tracer().take()
+/// });
+/// let merged = hamster_core::merge_timelines(timelines);
+/// assert!(merged.iter().any(|e| e.module == "sync" && e.op == "lock"));
+/// ```
 pub struct Tracer {
     enabled: AtomicBool,
     events: Mutex<Vec<TraceEvent>>,
@@ -95,12 +120,414 @@ pub fn merge_timelines(per_node: Vec<Vec<TraceEvent>>) -> Vec<TraceEvent> {
     all
 }
 
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Nanoseconds rendered as a microsecond decimal (Chrome's `ts` unit)
+/// without going through floating point.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Render a timeline to Chrome `trace_event` JSON (the "JSON Array
+/// Format" with a `traceEvents` wrapper), loadable in `chrome://tracing`
+/// or [Perfetto](https://ui.perfetto.dev).
+///
+/// Mapping: each simulated node becomes a process (`pid` = node, named
+/// via metadata events), each emitting module a thread within it. Span
+/// events (`dur_ns > 0`) render as complete slices (`ph: "X"`); instant
+/// events as thread-scoped instants (`ph: "i"`). The event argument is
+/// preserved under `args.arg`.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    // Stable (node, module) -> tid assignment in order of appearance.
+    let mut tids: BTreeMap<(usize, &'static str), u64> = BTreeMap::new();
+    for ev in events {
+        let next = tids.len() as u64;
+        tids.entry((ev.node, ev.module)).or_insert(next);
+    }
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let push_sep = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+    };
+    // Metadata: name processes after nodes and threads after modules so
+    // the timeline reads "node 0 / swdsm", "node 0 / sync", ...
+    let mut nodes_named: Vec<usize> = Vec::new();
+    for (&(node, module), &tid) in &tids {
+        if !nodes_named.contains(&node) {
+            nodes_named.push(node);
+            push_sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{node},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"node {node}\"}}}}"
+            );
+        }
+        push_sep(&mut out, &mut first);
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":{node},\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\""
+        ));
+        escape_json(module, &mut out);
+        out.push_str("\"}}");
+    }
+    for ev in events {
+        let tid = tids[&(ev.node, ev.module)];
+        push_sep(&mut out, &mut first);
+        out.push_str("{\"name\":\"");
+        escape_json(ev.op, &mut out);
+        out.push_str("\",\"cat\":\"");
+        escape_json(ev.module, &mut out);
+        out.push('"');
+        let _ = write!(out, ",\"pid\":{},\"tid\":{},\"ts\":{}", ev.node, tid, us(ev.t_ns));
+        if ev.dur_ns > 0 {
+            let _ = write!(out, ",\"ph\":\"X\",\"dur\":{}", us(ev.dur_ns));
+        } else {
+            out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+        }
+        let _ = write!(out, ",\"args\":{{\"arg\":{}}}}}", ev.arg);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render a timeline as a plain-text per-node Gantt summary, `width`
+/// columns wide. One row per `(node, module)` lane; span events fill
+/// their bucket range with `#`, instants mark a single bucket with `.`
+/// (`:` where both overlap). Rows are grouped by node with a final
+/// event-count column.
+pub fn gantt_summary(events: &[TraceEvent], width: usize) -> String {
+    let width = width.max(10);
+    let end_ns = events.iter().map(|e| e.t_ns + e.dur_ns).max().unwrap_or(0).max(1);
+    let bucket = |ns: u64| -> usize {
+        ((ns as u128 * width as u128 / end_ns as u128) as usize).min(width - 1)
+    };
+    let mut lanes: BTreeMap<(usize, &'static str), (Vec<u8>, usize)> = BTreeMap::new();
+    for ev in events {
+        let (row, count) = lanes
+            .entry((ev.node, ev.module))
+            .or_insert_with(|| (vec![b' '; width], 0));
+        *count += 1;
+        if ev.dur_ns > 0 {
+            for cell in &mut row[bucket(ev.t_ns)..=bucket(ev.t_ns + ev.dur_ns)] {
+                *cell = if *cell == b'.' || *cell == b':' { b':' } else { b'#' };
+            }
+        } else {
+            let cell = &mut row[bucket(ev.t_ns)];
+            *cell = match *cell {
+                b'#' | b':' => b':',
+                _ => b'.',
+            };
+        }
+    }
+    let label_w = lanes
+        .keys()
+        .map(|(n, m)| format!("node{n} {m}").len())
+        .max()
+        .unwrap_or(0)
+        .max(8);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:label_w$} |{:width$}| events   (0 .. {:.3} ms)",
+        "lane",
+        "",
+        end_ns as f64 / 1e6
+    );
+    let mut last_node = usize::MAX;
+    for ((node, module), (row, count)) in &lanes {
+        if *node != last_node && last_node != usize::MAX {
+            let _ = writeln!(out, "{:label_w$} |{}|", "", "-".repeat(width));
+        }
+        last_node = *node;
+        let _ = writeln!(
+            out,
+            "{:label_w$} |{}| {count}",
+            format!("node{node} {module}"),
+            String::from_utf8_lossy(row)
+        );
+    }
+    out
+}
+
+/// Check that `json` is well-formed JSON in Chrome's `trace_event`
+/// "JSON Object Format": a root object whose `traceEvents` member is an
+/// array of event objects each carrying `ph`, `pid`, `tid` and `name`,
+/// with `ts` (and `dur` for complete events) on every non-metadata
+/// event. Returns the number of non-metadata events.
+pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    let root = mini_json::parse(json)?;
+    let obj = root.as_object().ok_or("root is not an object")?;
+    let events = obj
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+    let mut n = 0;
+    for (i, ev) in events.iter().enumerate() {
+        let ev = ev.as_object().ok_or_else(|| format!("event {i} is not an object"))?;
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i} missing ph"))?;
+        for key in ["pid", "tid", "name"] {
+            if !ev.contains_key(key) {
+                return Err(format!("event {i} missing {key}"));
+            }
+        }
+        if ph == "M" {
+            continue;
+        }
+        if !ev.get("ts").is_some_and(|v| v.is_number()) {
+            return Err(format!("event {i} missing numeric ts"));
+        }
+        if ph == "X" && !ev.get("dur").is_some_and(|v| v.is_number()) {
+            return Err(format!("complete event {i} missing numeric dur"));
+        }
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// A minimal recursive-descent JSON reader, enough to validate exported
+/// traces and read benchmark reports back in tests. Not exposed beyond
+/// what [`validate_chrome_trace`] needs; numbers are kept as `f64`.
+mod mini_json {
+    use std::collections::BTreeMap;
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any JSON number.
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object.
+        Obj(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Obj(m) => Some(m),
+                _ => None,
+            }
+        }
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn is_number(&self) -> bool {
+            matches!(self, Value::Num(_))
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let b = s.as_bytes();
+        let mut pos = 0;
+        let v = value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {pos}", c as char))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+            Some(b't') => literal(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => literal(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => literal(b, pos, "null", Value::Null),
+            Some(_) => number(b, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {pos}"))
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut map = BTreeMap::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = string(b, pos)?;
+            skip_ws(b, pos);
+            expect(b, pos, b':')?;
+            map.insert(key, value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+            }
+        }
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+            }
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        while let Some(&c) = b.get(*pos) {
+            *pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                    *pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = b
+                                .get(*pos..*pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            *pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {pos}")),
+                    }
+                }
+                c => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    if c < 0x80 {
+                        out.push(c as char);
+                    } else {
+                        let start = *pos - 1;
+                        let len = match c {
+                            0xc0..=0xdf => 2,
+                            0xe0..=0xef => 3,
+                            _ => 4,
+                        };
+                        let chunk = b.get(start..start + len).ok_or("truncated UTF-8")?;
+                        out.push_str(
+                            std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8")?,
+                        );
+                        *pos = start + len;
+                    }
+                }
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len()
+            && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn ev(t: u64, node: usize, op: &'static str) -> TraceEvent {
-        TraceEvent { t_ns: t, node, module: "sync", op, arg: 0 }
+        TraceEvent { t_ns: t, dur_ns: 0, node, module: "sync", op, arg: 0 }
     }
 
     #[test]
@@ -142,5 +569,59 @@ mod tests {
         ]);
         let key: Vec<(u64, usize)> = merged.iter().map(|e| (e.t_ns, e.node)).collect();
         assert_eq!(key, vec![(1, 1), (5, 0), (5, 1), (10, 0)]);
+    }
+
+    #[test]
+    fn chrome_export_validates_and_counts() {
+        let events = vec![
+            TraceEvent { t_ns: 100, dur_ns: 50, node: 0, module: "swdsm", op: "page_fault", arg: 7 },
+            TraceEvent { t_ns: 180, dur_ns: 0, node: 1, module: "sync", op: "lock_grant", arg: 3 },
+        ];
+        let json = chrome_trace_json(&events);
+        assert_eq!(validate_chrome_trace(&json).unwrap(), 2);
+        // Span became a complete event with its µs-scaled timestamps.
+        assert!(json.contains("\"ph\":\"X\",\"dur\":0.050"));
+        assert!(json.contains("\"ts\":0.100"));
+        // Both lanes got thread-name metadata.
+        assert!(json.contains("\"name\":\"swdsm\""));
+        assert!(json.contains("\"name\":\"sync\""));
+    }
+
+    #[test]
+    fn validator_rejects_malformed() {
+        assert!(validate_chrome_trace("{").is_err());
+        assert!(validate_chrome_trace("{\"x\":1}").is_err());
+        assert!(
+            validate_chrome_trace("{\"traceEvents\":[{\"pid\":0}]}")
+                .unwrap_err()
+                .contains("missing ph")
+        );
+        // Complete event without dur.
+        let bad = "{\"traceEvents\":[{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"name\":\"x\",\"ts\":1}]}";
+        assert!(validate_chrome_trace(bad).unwrap_err().contains("dur"));
+    }
+
+    #[test]
+    fn gantt_has_one_lane_per_node_module() {
+        let events = vec![
+            TraceEvent { t_ns: 0, dur_ns: 400, node: 0, module: "phase", op: "compute", arg: 0 },
+            TraceEvent { t_ns: 500, dur_ns: 0, node: 0, module: "sync", op: "barrier", arg: 0 },
+            TraceEvent { t_ns: 200, dur_ns: 100, node: 1, module: "phase", op: "compute", arg: 0 },
+        ];
+        let text = gantt_summary(&events, 40);
+        assert!(text.contains("node0 phase"));
+        assert!(text.contains("node0 sync"));
+        assert!(text.contains("node1 phase"));
+        assert!(text.contains('#'));
+        assert!(text.contains('.'));
+    }
+
+    #[test]
+    fn mini_json_roundtrips_escapes() {
+        let v = mini_json::parse("{\"a\\n\": [1, -2.5e2, \"\\u0041ß\", true, null]}").unwrap();
+        let obj = v.as_object().unwrap();
+        let arr = obj.get("a\n").unwrap().as_array().unwrap();
+        assert_eq!(arr[2].as_str(), Some("Aß"));
+        assert!(arr[1].is_number());
     }
 }

@@ -155,6 +155,15 @@ impl HybridNode {
         self.dsm.stats[self.rank].add(name, n);
     }
 
+    /// Emit an SCI transaction span `[t0, now]` into the global trace.
+    #[inline]
+    fn trace_span(&self, t0: u64, op: &'static str, arg: u64) {
+        if sim::trace::enabled() {
+            let now = self.ctx.clock().now();
+            sim::trace::span(t0, now.saturating_sub(t0), self.rank, "hybriddsm", op, arg);
+        }
+    }
+
     // ---- allocation ------------------------------------------------------
 
     /// Collective allocation (same lockstep contract as the software
@@ -234,16 +243,20 @@ impl HybridNode {
             self.charge_local(len);
         } else if len <= 64 {
             self.stat("remote_reads", 1);
+            let t0 = self.ctx.clock().now();
             self.ctx.compute(a.remote_read_ns);
+            self.trace_span(t0, "sci_read", len as u64);
         } else {
             self.stat("remote_reads", 1);
             let missed_bytes = (missed_lines * 64).min(len as u64) as usize;
             self.stat("bulk_bytes", missed_bytes as u64);
+            let t0 = self.ctx.clock().now();
             self.ctx.compute(
                 a.bulk_setup_ns
                     + transfer_ns(missed_bytes, a.bulk_bytes_per_sec)
                     + self.dsm.machine.local_access_ns * (lines - missed_lines),
             );
+            self.trace_span(t0, "sci_bulk_read", missed_bytes as u64);
         }
     }
 
@@ -255,11 +268,15 @@ impl HybridNode {
         } else if len <= 64 {
             self.stat("remote_writes", 1);
             self.pending_writes.fetch_add(1, Ordering::Relaxed);
+            let t0 = self.ctx.clock().now();
             self.ctx.compute(a.remote_write_ns);
+            self.trace_span(t0, "sci_write", len as u64);
         } else {
             self.stat("remote_writes", 1);
             self.stat("bulk_bytes", len as u64);
+            let t0 = self.ctx.clock().now();
             self.ctx.compute(a.bulk_setup_ns + transfer_ns(len, a.bulk_bytes_per_sec));
+            self.trace_span(t0, "sci_bulk_write", len as u64);
         }
     }
 
@@ -294,7 +311,9 @@ impl HybridNode {
         if pending > 0 {
             self.stat("flushes", 1);
             let a = &self.dsm.cfg.access;
+            let t0 = self.ctx.clock().now();
             self.ctx.compute((pending * a.flush_per_write_ns).min(a.flush_max_ns));
+            self.trace_span(t0, "flush", pending);
         }
     }
 

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! Simulated cluster interconnect with virtual-time cost accounting.
 //!
 //! This crate stands in for the paper's physical networks (switched Fast

@@ -192,12 +192,21 @@ fn daemon_loop(node: NodeId, rx: Receiver<Envelope>, shared: Arc<NetShared>) {
                         continue;
                     }
                 };
-                let end = if out.extra_ns > 0 {
+                let served = if out.extra_ns > 0 {
                     shared.servers[node].transfer(end0, out.extra_ns)
                 } else {
                     end0
+                };
+                let end = served.max(out.not_before_ns);
+                if sim::trace::enabled() {
+                    sim::trace::span(arrive_ns, served - arrive_ns, node, "net", "handler", kind as u64);
+                    if end > served {
+                        // The protocol handler imposed a release floor
+                        // (e.g. a lock grant not valid before the
+                        // holder's release time): the reply stalls here.
+                        sim::trace::span(served, end - served, node, "net", "not_before", end);
+                    }
                 }
-                .max(out.not_before_ns);
                 if let Some(tx) = reply {
                     let (payload, wire_bytes) = out
                         .reply
@@ -350,6 +359,10 @@ impl NodePort {
         let back = self.shared.wire_arrival(dst, self.node, rep.ready_ns, rep.wire_bytes);
         self.clock.advance_to(back);
         self.clock.advance(self.shared.recv_eff_ns);
+        if sim::trace::enabled() {
+            let t0 = depart - self.shared.send_eff_ns;
+            sim::trace::span(t0, self.clock.now() - t0, self.node, "net", "request", kind as u64);
+        }
         rep.payload
     }
 
@@ -362,6 +375,8 @@ impl NodePort {
         &self,
         msgs: Vec<(NodeId, u32, T, u64)>,
     ) -> Vec<Payload> {
+        let t0 = self.clock.now();
+        let n_msgs = msgs.len() as u64;
         let mut pending = Vec::with_capacity(msgs.len());
         for (dst, kind, value, wire_bytes) in msgs {
             self.shared.stats.add("requests", 1);
@@ -389,6 +404,9 @@ impl NodePort {
             out.push(rep.payload);
         }
         self.clock.advance_to(latest);
+        if sim::trace::enabled() && n_msgs > 0 {
+            sim::trace::span(t0, self.clock.now() - t0, self.node, "net", "request_batch", n_msgs);
+        }
         out
     }
 
@@ -399,6 +417,7 @@ impl NodePort {
         self.shared.stats.add("bytes", wire_bytes);
         let depart = self.clock.advance(self.shared.send_eff_ns);
         let arrive_ns = self.shared.wire_arrival(self.node, dst, depart, wire_bytes);
+        sim::trace::instant(depart, self.node, "net", "post", kind as u64);
         self.shared.inboxes[dst]
             .send(Envelope::User {
                 src: self.node,

@@ -1,0 +1,53 @@
+//! Adapter-level monitoring: runtime call counters for the Table 2
+//! experiment.
+//!
+//! Table 2 counts each programming-model adapter's *implemented* API
+//! calls statically; this module adds the dynamic side — how many times
+//! a running application actually crossed the adapter, per node. The
+//! counter sits in the adapter itself (above the HAMSTER interface), so
+//! the figure is comparable across platforms: the same program on SMP,
+//! hybrid DSM, and software DSM must report the same `api_calls`.
+
+use sim::StatSet;
+
+/// Per-binding call counters for one programming-model adapter.
+///
+/// ```
+/// let s = models::adapter::AdapterStats::new();
+/// s.count();
+/// s.count();
+/// assert_eq!(s.api_calls(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdapterStats {
+    set: StatSet,
+}
+
+impl Default for AdapterStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AdapterStats {
+    /// Fresh counters (all zero).
+    pub fn new() -> Self {
+        Self { set: StatSet::new(&["api_calls"]) }
+    }
+
+    /// Record one crossing of the adapter's API surface.
+    #[inline]
+    pub fn count(&self) {
+        self.set.add("api_calls", 1);
+    }
+
+    /// Number of API calls recorded so far.
+    pub fn api_calls(&self) -> u64 {
+        self.set.get("api_calls")
+    }
+
+    /// The underlying counter set (for uniform monitoring queries).
+    pub fn set(&self) -> &StatSet {
+        &self.set
+    }
+}

@@ -23,6 +23,7 @@
 //! code and exported API calls with the paper's comment-stripping
 //! methodology.
 
+pub mod adapter;
 pub mod anl;
 pub mod hlrc;
 pub mod jiajia;

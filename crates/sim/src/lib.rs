@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! Virtual-time substrate for the HAMSTER reproduction.
 //!
 //! The paper evaluates HAMSTER on a four-node dual-Xeon cluster with both
@@ -16,13 +16,17 @@
 //! * [`CostModel`] / [`LinkCost`] — interconnect and machine constants.
 //! * [`stats`] — named atomic counters backing HAMSTER's per-module
 //!   performance monitoring (paper §4.3).
+//! * [`trace`] — the process-global structured event sink every layer
+//!   above emits into while a trace session is open.
 
 pub mod clock;
 pub mod cost;
 pub mod server;
 pub mod stats;
+pub mod trace;
 
 pub use clock::VirtualClock;
 pub use cost::{CostModel, LinkCost, MachineCost, SciAccessCost};
 pub use server::{Bus, Server};
 pub use stats::{Counter, StatSet};
+pub use trace::{TraceEvent, TraceSession};

@@ -77,12 +77,15 @@ impl Server {
 pub struct Bus {
     ns_per_byte_x1024: u64,
     window_ns: u64,
+    /// Node this bus belongs to, for trace attribution.
+    node: usize,
     /// Window index → bytes of demand registered in that window.
     windows: parking_lot::Mutex<std::collections::HashMap<u64, u64>>,
 }
 
 impl Bus {
-    /// A bus with the given bandwidth in bytes per second.
+    /// A bus with the given bandwidth in bytes per second, attributed
+    /// to node 0 in traces (see [`Bus::for_node`]).
     pub fn with_bandwidth(bytes_per_sec: u64) -> Self {
         assert!(bytes_per_sec > 0, "bus bandwidth must be positive");
         // ns per byte = 1e9 / B, stored in 1/1024ths for precision.
@@ -90,8 +93,15 @@ impl Bus {
         Self {
             ns_per_byte_x1024,
             window_ns: 1_000_000,
+            node: 0,
             windows: parking_lot::Mutex::new(std::collections::HashMap::new()),
         }
+    }
+
+    /// Attribute this bus's trace events (window stalls) to `node`.
+    pub fn for_node(mut self, node: usize) -> Self {
+        self.node = node;
+        self
     }
 
     /// Bytes one window can carry at full bandwidth.
@@ -124,7 +134,13 @@ impl Bus {
         // insensitive to window-boundary alignment.
         let factor_x64 =
             ((total_demand * 64) / (span as u128 * capacity as u128)).max(64) as u64;
-        arrive + (base as u128 * factor_x64 as u128 / 64) as u64
+        let done = arrive + (base as u128 * factor_x64 as u128 / 64) as u64;
+        // Observability: a contended window stretched this transfer
+        // beyond its bandwidth-limited duration — a bus-window stall.
+        if factor_x64 > 64 && crate::trace::enabled() {
+            crate::trace::span(arrive, done - arrive, self.node, "bus", "stall", done - arrive - base);
+        }
+        done
     }
 
     /// Pure transfer duration for `bytes`, without contention.

@@ -304,6 +304,10 @@ impl SwDsm {
                 let req = downcast::<LockReq>(p);
                 match mgr.lock().acquire_mode(req.lock, src, req.mode, ctx.now) {
                     Acquire::Granted(notices, not_before) => {
+                        // The grant carries its validity floor: the
+                        // requester may not proceed before `not_before`
+                        // (the current holder's release time).
+                        sim::trace::instant(ctx.now.max(not_before), node, "swdsm", "lock_grant", not_before);
                         let bytes = notices_wire_bytes(&notices);
                         Outcome::reply_not_before(
                             LockReply::Granted(notices),
@@ -325,6 +329,7 @@ impl SwDsm {
                 for (next, notices) in
                     mgr.lock().release(rel.lock, rel.releaser, rel.interval, ctx.now)
                 {
+                    sim::trace::instant(ctx.now, node, "swdsm", "lock_grant", rel.lock as u64);
                     let bytes = notices_wire_bytes(&notices);
                     ctx.post(next, kinds::LOCK_GRANT, LockGrant { lock: rel.lock, notices }, bytes);
                 }
@@ -364,6 +369,9 @@ impl SwDsm {
                     // last writer, whose copy is already current — only
                     // the directory entries ride the release broadcast.
                     let moved = dsm.apply_migrations();
+                    // The release is stamped with its `not_before`
+                    // floor: no participant resumes before release_ns.
+                    sim::trace::instant(release_ns, node, "swdsm", "barrier_release", arr.id as u64);
                     let rel = BarrierRelease { id: arr.id, epoch, intervals };
                     let bytes = rel.wire_bytes() + moved * 16;
                     for dst in 0..dsm.nodes {
@@ -474,6 +482,15 @@ impl DsmNode {
 
     fn stat(&self, name: &str, n: u64) {
         self.dsm.stats[self.rank].add(name, n);
+    }
+
+    /// Emit a protocol span `[t0, now]` into the global trace session.
+    #[inline]
+    fn trace_span(&self, t0: u64, op: &'static str, arg: u64) {
+        if sim::trace::enabled() {
+            let now = self.ctx.clock().now();
+            sim::trace::span(t0, now.saturating_sub(t0), self.rank, "swdsm", op, arg);
+        }
     }
 
     fn machine(&self) -> &MachineCost {
@@ -641,6 +658,7 @@ impl DsmNode {
                 // Write fault on a read-only copy: trap + twin.
                 self.stat("traps", 1);
                 self.stat("twins", 1);
+                sim::trace::instant(self.ctx.clock().now(), self.rank, "swdsm", "write_fault", page.pack());
                 self.ctx.compute(self.dsm.cfg.fault_trap_ns + self.dsm.cfg.twin_ns);
                 p.make_writable();
             }
@@ -657,6 +675,7 @@ impl DsmNode {
     }
 
     fn fetch_page(&self, page: PageId) {
+        let t0 = self.ctx.clock().now();
         self.stat("traps", 1);
         self.stat("getpages", 1);
         self.ctx.compute(self.dsm.cfg.fault_trap_ns);
@@ -665,6 +684,7 @@ impl DsmNode {
         let reply = self.ctx.port().request(home, kinds::GET_PAGE, GetPage { page }, 24);
         let data = downcast::<PageData>(reply);
         self.table.lock().install(page, CachedPage::read_only(data.bytes));
+        self.trace_span(t0, "page_fault", page.pack());
     }
 
     /// Enforce the page-cache bound before installing a new page: drop
@@ -698,6 +718,7 @@ impl DsmNode {
     /// Push this interval's modifications home and return the interval's
     /// write notices. Called at every release point (unlock, barrier).
     fn flush_interval(&self) -> Interval {
+        let t0 = self.ctx.clock().now();
         let dirty = {
             let table = self.table.lock();
             table.writable_pages()
@@ -759,6 +780,7 @@ impl DsmNode {
                 let _acks = self.ctx.port().request_batch(msgs);
             }
         }
+        self.trace_span(t0, "diff_flush", dirty.len() as u64);
         interval
     }
 
@@ -789,10 +811,15 @@ impl DsmNode {
         stale.dedup();
         self.flush_dirty_subset(&stale);
         let mut table = self.table.lock();
+        let mut dropped = 0u64;
         for page in stale {
             if table.invalidate(page) {
                 self.stat("invalidations", 1);
+                dropped += 1;
             }
+        }
+        if dropped > 0 {
+            sim::trace::instant(self.ctx.clock().now(), self.rank, "swdsm", "write_notice", dropped);
         }
     }
 
@@ -857,6 +884,7 @@ impl DsmNode {
     }
 
     fn acquire_mode(&self, lock: u32, mode: crate::lockmgr::Mode) {
+        let t0 = self.ctx.clock().now();
         self.stat("lock_acquires", 1);
         let mgr = lock as usize % self.dsm.nodes;
         let reply = self.ctx.port().request(mgr, kinds::LOCK_REQ, LockReq { lock, mode }, 16);
@@ -875,6 +903,7 @@ impl DsmNode {
         } else {
             self.invalidate_all_cached();
         }
+        self.trace_span(t0, "lock_acquire", lock as u64);
     }
 
     /// Release global lock `lock`, publishing this interval's writes.
@@ -890,6 +919,7 @@ impl DsmNode {
     /// Global barrier `id`: flushes the interval, exchanges write
     /// notices, and invalidates what others wrote.
     pub fn barrier(&self, id: u32) {
+        let t0 = self.ctx.clock().now();
         self.stat("barriers", 1);
         let mut interval = std::mem::take(&mut *self.epoch_mods.lock());
         interval.merge(&self.flush_interval());
@@ -915,6 +945,7 @@ impl DsmNode {
                 self.apply_notices(&notices);
             }
         }
+        self.trace_span(t0, "barrier", id as u64);
     }
 
     /// Dissemination barrier: after round r every node knows the

@@ -110,6 +110,72 @@ fn external_monitor_can_watch_without_cooperation() {
 }
 
 #[test]
+fn traced_sor_run_covers_all_modules_and_exports_chrome_json() {
+    // The full observability story in one run: a 2-node SOR benchmark
+    // through the JiaJia adapter on the software DSM, with the global
+    // trace session open. Afterwards (a) every one of the five
+    // management modules has counted work, and (b) the collected
+    // timeline exports to schema-valid Chrome trace JSON.
+    use hamster::apps::world::run_hamster;
+    use hamster::core::{chrome_trace_json, validate_chrome_trace};
+
+    let session = hamster::sim::trace::TraceSession::begin();
+    let cfg = ClusterConfig::new(2, PlatformKind::SwDsm);
+    let (report, snaps) = run_hamster(&cfg, |w| {
+        let r = hamster::apps::sor::sor(w, 32, 4, false);
+        assert_ne!(r.checksum, 0);
+        let ham = w.ham();
+        // SOR exercises mem and cons; touch the remaining modules so
+        // all five stat sets see protocol work in the same run.
+        ham.sync().barrier(9);
+        let _ = ham.cluster().nodes();
+        if ham.task().rank() == 0 {
+            let t = ham.task().remote_exec(1, |_| {});
+            ham.task().join(t);
+        }
+        ham.sync().barrier(10);
+        (
+            ham.monitor().query("mem"),
+            ham.monitor().query("cons"),
+            ham.monitor().query("sync"),
+            ham.monitor().query("task"),
+            ham.monitor().query("cluster"),
+            w.jia().adapter_stats().api_calls(),
+        )
+    });
+    let events = session.finish();
+    assert_eq!(report.nodes, 2);
+
+    let (mem, cons, sync, task, cluster, api_calls) = &snaps[0];
+    assert!(mem["allocs"] >= 2, "SOR allocates two grids");
+    assert!(mem["reads"] > 0 && mem["writes"] > 0);
+    assert!(cons["sync_barriers"] > 0, "jia_barrier maps to barrier_sync");
+    assert!(sync["barriers"] >= 2);
+    assert_eq!(task["remote_spawns"], 1);
+    assert_eq!(task["joins"], 1);
+    assert!(cluster["queries"] >= 1);
+    assert!(*api_calls > 0, "adapter call counter saw the benchmark");
+    // Node 1 worked too.
+    let (mem1, ..) = &snaps[1];
+    assert!(mem1["reads"] > 0);
+
+    // The trace saw the protocol layers underneath: DSM engine, the
+    // messaging fabric, and the benchmark's phase timeline.
+    assert!(!events.is_empty());
+    for layer in ["swdsm", "net", "phase"] {
+        assert!(
+            events.iter().any(|e| e.module == layer),
+            "no {layer} events on the timeline"
+        );
+    }
+    assert!(events.iter().any(|e| e.node == 1), "node 1 emitted nothing");
+
+    let json = chrome_trace_json(&events);
+    let n = validate_chrome_trace(&json).expect("schema-valid Chrome trace");
+    assert_eq!(n, events.len());
+}
+
+#[test]
 fn reset_between_phases_isolates_measurements() {
     let rt = Runtime::new(ClusterConfig::new(2, PlatformKind::HybridDsm));
     let (_, counts) = rt.run(|ham| {

@@ -1,0 +1,232 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`channel`] is provided — the multi-producer multi-consumer
+//! queue the interconnect fabric uses for per-node inboxes and reply
+//! slots — implemented over `std::sync` primitives.
+
+pub mod channel {
+    //! MPMC channels with `crossbeam_channel`'s API shape.
+
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        /// Waiters: receivers blocked on empty, senders blocked on full.
+        readable: Condvar,
+        writable: Condvar,
+        cap: Option<usize>,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    /// Carries the unsent message, like `crossbeam_channel::SendError`.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        // Like crossbeam, printable regardless of whether T is Debug.
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of a channel. Cloneable (multi-producer).
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    /// The receiving half of a channel. Cloneable (multi-consumer).
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            cap,
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender(chan.clone()), Receiver(chan))
+    }
+
+    /// A channel with unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// A channel holding at most `cap` in-flight messages; sends block
+    /// while the channel is full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "rendezvous channels are not supported");
+        channel(Some(cap))
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message, blocking while a bounded channel is full.
+        /// Fails only when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if self.0.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendError(value));
+                }
+                match self.0.cap {
+                    Some(cap) if q.len() >= cap => {
+                        q = self.0.writable.wait(q).unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => break,
+                }
+            }
+            q.push_back(value);
+            drop(q);
+            self.0.readable.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.senders.fetch_add(1, Ordering::AcqRel);
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.0.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake receivers so they observe disconnect.
+                self.0.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive a message, blocking while the channel is empty.
+        /// Fails once the channel is empty and every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.0.writable.notify_one();
+                    return Ok(v);
+                }
+                if self.0.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.0.readable.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Take a message only if one is ready.
+        pub fn try_recv(&self) -> Option<T> {
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let v = q.pop_front();
+            if v.is_some() {
+                drop(q);
+                self.0.writable.notify_one();
+            }
+            v
+        }
+
+        /// A blocking iterator over received messages; ends when all
+        /// senders are dropped.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.0.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last receiver: wake senders so they observe disconnect.
+                self.0.writable.notify_all();
+            }
+        }
+    }
+
+    /// Blocking iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_roundtrip_and_disconnect() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            drop(tx);
+            let got: Vec<i32> = rx.iter().collect();
+            assert_eq!(got, vec![1, 2]);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn bounded_one_acts_as_reply_slot() {
+            let (tx, rx) = bounded(1);
+            let h = std::thread::spawn(move || tx.send(42).unwrap());
+            assert_eq!(rx.recv(), Ok(42));
+            h.join().unwrap();
+        }
+
+        #[test]
+        fn send_fails_after_all_receivers_drop() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(5), Err(SendError(5)));
+        }
+
+        #[test]
+        fn mpmc_all_messages_arrive_once() {
+            let (tx, rx) = unbounded::<u32>();
+            let mut senders = Vec::new();
+            for s in 0..4 {
+                let tx = tx.clone();
+                senders.push(std::thread::spawn(move || {
+                    for i in 0..100 {
+                        tx.send(s * 100 + i).unwrap();
+                    }
+                }));
+            }
+            drop(tx);
+            let mut receivers = Vec::new();
+            for _ in 0..3 {
+                let rx = rx.clone();
+                receivers.push(std::thread::spawn(move || rx.iter().collect::<Vec<_>>()));
+            }
+            drop(rx);
+            for s in senders {
+                s.join().unwrap();
+            }
+            let mut all: Vec<u32> =
+                receivers.into_iter().flat_map(|h| h.join().unwrap()).collect();
+            all.sort();
+            assert_eq!(all, (0u32..4).flat_map(|s| (0..100).map(move |i| s * 100 + i)).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace only needs seeded, reproducible pseudo-randomness for
+//! stress harnesses and tests, so this shim provides `StdRng` +
+//! `SeedableRng` + `Rng::{gen, gen_range}` over a splitmix64 core.
+//! Distribution quality is irrelevant here; determinism per seed is the
+//! contract (the stress binaries print the seed of every failing run).
+
+use std::ops::Range;
+
+/// Types that can be produced uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Produce one value from a raw 64-bit sample.
+    fn from_u64(raw: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_u64(raw: u64) -> Self {
+                raw as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_u64(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait UniformInt: Copy + PartialOrd {
+    /// Map a raw sample into `[lo, hi)`.
+    fn from_range(raw: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn from_range(raw: u64, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + (raw as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Next raw 64-bit sample.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64(self.next_u64())
+    }
+
+    /// A value uniform in the half-open `range`. Panics on empty ranges.
+    fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "gen_range on an empty range");
+        T::from_range(self.next_u64(), range.start, range.end)
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose entire stream is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Named generator types.
+
+    /// The workspace's standard generator: splitmix64. Deterministic per
+    /// seed, `Send`, and fast; not cryptographic.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let s = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_covers_types() {
+        let mut r = StdRng::seed_from_u64(2);
+        let _: bool = r.gen();
+        let _: u8 = r.gen();
+        let f: f64 = r.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

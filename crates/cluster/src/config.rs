@@ -1,5 +1,6 @@
 //! Fabric configuration and the textual configuration-file format.
 
+use interconnect::fault::{CrashWindow, FaultPlan, LinkFaults, PartitionWindow, Resilience};
 use sim::{CostModel, LinkCost};
 use std::collections::BTreeMap;
 use std::str::FromStr;
@@ -42,6 +43,13 @@ pub struct FabricConfig {
     /// Whether HAMSTER's unified messaging layer is active (§3.3). False
     /// for "native" (non-HAMSTER) protocol stacks.
     pub unified_messaging: bool,
+    /// Seeded fault-injection plan for chaos runs. `None` keeps the
+    /// fabric perfectly reliable (and timing bit-identical to before
+    /// fault injection existed).
+    pub faults: Option<FaultPlan>,
+    /// Timeout/retry policy for the resilient request path. Defaults to
+    /// [`Resilience::default`] whenever a fault plan is installed.
+    pub resilience: Option<Resilience>,
 }
 
 impl FabricConfig {
@@ -54,7 +62,96 @@ impl FabricConfig {
             link,
             cost: CostModel::paper_testbed(),
             unified_messaging: false,
+            faults: None,
+            resilience: None,
         }
+    }
+
+    /// Apply the `chaos_*` keys of a [`ConfigMap`] to this fabric:
+    ///
+    /// * `chaos_seed` — seed for every fault decision.
+    /// * `chaos_drop_ppm` / `chaos_dup_ppm` / `chaos_delay_ppm` /
+    ///   `chaos_delay_ns` / `chaos_reorder_ppm` / `chaos_reorder_ns` —
+    ///   the default per-link fault profile.
+    /// * `chaos_link` — per-link overrides, semicolon-separated:
+    ///   `0-1:drop=10000,dup=500,delay=1000@200000,reorder=500@100000`.
+    /// * `chaos_crash` — outages, semicolon-separated: `1@30000000..45000000`.
+    /// * `chaos_partition` — cuts, semicolon-separated: `0,1@30000000..45000000`
+    ///   (the listed group is split from everyone else).
+    /// * `chaos_timeout_ns`, `chaos_retry_max`, `chaos_backoff_ns`,
+    ///   `chaos_backoff_max_ns` — the resilience policy.
+    ///
+    /// A config without any `chaos_*` key leaves the fabric untouched.
+    pub fn apply_chaos(&mut self, cfg: &ConfigMap) -> Result<(), String> {
+        if !cfg.keys().any(|k| k.starts_with("chaos_")) {
+            return Ok(());
+        }
+        let mut plan = self.faults.take().unwrap_or_default();
+        if let Some(seed) = cfg.get_as::<u64>("chaos_seed")? {
+            plan.seed = seed;
+        }
+        if let Some(v) = cfg.get_as::<u32>("chaos_drop_ppm")? {
+            plan.default_link.drop_ppm = v;
+        }
+        if let Some(v) = cfg.get_as::<u32>("chaos_dup_ppm")? {
+            plan.default_link.dup_ppm = v;
+        }
+        if let Some(v) = cfg.get_as::<u32>("chaos_delay_ppm")? {
+            plan.default_link.delay_ppm = v;
+        }
+        if let Some(v) = cfg.get_as::<u64>("chaos_delay_ns")? {
+            plan.default_link.delay_ns = v;
+        }
+        if let Some(v) = cfg.get_as::<u32>("chaos_reorder_ppm")? {
+            plan.default_link.reorder_ppm = v;
+        }
+        if let Some(v) = cfg.get_as::<u64>("chaos_reorder_ns")? {
+            plan.default_link.reorder_window_ns = v;
+        }
+        if let Some(s) = cfg.get("chaos_link") {
+            for entry in s.split(';').filter(|e| !e.trim().is_empty()) {
+                plan.per_link.push(parse_link_entry(entry)?);
+            }
+        }
+        if let Some(s) = cfg.get("chaos_crash") {
+            for entry in s.split(';').filter(|e| !e.trim().is_empty()) {
+                let (node, span) = entry
+                    .split_once('@')
+                    .ok_or_else(|| format!("chaos_crash entry {entry:?}: expected node@from..until"))?;
+                let node = parse_num::<usize>("chaos_crash node", node)?;
+                let (from_ns, until_ns) = parse_span("chaos_crash", span)?;
+                plan.crashes.push(CrashWindow { node, from_ns, until_ns });
+            }
+        }
+        if let Some(s) = cfg.get("chaos_partition") {
+            for entry in s.split(';').filter(|e| !e.trim().is_empty()) {
+                let (group, span) = entry.split_once('@').ok_or_else(|| {
+                    format!("chaos_partition entry {entry:?}: expected n,m,..@from..until")
+                })?;
+                let group = group
+                    .split(',')
+                    .map(|n| parse_num::<usize>("chaos_partition node", n))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let (from_ns, until_ns) = parse_span("chaos_partition", span)?;
+                plan.partitions.push(PartitionWindow { group, from_ns, until_ns });
+            }
+        }
+        self.faults = Some(plan);
+        let mut res = self.resilience.take().unwrap_or_default();
+        if let Some(v) = cfg.get_as::<u64>("chaos_timeout_ns")? {
+            res.timeout_ns = v;
+        }
+        if let Some(v) = cfg.get_as::<u32>("chaos_retry_max")? {
+            res.retry.max_attempts = v;
+        }
+        if let Some(v) = cfg.get_as::<u64>("chaos_backoff_ns")? {
+            res.retry.base_backoff_ns = v;
+        }
+        if let Some(v) = cfg.get_as::<u64>("chaos_backoff_max_ns")? {
+            res.retry.max_backoff_ns = v;
+        }
+        self.resilience = Some(res);
+        Ok(())
     }
 
     /// The [`LinkCost`] for this fabric's link.
@@ -74,6 +171,62 @@ impl FabricConfig {
             0
         }
     }
+}
+
+fn parse_num<T: FromStr>(what: &str, s: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.trim().parse::<T>().map_err(|e| format!("{what} {s:?}: {e}"))
+}
+
+fn parse_span(what: &str, s: &str) -> Result<(u64, u64), String> {
+    let (from, until) = s
+        .split_once("..")
+        .ok_or_else(|| format!("{what} span {s:?}: expected from..until"))?;
+    let from_ns = parse_num::<u64>(what, from)?;
+    let until_ns = parse_num::<u64>(what, until)?;
+    if until_ns <= from_ns {
+        return Err(format!("{what} span {s:?}: empty or inverted window"));
+    }
+    Ok((from_ns, until_ns))
+}
+
+/// Parse one `chaos_link` entry: `src-dst:k=v,k=v,...` where keys are
+/// `drop`/`dup` (ppm), `delay` and `reorder` (`ppm@ns`).
+fn parse_link_entry(s: &str) -> Result<((usize, usize), LinkFaults), String> {
+    let (link, profile) = s
+        .split_once(':')
+        .ok_or_else(|| format!("chaos_link entry {s:?}: expected src-dst:profile"))?;
+    let (src, dst) = link
+        .split_once('-')
+        .ok_or_else(|| format!("chaos_link link {link:?}: expected src-dst"))?;
+    let src = parse_num::<usize>("chaos_link src", src)?;
+    let dst = parse_num::<usize>("chaos_link dst", dst)?;
+    let mut lf = LinkFaults::default();
+    for kv in profile.split(',').filter(|e| !e.trim().is_empty()) {
+        let (k, v) = kv
+            .split_once('=')
+            .ok_or_else(|| format!("chaos_link profile {kv:?}: expected key=value"))?;
+        match k.trim() {
+            "drop" => lf.drop_ppm = parse_num("chaos_link drop", v)?,
+            "dup" => lf.dup_ppm = parse_num("chaos_link dup", v)?,
+            "delay" | "reorder" => {
+                let (ppm, ns) = v.split_once('@').ok_or_else(|| {
+                    format!("chaos_link {k} value {v:?}: expected ppm@window_ns")
+                })?;
+                if k.trim() == "delay" {
+                    lf.delay_ppm = parse_num("chaos_link delay ppm", ppm)?;
+                    lf.delay_ns = parse_num("chaos_link delay ns", ns)?;
+                } else {
+                    lf.reorder_ppm = parse_num("chaos_link reorder ppm", ppm)?;
+                    lf.reorder_window_ns = parse_num("chaos_link reorder ns", ns)?;
+                }
+            }
+            other => return Err(format!("chaos_link profile key {other:?} unknown")),
+        }
+    }
+    Ok(((src, dst), lf))
 }
 
 /// A parsed `key = value` configuration file.
@@ -135,6 +288,11 @@ impl ConfigMap {
     /// Set a value (used by tests and programmatic configs).
     pub fn set(&mut self, key: &str, value: impl ToString) {
         self.entries.insert(key.to_string(), value.to_string());
+    }
+
+    /// Iterate over the configured keys (sorted).
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(|s| s.as_str())
     }
 
     /// Number of entries.
@@ -210,5 +368,59 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_rejected() {
         let _ = FabricConfig::new(0, LinkKind::Ethernet);
+    }
+
+    #[test]
+    fn chaos_keys_build_a_fault_plan() {
+        let cfg = ConfigMap::parse(
+            "chaos_seed = 42\n\
+             chaos_drop_ppm = 10000\n\
+             chaos_dup_ppm = 500\n\
+             chaos_delay_ppm = 2000\n\
+             chaos_delay_ns = 150000\n\
+             chaos_link = 0-1:drop=50000,dup=100;2-0:delay=1000@90000,reorder=10@5000\n\
+             chaos_crash = 1@30000000..45000000\n\
+             chaos_partition = 0,1@50000000..60000000\n\
+             chaos_timeout_ns = 1500000\n\
+             chaos_retry_max = 9",
+        )
+        .unwrap();
+        let mut f = FabricConfig::new(4, LinkKind::Ethernet);
+        f.apply_chaos(&cfg).unwrap();
+        let plan = f.faults.as_ref().unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.default_link.drop_ppm, 10_000);
+        assert_eq!(plan.default_link.dup_ppm, 500);
+        assert_eq!(plan.default_link.delay_ns, 150_000);
+        assert_eq!(plan.link(0, 1).drop_ppm, 50_000);
+        assert_eq!(plan.link(0, 1).dup_ppm, 100);
+        assert_eq!(plan.link(2, 0).delay_ppm, 1_000);
+        assert_eq!(plan.link(2, 0).reorder_window_ns, 5_000);
+        assert_eq!(plan.link(1, 0).drop_ppm, 10_000, "unlisted link uses default");
+        assert!(plan.down_at(1, 31_000_000));
+        assert!(plan.cut_at(0, 2, 55_000_000));
+        let res = f.resilience.unwrap();
+        assert_eq!(res.timeout_ns, 1_500_000);
+        assert_eq!(res.retry.max_attempts, 9);
+    }
+
+    #[test]
+    fn chaos_free_config_leaves_fabric_reliable() {
+        let cfg = ConfigMap::parse("nodes = 4\nlink = sci").unwrap();
+        let mut f = FabricConfig::new(4, LinkKind::Sci);
+        f.apply_chaos(&cfg).unwrap();
+        assert!(f.faults.is_none());
+        assert!(f.resilience.is_none());
+    }
+
+    #[test]
+    fn chaos_rejects_malformed_windows() {
+        let mut f = FabricConfig::new(2, LinkKind::Ethernet);
+        let bad = ConfigMap::parse("chaos_crash = 1@500..100").unwrap();
+        assert!(f.apply_chaos(&bad).is_err());
+        let bad = ConfigMap::parse("chaos_link = 0:drop=1").unwrap();
+        assert!(f.apply_chaos(&bad).is_err());
+        let bad = ConfigMap::parse("chaos_drop_ppm = lots").unwrap();
+        assert!(f.apply_chaos(&bad).is_err());
     }
 }

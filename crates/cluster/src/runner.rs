@@ -43,6 +43,8 @@ impl Cluster {
     pub fn new(config: FabricConfig) -> Self {
         let network = Network::builder(config.nodes, config.link_cost())
             .unified(config.unified_saving_ns())
+            .faults(config.faults.clone())
+            .resilience(config.resilience)
             .build();
         let clocks = (0..config.nodes).map(|_| VirtualClock::starting_at(STARTUP_NS)).collect();
         let buses = (0..config.nodes)

@@ -10,7 +10,7 @@
 use crate::hamster::NodeCore;
 use crate::runtime::kinds;
 use cluster::NodeInfo;
-use interconnect::{downcast, mailbox};
+use interconnect::{downcast, mailbox, RequestError};
 
 /// A received user message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,15 +48,35 @@ impl ClusterCtl<'_> {
         self.core.stats.cluster.add("bytes_sent", bytes.len() as u64);
         let wire = bytes.len() as u64 + 16;
         let src = self.core.platform.rank();
-        self.core
-            .platform
-            .ctx()
-            .port()
-            .post(dst, kinds::USER_MSG, (channel, UserMsg { src, bytes }), wire);
+        // Tagged with the receiver's wait tag: if fault injection
+        // destroys the message, a loss tombstone lands there so a
+        // resilient receiver times out instead of blocking forever.
+        self.core.platform.ctx().port().post_tagged(
+            dst,
+            kinds::USER_MSG,
+            (channel, UserMsg { src, bytes }),
+            wire,
+            mailbox::tag(kinds::USER_MSG, channel),
+        );
     }
 
     /// Block until a message arrives on `channel`.
+    ///
+    /// Panics if the message was destroyed by fault injection; use
+    /// [`ClusterCtl::recv_checked`] on a faulty fabric.
     pub fn recv(&self, channel: u32) -> UserMsg {
+        self.recv_checked(channel).unwrap_or_else(|e| {
+            panic!(
+                "hamster node {}: user message on channel {channel} lost: {e}",
+                self.core.platform.rank()
+            )
+        })
+    }
+
+    /// Block until a message arrives on `channel`, surfacing a message
+    /// destroyed by fault injection as a typed error at the sender's
+    /// virtual-time deadline (the sender decides whether to resend).
+    pub fn recv_checked(&self, channel: u32) -> Result<UserMsg, RequestError> {
         self.core.charge_service();
         self.core.stats.cluster.add("msgs_recv", 1);
         let p = self
@@ -64,8 +84,8 @@ impl ClusterCtl<'_> {
             .platform
             .ctx()
             .port()
-            .wait_mailbox(mailbox::tag(kinds::USER_MSG, channel));
-        downcast::<UserMsg>(p)
+            .wait_mailbox_checked(mailbox::tag(kinds::USER_MSG, channel))?;
+        Ok(downcast::<UserMsg>(p))
     }
 
     /// Non-blocking receive on `channel`.

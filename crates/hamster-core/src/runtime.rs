@@ -196,9 +196,15 @@ fn register_framework_handlers(inner: &Arc<RuntimeInner>) {
                 .name(format!("hamster-task-{id}"))
                 .spawn(move || {
                     f(ham);
-                    node_ctx
-                        .port()
-                        .post(origin, kinds::TASK_DONE, id, 16);
+                    // Tagged so a lost completion notice tombstones the
+                    // origin's join tag instead of hanging the join.
+                    node_ctx.port().post_tagged(
+                        origin,
+                        kinds::TASK_DONE,
+                        id,
+                        16,
+                        mailbox::tag(kinds::TASK_DONE, id),
+                    );
                 })
                 .expect("spawn task thread");
             rt.spawned.lock().push(handle);

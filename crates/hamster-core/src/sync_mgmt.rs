@@ -61,7 +61,15 @@ impl SyncMgmt<'_> {
     pub fn set_event(&self, dst: usize, event: u32) {
         self.core.charge_service();
         self.core.stats.sync.add("events_set", 1);
-        self.core.platform.ctx().port().post(dst, kinds::EVENT_SET, event, 16);
+        // Tagged: a signal destroyed by fault injection leaves a loss
+        // tombstone under the event tag instead of stranding the waiter.
+        self.core.platform.ctx().port().post_tagged(
+            dst,
+            kinds::EVENT_SET,
+            event,
+            16,
+            mailbox::tag(kinds::EVENT_SET, event),
+        );
     }
 
     /// Block until event `event` is signalled on this node.

@@ -38,7 +38,9 @@ struct LockSlot {
 #[derive(Default)]
 struct BarrierSlot {
     epoch: u64,
-    arrived: usize,
+    /// Ranks arrived this epoch (set semantics: a retried arrival whose
+    /// ack was lost must not count twice).
+    arrived: Vec<usize>,
     latest_ns: u64,
 }
 
@@ -46,6 +48,9 @@ struct BarrierSlot {
 struct MgrState {
     locks: HashMap<u32, LockSlot>,
     barriers: HashMap<u32, BarrierSlot>,
+    /// Last released (epoch, release_ns) per barrier id, kept so a
+    /// re-arrival after a lost release broadcast gets a targeted replay.
+    released: HashMap<u32, (u64, u64)>,
 }
 
 enum LockReply {
@@ -53,10 +58,15 @@ enum LockReply {
     Queued,
 }
 
+#[derive(Clone, Copy)]
 struct BarArrive {
     id: u32,
     epoch: u64,
 }
+
+/// Retry rounds before a resilient sync op gives up (same guard as the
+/// software DSM's protocol loops).
+const MAX_SYNC_ROUNDS: u32 = 64;
 
 #[derive(Clone, Copy)]
 struct BarRelease {
@@ -90,7 +100,16 @@ impl SyncCore {
                 let (lock, excl) = downcast::<(u32, bool)>(p);
                 let mut g = mgr.lock();
                 let slot = g.locks.entry(lock).or_default();
-                assert!(!slot.holders.contains(&src), "re-acquire of held lock {lock}");
+                if slot.holders.contains(&src) {
+                    // Retried request from the current holder (the grant
+                    // reply was lost): re-grant with the original floor.
+                    let floor = if slot.excl { slot.free_any_ns } else { slot.free_excl_ns };
+                    return Outcome::reply_not_before(LockReply::Granted, 8, floor);
+                }
+                if slot.queue.iter().any(|(n, _, _)| *n == src) {
+                    // Already queued (the Queued reply was lost).
+                    return Outcome::reply(LockReply::Queued, 8);
+                }
                 let grantable = if excl {
                     slot.holders.is_empty()
                 } else {
@@ -115,15 +134,14 @@ impl SyncCore {
             move |ctx: &interconnect::HandlerCtx<'_>, src, p| {
                 let lock = downcast::<u32>(p);
                 let mut g = mgr.lock();
-                let slot = g
-                    .locks
-                    .get_mut(&lock)
-                    .unwrap_or_else(|| panic!("release of unknown lock {lock}"));
-                let pos = slot
-                    .holders
-                    .iter()
-                    .position(|&h| h == src)
-                    .unwrap_or_else(|| panic!("node {src} does not hold lock {lock}"));
+                // A retried release whose first copy already ran finds
+                // nothing to do: idempotent no-op, never a panic.
+                let Some(slot) = g.locks.get_mut(&lock) else {
+                    return Outcome::done();
+                };
+                let Some(pos) = slot.holders.iter().position(|&h| h == src) else {
+                    return Outcome::done();
+                };
                 let was_excl = slot.excl;
                 slot.holders.swap_remove(pos);
                 if slot.holders.is_empty() {
@@ -145,7 +163,8 @@ impl SyncCore {
                         let (next, excl, _) = slot.queue.remove(first).unwrap();
                         slot.holders.push(next);
                         slot.excl = excl;
-                        ctx.post(next, base + LOCK_GRANT, lock, 8);
+                        let tag = mailbox::tag(base + LOCK_GRANT, lock);
+                        ctx.post_tagged(next, base + LOCK_GRANT, lock, 8, tag);
                         if !excl {
                             let cutoff = slot
                                 .queue
@@ -160,7 +179,8 @@ impl SyncCore {
                                 if !e && t <= cutoff {
                                     let (r, _, _) = slot.queue.remove(i).unwrap();
                                     slot.holders.push(r);
-                                    ctx.post(r, base + LOCK_GRANT, lock, 8);
+                                    let tag = mailbox::tag(base + LOCK_GRANT, lock);
+                                    ctx.post_tagged(r, base + LOCK_GRANT, lock, 8, tag);
                                 } else {
                                     i += 1;
                                 }
@@ -187,24 +207,57 @@ impl SyncCore {
             let mgr = c.mgrs[node].clone();
             let nodes = c.nodes;
             let base = kind_base;
-            move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+            move |ctx: &interconnect::HandlerCtx<'_>, src, p| {
                 let arr = downcast::<BarArrive>(p);
                 let mut g = mgr.lock();
+                let tag = mailbox::tag(base + BAR_RELEASE, arr.id);
+                if let Some(&(rel_epoch, release_ns)) = g.released.get(&arr.id) {
+                    if arr.epoch == rel_epoch {
+                        // Re-arrival for an already-released epoch: the
+                        // arriver's release reply was lost. Answer with
+                        // the cached epoch.
+                        return Outcome::reply_not_before(rel_epoch, 16, release_ns);
+                    }
+                    assert!(arr.epoch > rel_epoch, "barrier {}: stale epoch {}", arr.id, arr.epoch);
+                }
                 let slot = g.barriers.entry(arr.id).or_default();
-                if slot.arrived == 0 {
+                if slot.arrived.is_empty() {
                     slot.epoch = arr.epoch;
                 }
                 assert_eq!(slot.epoch, arr.epoch, "barrier {}: epoch skew", arr.id);
-                slot.arrived += 1;
-                slot.latest_ns = slot.latest_ns.max(ctx.now);
-                if slot.arrived == nodes {
+                let counted = slot.arrived.contains(&src);
+                if !counted {
+                    slot.arrived.push(src);
+                    slot.latest_ns = slot.latest_ns.max(ctx.now);
+                }
+                if slot.arrived.len() == nodes {
                     let release_ns = slot.latest_ns;
-                    slot.arrived = 0;
+                    let arrived = std::mem::take(&mut slot.arrived);
                     slot.latest_ns = 0;
+                    g.released.insert(arr.id, (arr.epoch, release_ns));
+                    drop(g);
+                    if ctx.resilient() {
+                        // Request/reply rendezvous: discharge every
+                        // parked arrival with the release; the final
+                        // arriver takes it as its own reply (see the
+                        // swdsm barrier for the full rationale).
+                        for who in arrived {
+                            if who != src {
+                                ctx.complete_deferred(tag, who, arr.epoch, 16, release_ns);
+                            }
+                        }
+                        return Outcome::reply_not_before(arr.epoch, 16, release_ns);
+                    }
                     let rel = BarRelease { id: arr.id, epoch: arr.epoch };
                     for dst in 0..nodes {
-                        ctx.post_at(dst, base + BAR_RELEASE, rel, 16, release_ns);
+                        ctx.post_tagged_at(dst, base + BAR_RELEASE, rel, 16, tag, release_ns);
                     }
+                    return Outcome::done();
+                }
+                if ctx.resilient() {
+                    // Pending (first copy or a retried duplicate): park
+                    // the reply until the last participant arrives.
+                    return Outcome::defer(tag);
                 }
                 Outcome::done()
             }
@@ -247,44 +300,119 @@ impl SyncNode {
         self.acquire_mode(lock, false);
     }
 
+    /// Whether the fabric was built with a timeout/retry policy (fault
+    /// injection active).
+    fn resilient(&self) -> bool {
+        self.ctx.port().resilience().is_some()
+    }
+
     fn acquire_mode(&self, lock: u32, excl: bool) {
         let mgr = lock as usize % self.core.nodes;
-        let rep = self
-            .ctx
-            .port()
-            .request(mgr, self.core.base + LOCK_REQ, (lock, excl), 16);
-        if let LockReply::Queued = downcast::<LockReply>(rep) {
-            let _ = self
+        if !self.resilient() {
+            let rep = self
                 .ctx
                 .port()
-                .wait_mailbox(mailbox::tag(self.core.base + LOCK_GRANT, lock));
+                .request(mgr, self.core.base + LOCK_REQ, (lock, excl), 16);
+            if let LockReply::Queued = downcast::<LockReply>(rep) {
+                let _ = self
+                    .ctx
+                    .port()
+                    .wait_mailbox(mailbox::tag(self.core.base + LOCK_GRANT, lock));
+            }
+            return;
+        }
+        // Resilient protocol: retried requests hit an idempotent manager
+        // (a lost grant reply re-grants; a lost Queued reply keeps the
+        // original queue entry); a grant destroyed in flight leaves a
+        // loss tombstone, answered by re-requesting.
+        let mut rounds = 0u32;
+        'req: loop {
+            rounds += 1;
+            assert!(
+                rounds <= MAX_SYNC_ROUNDS,
+                "sync node {}: lock {lock} acquire still failing after {MAX_SYNC_ROUNDS} rounds",
+                self.ctx.rank()
+            );
+            let rep = self
+                .ctx
+                .port()
+                .request_retrying(mgr, self.core.base + LOCK_REQ, (lock, excl), 16)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "sync node {}: unrecoverable fault acquiring lock {lock}: {e}",
+                        self.ctx.rank()
+                    )
+                });
+            match downcast::<LockReply>(rep) {
+                LockReply::Granted => return,
+                LockReply::Queued => {
+                    let tag = mailbox::tag(self.core.base + LOCK_GRANT, lock);
+                    match self.ctx.port().wait_mailbox_checked(tag) {
+                        Ok(_) => return,
+                        Err(e) if e.is_transient() => continue 'req,
+                        Err(e) => panic!(
+                            "sync node {}: unrecoverable fault waiting for lock {lock}: {e}",
+                            self.ctx.rank()
+                        ),
+                    }
+                }
+            }
         }
     }
 
-    /// Release global lock `lock`.
+    /// Release global lock `lock`. On a resilient fabric the release is
+    /// acknowledged and retried so a lost release cannot strand waiters.
     pub fn release(&self, lock: u32) {
         let mgr = lock as usize % self.core.nodes;
-        self.ctx.port().post(mgr, self.core.base + LOCK_REL, lock, 16);
+        if self.resilient() {
+            if let Err(e) =
+                self.ctx.port().request_retrying(mgr, self.core.base + LOCK_REL, lock, 16)
+            {
+                panic!(
+                    "sync node {}: unrecoverable fault releasing lock {lock}: {e}",
+                    self.ctx.rank()
+                );
+            }
+        } else {
+            self.ctx.port().post(mgr, self.core.base + LOCK_REL, lock, 16);
+        }
     }
 
-    /// Wait at global barrier `id`.
+    /// Wait at global barrier `id`. The epoch commits only once the
+    /// release is in hand, so a retried barrier re-arrives under the
+    /// same epoch (deduplicated or replayed by the manager).
     pub fn barrier(&self, id: u32) {
-        let epoch = {
-            let mut g = self.epochs.lock();
-            let e = g.entry(id).or_insert(0);
-            *e += 1;
-            *e
-        };
+        let epoch = self.epochs.lock().get(&id).copied().unwrap_or(0) + 1;
         let mgr = id as usize % self.core.nodes;
-        self.ctx
-            .port()
-            .post(mgr, self.core.base + BAR_ARRIVE, BarArrive { id, epoch }, 24);
-        let got = downcast::<u64>(
+        let tag = mailbox::tag(self.core.base + BAR_RELEASE, id);
+        if !self.resilient() {
             self.ctx
                 .port()
-                .wait_mailbox(mailbox::tag(self.core.base + BAR_RELEASE, id)),
-        );
-        assert_eq!(got, epoch, "barrier {id}: epoch mismatch");
+                .post(mgr, self.core.base + BAR_ARRIVE, BarArrive { id, epoch }, 24);
+            let got = downcast::<u64>(self.ctx.port().wait_mailbox(tag));
+            assert_eq!(got, epoch, "barrier {id}: epoch mismatch");
+        } else {
+            // Single request/reply rendezvous: the reply — parked at
+            // the manager until everyone arrives — is the release
+            // epoch itself. Retries are deduplicated while the epoch
+            // is pending and answered from the release cache after.
+            match self.ctx.port().request_retrying(
+                mgr,
+                self.core.base + BAR_ARRIVE,
+                BarArrive { id, epoch },
+                24,
+            ) {
+                Ok(ack) => {
+                    let got = downcast::<u64>(ack);
+                    assert_eq!(got, epoch, "barrier {id}: epoch mismatch");
+                }
+                Err(e) => panic!(
+                    "sync node {}: unrecoverable fault at barrier {id}: {e}",
+                    self.ctx.rank()
+                ),
+            }
+        }
+        self.epochs.lock().insert(id, epoch);
     }
 }
 

@@ -1,0 +1,76 @@
+//! Typed failures of the request path.
+
+use crate::message::NodeId;
+
+/// Why a request (or a tagged wait) did not produce a reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// No reply arrived within the resilience timeout — the request or
+    /// its reply was lost on the wire. Transient: retryable.
+    Timeout {
+        /// Virtual time at which the waiter gave up.
+        deadline_ns: u64,
+    },
+    /// The destination node was crashed when the message would have
+    /// reached it. Transient: the node may heal.
+    NodeDown {
+        /// The unreachable node.
+        node: NodeId,
+        /// Virtual time at which the failure was detected.
+        at_ns: u64,
+    },
+    /// The fabric is tearing down; no further delivery will happen.
+    /// Fatal.
+    FabricStopped,
+    /// The remote handler failed (panicked, or no handler is registered
+    /// for the kind). Fatal: retrying would fail the same way.
+    HandlerFailed {
+        /// The message kind whose handler failed.
+        kind: u32,
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+impl RequestError {
+    /// Transient errors are worth retrying; fatal ones are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RequestError::Timeout { .. } | RequestError::NodeDown { .. })
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Timeout { deadline_ns } => {
+                write!(f, "timed out at t={deadline_ns}ns")
+            }
+            RequestError::NodeDown { node, at_ns } => {
+                write!(f, "node {node} down (detected at t={at_ns}ns)")
+            }
+            RequestError::FabricStopped => write!(f, "fabric stopped"),
+            RequestError::HandlerFailed { kind, reason } => {
+                write!(f, "handler for kind {kind:#x} failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Returned by [`crate::Router::dispatch`] when no handler is
+/// registered for a message kind. The daemon turns this into a NACK
+/// ([`RequestError::HandlerFailed`]) instead of dying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchError {
+    /// The unroutable message kind.
+    pub kind: u32,
+}
+
+impl std::fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no handler for message kind {:#x}", self.kind)
+    }
+}
+
+impl std::error::Error for DispatchError {}

@@ -25,11 +25,19 @@
 //!   per-message software saving is applied. This is the mechanism behind
 //!   the small speedups of Figure 2.
 
+//! * [`fault`] — deterministic, seeded fault injection (drop, duplicate,
+//!   delay, reorder, crash, partition) plus the [`fault::Resilience`]
+//!   timeout/retry policy; failures surface as typed [`RequestError`]s.
+
+pub mod error;
+pub mod fault;
 pub mod mailbox;
 pub mod message;
 pub mod network;
 pub mod router;
 
+pub use error::{DispatchError, RequestError};
+pub use fault::{FaultPlan, LinkFaults, Resilience, RetryPolicy};
 pub use mailbox::Mailbox;
 pub use message::{downcast, HandlerCtx, NodeId, Outcome, Payload};
 pub use network::{Network, NetworkBuilder, NodePort};

@@ -19,6 +19,11 @@ pub struct Deposit {
     pub payload: Payload,
     /// Virtual time the wake-up message arrived.
     pub arrive_ns: u64,
+    /// Tombstone for a wake-up the fault injector destroyed: `payload`
+    /// is `()` and `arrive_ns` is the timeout deadline. Resilient
+    /// waiters turn this into a `Timeout` error and re-drive the
+    /// protocol; plain [`Mailbox::wait`]ers must not see one.
+    pub lost: bool,
 }
 
 #[derive(Default)]
@@ -42,7 +47,22 @@ impl Mailbox {
     /// Deposit a wake-up under `tag`. Called from protocol handlers.
     pub fn deposit(&self, tag: u64, payload: Payload, arrive_ns: u64) {
         let mut g = self.inner.lock();
-        g.queues.entry(tag).or_default().push_back(Deposit { payload, arrive_ns });
+        g.queues
+            .entry(tag)
+            .or_default()
+            .push_back(Deposit { payload, arrive_ns, lost: false });
+        self.cond.notify_all();
+    }
+
+    /// Deposit a loss tombstone under `tag`: the wake-up that should
+    /// have landed here was destroyed by fault injection, and the
+    /// waiter should learn about it at `deadline_ns` (its timeout).
+    pub fn deposit_lost(&self, tag: u64, deadline_ns: u64) {
+        let mut g = self.inner.lock();
+        g.queues
+            .entry(tag)
+            .or_default()
+            .push_back(Deposit { payload: Box::new(()), arrive_ns: deadline_ns, lost: true });
         self.cond.notify_all();
     }
 
@@ -126,6 +146,17 @@ mod tests {
         m.deposit(tag(9, 9), Box::new(()), 0);
         m.deposit(tag(9, 9), Box::new(()), 0);
         assert_eq!(m.pending(tag(9, 9)), 2);
+    }
+
+    #[test]
+    fn lost_deposits_are_marked() {
+        let m = Mailbox::new();
+        m.deposit_lost(tag(4, 0), 9_000);
+        let d = m.wait(tag(4, 0));
+        assert!(d.lost);
+        assert_eq!(d.arrive_ns, 9_000);
+        m.deposit(tag(4, 0), Box::new(1u8), 10);
+        assert!(!m.wait(tag(4, 0)).lost);
     }
 
     #[test]

@@ -33,17 +33,35 @@ pub struct Outcome {
     /// to keep eagerly-made decisions virtually ordered (e.g. a lock
     /// grant must not precede the previous holder's release).
     pub not_before_ns: u64,
+    /// When set, the handler takes ownership of the reply obligation:
+    /// the transport parks the reply channel under `(this node, key,
+    /// requester)` instead of answering, and a later handler invocation
+    /// discharges it via [`HandlerCtx::complete_deferred`]. This is how
+    /// rendezvous protocols (barriers) answer every participant with
+    /// the collective result while staying pure request/reply — no
+    /// side-channel broadcast for a retried request to race.
+    pub defer_key: Option<u64>,
 }
 
 impl Outcome {
     /// A reply with the given wire size and no extra service time.
     pub fn reply<T: Any + Send>(value: T, wire_bytes: u64) -> Self {
-        Self { reply: Some((Box::new(value), wire_bytes)), extra_ns: 0, not_before_ns: 0 }
+        Self {
+            reply: Some((Box::new(value), wire_bytes)),
+            extra_ns: 0,
+            not_before_ns: 0,
+            defer_key: None,
+        }
     }
 
     /// A reply plus extra handler service time.
     pub fn reply_costing<T: Any + Send>(value: T, wire_bytes: u64, extra_ns: u64) -> Self {
-        Self { reply: Some((Box::new(value), wire_bytes)), extra_ns, not_before_ns: 0 }
+        Self {
+            reply: Some((Box::new(value), wire_bytes)),
+            extra_ns,
+            not_before_ns: 0,
+            defer_key: None,
+        }
     }
 
     /// A reply that is not ready before the given virtual instant (a
@@ -57,17 +75,29 @@ impl Outcome {
             reply: Some((Box::new(value), wire_bytes)),
             extra_ns: 0,
             not_before_ns,
+            defer_key: None,
         }
     }
 
     /// No reply (one-way message), no extra cost.
     pub fn done() -> Self {
-        Self { reply: None, extra_ns: 0, not_before_ns: 0 }
+        Self { reply: None, extra_ns: 0, not_before_ns: 0, defer_key: None }
     }
 
     /// No reply, with extra handler service time.
     pub fn done_costing(extra_ns: u64) -> Self {
-        Self { reply: None, extra_ns, not_before_ns: 0 }
+        Self { reply: None, extra_ns, not_before_ns: 0, defer_key: None }
+    }
+
+    /// Park the requester's reply channel under `key` (scoped to the
+    /// handling node) instead of answering now. The request must be
+    /// answered later — from a subsequent handler invocation on the
+    /// same node — with [`HandlerCtx::complete_deferred`], or it is
+    /// failed with `FabricStopped` at teardown. Only meaningful for
+    /// synchronous requests; deferring a one-way message is a protocol
+    /// bug and panics in the transport.
+    pub fn defer(key: u64) -> Self {
+        Self { reply: None, extra_ns: 0, not_before_ns: 0, defer_key: Some(key) }
     }
 }
 
@@ -102,12 +132,73 @@ impl HandlerCtx<'_> {
         wire_bytes: u64,
         depart: u64,
     ) {
-        self.net.post_from_handler(self.node, dst, kind, Box::new(value), wire_bytes, depart);
+        self.net
+            .post_from_handler(self.node, dst, kind, Box::new(value), wire_bytes, depart, None);
+    }
+
+    /// Like [`HandlerCtx::post`], for messages whose receiving handler
+    /// deposits into the mailbox under `wake_tag`. If fault injection
+    /// destroys the message, a loss tombstone lands under that tag so a
+    /// resilient waiter times out instead of blocking forever.
+    pub fn post_tagged<T: Any + Send>(
+        &self,
+        dst: NodeId,
+        kind: u32,
+        value: T,
+        wire_bytes: u64,
+        wake_tag: u64,
+    ) {
+        self.post_tagged_at(dst, kind, value, wire_bytes, wake_tag, self.now);
+    }
+
+    /// [`HandlerCtx::post_tagged`] with an explicit departure time.
+    pub fn post_tagged_at<T: Any + Send>(
+        &self,
+        dst: NodeId,
+        kind: u32,
+        value: T,
+        wire_bytes: u64,
+        wake_tag: u64,
+        depart: u64,
+    ) {
+        self.net.post_from_handler(
+            self.node,
+            dst,
+            kind,
+            Box::new(value),
+            wire_bytes,
+            depart,
+            Some(wake_tag),
+        );
     }
 
     /// Number of nodes in the fabric.
     pub fn nodes(&self) -> usize {
         self.net.nodes()
+    }
+
+    /// Whether the fabric runs with a timeout/retry policy installed.
+    /// Protocols use this to pick between the legacy one-way message
+    /// shapes and the confirmable request/reply shapes.
+    pub fn resilient(&self) -> bool {
+        self.net.resilience().is_some()
+    }
+
+    /// Answer a request whose reply was parked with [`Outcome::defer`]
+    /// under `key` by requester `who`. The reply departs no earlier
+    /// than `not_before_ns` (and never before the deferred request's
+    /// own service completion). Panics if no such deferred request is
+    /// parked — matching a discharge to a missing park is a protocol
+    /// bug, not a runtime condition.
+    pub fn complete_deferred<T: Any + Send>(
+        &self,
+        key: u64,
+        who: NodeId,
+        value: T,
+        wire_bytes: u64,
+        not_before_ns: u64,
+    ) {
+        self.net.complete_deferred(self.node, key, who, Box::new(value), wire_bytes, not_before_ns);
     }
 }
 

@@ -1,11 +1,23 @@
 //! The fabric: per-node inboxes, communication daemons, and timed
 //! request/post primitives.
+//!
+//! With a [`FaultPlan`] installed the fabric fails on purpose: messages
+//! are dropped, duplicated, delayed or displaced, and whole nodes crash
+//! and heal at scheduled virtual times. Failures surface to requesters
+//! as typed [`RequestError`]s at virtual-time deadlines (never as
+//! wall-clock waits), and the resilient request variants retry through
+//! transient faults with exponential backoff.
 
+use crate::error::RequestError;
+use crate::fault::{FaultDecision, FaultPlan, Resilience, mix, REPLY_STREAM, RETRY_STREAM};
 use crate::mailbox::Mailbox;
 use crate::message::{HandlerCtx, NodeId, Outcome, Payload};
 use crate::router::Router;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
 use sim::{Bus, LinkCost, StatSet, VirtualClock};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -13,10 +25,12 @@ use std::thread::JoinHandle;
 /// shortcut this, but correctness must not depend on it).
 const LOCAL_DELIVERY_NS: u64 = 500;
 
-struct ReplyMsg {
-    payload: Payload,
-    wire_bytes: u64,
-    ready_ns: u64,
+/// Request ids a daemon remembers for duplicate suppression.
+const DEDUP_WINDOW: usize = 1 << 16;
+
+enum ReplyMsg {
+    Ok { payload: Payload, wire_bytes: u64, ready_ns: u64 },
+    Err { err: RequestError, ready_ns: u64 },
 }
 
 enum Envelope {
@@ -27,7 +41,88 @@ enum Envelope {
         payload: Payload,
         arrive_ns: u64,
         reply: Option<Sender<ReplyMsg>>,
+        /// Delivery id; 0 when fault injection is off. Duplicated
+        /// deliveries repeat the id so the receiving daemon can
+        /// recognize and discard the copy.
+        req_id: u64,
+        /// Virtual time at which the requester gives up (0 = none).
+        deadline_ns: u64,
     },
+    /// A fault-injected duplicate of the `req_id` delivery. Payloads
+    /// are not `Clone`, so the copy is delivered as a marker; the
+    /// daemon charges receive overhead, matches the id against its
+    /// dedup window, and drops it — exactly what an idempotent
+    /// transport layer does.
+    Dup { kind: u32, req_id: u64, arrive_ns: u64 },
+    /// A fault-destroyed request. The typed error is routed through the
+    /// destination daemon rather than handed to the requester
+    /// synchronously: the virtual timing is identical (`ready_ns` is
+    /// fixed at send time), but the requester only unblocks — and can
+    /// only resend — after the daemon has worked through everything
+    /// enqueued ahead of the loss. That keeps real-time processing
+    /// order close to virtual order, which the service-queue model
+    /// depends on for run-to-run reproducibility.
+    Fail { reply: Sender<ReplyMsg>, err: RequestError, ready_ns: u64 },
+}
+
+/// Seeded fault machinery: the plan plus per-stream sequence counters
+/// (so decisions depend only on a message's position in its
+/// `(src, dst, kind)` stream, not on thread interleaving) and per-node
+/// windows of recently seen request ids.
+struct FaultState {
+    plan: FaultPlan,
+    seqs: Vec<Mutex<HashMap<(NodeId, u32), u64>>>,
+    dedup: Vec<Mutex<DedupWindow>>,
+}
+
+#[derive(Default)]
+struct DedupWindow {
+    seen: HashSet<u64>,
+    order: VecDeque<u64>,
+}
+
+impl DedupWindow {
+    fn insert(&mut self, id: u64) {
+        if self.seen.insert(id) {
+            self.order.push_back(id);
+            if self.order.len() > DEDUP_WINDOW {
+                if let Some(old) = self.order.pop_front() {
+                    self.seen.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn contains(&self, id: u64) -> bool {
+        self.seen.contains(&id)
+    }
+}
+
+impl FaultState {
+    /// Draw the next decision on the `(src, dst, kind)` stream.
+    fn next_decision(&self, src: NodeId, dst: NodeId, kind: u32) -> FaultDecision {
+        let seq = {
+            let mut g = self.seqs[src].lock();
+            let c = g.entry((dst, kind)).or_insert(0);
+            *c += 1;
+            *c
+        };
+        self.plan.decide(src, dst, kind, seq)
+    }
+
+    /// Deterministic jitter salt for the next retry on the
+    /// `(src, dst, kind)` stream (see [`RETRY_STREAM`]).
+    fn next_retry_salt(&self, src: NodeId, dst: NodeId, kind: u32) -> u64 {
+        let kind = kind | RETRY_STREAM;
+        let seq = {
+            let mut g = self.seqs[src].lock();
+            let c = g.entry((dst, kind)).or_insert(0);
+            *c += 1;
+            *c
+        };
+        let stream = ((src as u64) << 42) ^ ((dst as u64) << 21) ^ kind as u64;
+        mix(self.plan.seed ^ mix(stream) ^ seq)
+    }
 }
 
 /// Shared state of the fabric (one per experiment run).
@@ -52,6 +147,28 @@ pub struct NetShared {
     send_eff_ns: u64,
     recv_eff_ns: u64,
     stats: StatSet,
+    faults: Option<FaultState>,
+    resilience: Option<Resilience>,
+    /// Teardown flag: once set, requests fail with `FabricStopped` and
+    /// posts are dropped instead of racing the daemons' exit.
+    stopped: AtomicBool,
+    next_req_id: AtomicU64,
+    /// Reply obligations parked by handlers ([`Outcome::defer`]), keyed
+    /// by `(handling node, protocol key, requester)`. A re-request from
+    /// the same requester replaces its entry (the abandoned channel is
+    /// harmless); teardown fails whatever is left with `FabricStopped`.
+    deferred: Mutex<HashMap<(NodeId, u64, NodeId), DeferredReply>>,
+}
+
+/// A parked reply obligation: everything `send_reply` needs, captured
+/// when the request was served.
+struct DeferredReply {
+    tx: Sender<ReplyMsg>,
+    kind: u32,
+    /// Service completion of the deferred request; the eventual reply
+    /// departs no earlier than this.
+    ready_ns: u64,
+    deadline_ns: u64,
 }
 
 impl NetShared {
@@ -71,6 +188,158 @@ impl NetShared {
         }
     }
 
+    fn timeout_ns(&self) -> u64 {
+        self.resilience.map_or_else(|| Resilience::default().timeout_ns, |r| r.timeout_ns)
+    }
+
+    pub(crate) fn resilience(&self) -> Option<Resilience> {
+        self.resilience
+    }
+
+    /// Discharge the reply parked under `(node, key, who)`: the reply
+    /// departs at the later of the deferred request's service end and
+    /// `not_before_ns`, through the same fault gauntlet as any reply.
+    pub(crate) fn complete_deferred(
+        &self,
+        node: NodeId,
+        key: u64,
+        who: NodeId,
+        payload: Payload,
+        wire_bytes: u64,
+        not_before_ns: u64,
+    ) {
+        let parked = self
+            .deferred
+            .lock()
+            .remove(&(node, key, who))
+            .unwrap_or_else(|| {
+                panic!("node {node}: no deferred reply parked under key {key:#x} for node {who}")
+            });
+        let ready_ns = parked.ready_ns.max(not_before_ns);
+        send_reply(
+            self,
+            node,
+            who,
+            parked.kind,
+            parked.tx,
+            payload,
+            wire_bytes,
+            ready_ns,
+            parked.deadline_ns,
+        );
+    }
+
+    /// The one gate every message passes on its way to an inbox. With
+    /// no fault plan this is a plain send; with one, the message may be
+    /// destroyed (crash window, partition, drop draw), delayed, or
+    /// duplicated. Destroyed messages produce a *loss notification* at
+    /// the requester's timeout deadline — an `Err` reply for requests,
+    /// a mailbox tombstone for tagged posts — so waiting threads time
+    /// out in virtual time instead of blocking forever.
+    #[allow(clippy::too_many_arguments)]
+    fn send_user(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        kind: u32,
+        payload: Payload,
+        wire_bytes: u64,
+        depart: u64,
+        reply: Option<Sender<ReplyMsg>>,
+        wake_tag: Option<u64>,
+    ) {
+        if self.stopped.load(Ordering::Acquire) {
+            if let Some(tx) = reply {
+                let _ = tx.send(ReplyMsg::Err {
+                    err: RequestError::FabricStopped,
+                    ready_ns: depart,
+                });
+            }
+            return;
+        }
+        let arrive_ns = self.wire_arrival(src, dst, depart, wire_bytes);
+        let Some(fs) = &self.faults else {
+            // Sends to stopped fabrics are ignored: a handler may
+            // legitimately fire a post while the run is tearing down
+            // (the drain in `Network::drop` answers any reply channel).
+            let _ = self.inboxes[dst].send(Envelope::User {
+                src,
+                kind,
+                payload,
+                arrive_ns,
+                reply,
+                req_id: 0,
+                deadline_ns: 0,
+            });
+            return;
+        };
+        let deadline_ns = depart + self.timeout_ns();
+        let dst_down = fs.plan.down_at(dst, arrive_ns);
+        if dst_down || fs.plan.down_at(src, depart) || fs.plan.cut_at(src, dst, depart) {
+            self.stats.add("crash_drops", 1);
+            sim::trace::instant(depart, src, "fault", "crash_drop", kind as u64);
+            let err = if dst_down {
+                // The sender's transport notices the dead peer one
+                // wire trip out; a partitioned or self-crashed path
+                // just goes silent until the timeout.
+                RequestError::NodeDown { node: dst, at_ns: arrive_ns }
+            } else {
+                RequestError::Timeout { deadline_ns }
+            };
+            self.fail_delivery(dst, reply, wake_tag, err, deadline_ns);
+            return;
+        }
+        let d = fs.next_decision(src, dst, kind);
+        if d.drop {
+            self.stats.add("faults_dropped", 1);
+            sim::trace::instant(depart, src, "fault", "drop", kind as u64);
+            let err = RequestError::Timeout { deadline_ns };
+            self.fail_delivery(dst, reply, wake_tag, err, deadline_ns);
+            return;
+        }
+        let arrive_ns = arrive_ns + d.extra_delay_ns;
+        if d.extra_delay_ns > 0 {
+            self.stats.add("faults_delayed", 1);
+            sim::trace::instant(depart, src, "fault", "delay", d.extra_delay_ns);
+        }
+        let req_id = self.next_req_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let _ = self.inboxes[dst].send(Envelope::User {
+            src,
+            kind,
+            payload,
+            arrive_ns,
+            reply,
+            req_id,
+            deadline_ns,
+        });
+        if d.dup {
+            self.stats.add("faults_dup", 1);
+            sim::trace::instant(depart, src, "fault", "dup", kind as u64);
+            let _ = self.inboxes[dst].send(Envelope::Dup { kind, req_id, arrive_ns });
+        }
+    }
+
+    fn fail_delivery(
+        &self,
+        dst: NodeId,
+        reply: Option<Sender<ReplyMsg>>,
+        wake_tag: Option<u64>,
+        err: RequestError,
+        deadline_ns: u64,
+    ) {
+        let ready_ns = match &err {
+            RequestError::NodeDown { at_ns, .. } => *at_ns,
+            _ => deadline_ns,
+        };
+        if let Some(tx) = reply {
+            let _ = self.inboxes[dst].send(Envelope::Fail { reply: tx, err, ready_ns });
+        } else if let Some(tag) = wake_tag {
+            self.stats.add("tombstones", 1);
+            self.mailboxes[dst].deposit_lost(tag, deadline_ns);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn post_from_handler(
         &self,
         src: NodeId,
@@ -79,34 +348,46 @@ impl NetShared {
         payload: Payload,
         wire_bytes: u64,
         depart: u64,
+        wake_tag: Option<u64>,
     ) {
         self.stats.add("posts", 1);
         self.stats.add("bytes", wire_bytes);
-        let arrive_ns = self.wire_arrival(src, dst, depart, wire_bytes);
-        // Sends to stopped fabrics are ignored: a handler may legitimately
-        // fire a post while the run is tearing down.
-        let _ = self.inboxes[dst].send(Envelope::User {
-            src,
-            kind,
-            payload,
-            arrive_ns,
-            reply: None,
-        });
+        self.send_user(src, dst, kind, payload, wire_bytes, depart, None, wake_tag);
     }
 }
+
+/// Names of the fabric-wide counters (see [`Network::stats`]). The
+/// fault/retry counters stay at zero unless a fault plan is installed.
+pub const NET_STAT_NAMES: &[&str] = &[
+    "requests",
+    "posts",
+    "bytes",
+    "retries",
+    "timeouts",
+    "nodedown",
+    "faults_dropped",
+    "faults_dup",
+    "faults_delayed",
+    "crash_drops",
+    "dedup_hits",
+    "tombstones",
+    "handler_failures",
+];
 
 /// Builder for a [`Network`].
 pub struct NetworkBuilder {
     nodes: usize,
     cost: LinkCost,
     unified_saving_ns: u64,
+    faults: Option<FaultPlan>,
+    resilience: Option<Resilience>,
 }
 
 impl NetworkBuilder {
     /// A fabric of `nodes` endpoints over the given link.
     pub fn new(nodes: usize, cost: LinkCost) -> Self {
         assert!(nodes > 0, "need at least one node");
-        Self { nodes, cost, unified_saving_ns: 0 }
+        Self { nodes, cost, unified_saving_ns: 0, faults: None, resilience: None }
     }
 
     /// Activate HAMSTER's unified messaging layer: each message saves
@@ -114,6 +395,21 @@ impl NetworkBuilder {
     /// (paper §3.3). Capped so overheads never go below 10% of native.
     pub fn unified(mut self, saving_ns: u64) -> Self {
         self.unified_saving_ns = saving_ns;
+        self
+    }
+
+    /// Install a fault plan (None leaves the fabric perfectly reliable).
+    /// Installing a plan without a resilience policy activates
+    /// [`Resilience::default`] so lost messages still time out.
+    pub fn faults(mut self, plan: Option<FaultPlan>) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Install a timeout/retry policy (None keeps the legacy
+    /// infallible behaviour when no fault plan is present).
+    pub fn resilience(mut self, r: Option<Resilience>) -> Self {
+        self.resilience = r;
         self
     }
 
@@ -131,6 +427,12 @@ impl NetworkBuilder {
             inboxes.push(tx);
             receivers.push(rx);
         }
+        let resilience = self.resilience.or(self.faults.as_ref().map(|_| Resilience::default()));
+        let faults = self.faults.map(|plan| FaultState {
+            plan,
+            seqs: (0..self.nodes).map(|_| Mutex::new(HashMap::new())).collect(),
+            dedup: (0..self.nodes).map(|_| Mutex::new(DedupWindow::default())).collect(),
+        });
         let shared = Arc::new(NetShared {
             inboxes,
             servers: (0..self.nodes)
@@ -144,9 +446,15 @@ impl NetworkBuilder {
             cost: self.cost,
             send_eff_ns,
             recv_eff_ns,
-            stats: StatSet::new(&["requests", "posts", "bytes"]),
+            stats: StatSet::new(NET_STAT_NAMES),
+            faults,
+            resilience,
+            stopped: AtomicBool::new(false),
+            next_req_id: AtomicU64::new(0),
+            deferred: Mutex::new(HashMap::new()),
         });
 
+        let drains = receivers.clone();
         let daemons = receivers
             .into_iter()
             .enumerate()
@@ -159,36 +467,126 @@ impl NetworkBuilder {
             })
             .collect();
 
-        Network { shared, daemons }
+        Network { shared, daemons, drains }
     }
+}
+
+/// Send the (possibly fault-afflicted) reply of a served request.
+#[allow(clippy::too_many_arguments)]
+fn send_reply(
+    shared: &NetShared,
+    node: NodeId,
+    src: NodeId,
+    kind: u32,
+    tx: Sender<ReplyMsg>,
+    payload: Payload,
+    wire_bytes: u64,
+    mut ready_ns: u64,
+    deadline_ns: u64,
+) {
+    if let Some(fs) = &shared.faults {
+        let back_ns = ready_ns + shared.cost.latency_ns;
+        if fs.plan.down_at(node, ready_ns)
+            || fs.plan.down_at(src, back_ns)
+            || fs.plan.cut_at(node, src, ready_ns)
+        {
+            shared.stats.add("crash_drops", 1);
+            sim::trace::instant(ready_ns, node, "fault", "crash_drop", kind as u64);
+            let err = RequestError::Timeout { deadline_ns };
+            let _ = tx.send(ReplyMsg::Err { err, ready_ns: deadline_ns });
+            return;
+        }
+        // Replies draw from their own decision stream (kind tagged with
+        // the reply marker) so symmetric protocols don't share draws.
+        let d = fs.next_decision(node, src, kind | REPLY_STREAM);
+        if d.drop {
+            shared.stats.add("faults_dropped", 1);
+            sim::trace::instant(ready_ns, node, "fault", "drop", kind as u64);
+            let err = RequestError::Timeout { deadline_ns };
+            let _ = tx.send(ReplyMsg::Err { err, ready_ns: deadline_ns });
+            return;
+        }
+        if d.extra_delay_ns > 0 {
+            shared.stats.add("faults_delayed", 1);
+            sim::trace::instant(ready_ns, node, "fault", "delay", d.extra_delay_ns);
+            ready_ns += d.extra_delay_ns;
+        }
+        // A duplicated reply would be absorbed by the reply slot (the
+        // requester takes the first), so `d.dup` needs no action.
+    }
+    // Requester may have vanished on teardown; ignore.
+    let _ = tx.send(ReplyMsg::Ok { payload, wire_bytes, ready_ns });
 }
 
 fn daemon_loop(node: NodeId, rx: Receiver<Envelope>, shared: Arc<NetShared>) {
     for env in rx.iter() {
         match env {
             Envelope::Stop => break,
-            Envelope::User { src, kind, payload, arrive_ns, reply } => {
+            Envelope::Dup { kind, req_id, arrive_ns } => {
+                // The transport pays receive overhead for the copy,
+                // then recognizes the request id and discards it: this
+                // is the de-duplication boundary duplicated deliveries
+                // die at.
+                shared.servers[node].transfer(arrive_ns, shared.recv_eff_ns);
+                let known = shared
+                    .faults
+                    .as_ref()
+                    .is_some_and(|f| f.dedup[node].lock().contains(req_id));
+                debug_assert!(known, "duplicate delivered before its original");
+                shared.stats.add("dedup_hits", 1);
+                sim::trace::instant(arrive_ns, node, "fault", "dedup", kind as u64);
+            }
+            Envelope::Fail { reply, err, ready_ns } => {
+                // Forward the precomputed failure to the requester; no
+                // service charge — the loss consumed no receive cycles.
+                let _ = reply.send(ReplyMsg::Err { err, ready_ns });
+            }
+            Envelope::User { src, kind, payload, arrive_ns, reply, req_id, deadline_ns } => {
+                if req_id != 0 {
+                    if let Some(fs) = &shared.faults {
+                        fs.dedup[node].lock().insert(req_id);
+                    }
+                }
                 let service = shared.recv_eff_ns + shared.cost.handler_ns;
                 let end0 = shared.servers[node].transfer(arrive_ns, service);
                 let ctx = HandlerCtx { net: &shared, node, now: end0 };
                 let out = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     shared.routers[node].dispatch(&ctx, src, kind, payload)
                 })) {
-                    Ok(out) => out,
+                    Ok(Ok(out)) => out,
+                    Ok(Err(e)) => {
+                        // Unroutable kind: NACK the requester (or log,
+                        // for one-way traffic) instead of dying.
+                        shared.stats.add("handler_failures", 1);
+                        eprintln!("commd-{node}: {e} (from node {src})");
+                        if let Some(tx) = reply {
+                            let err = RequestError::HandlerFailed {
+                                kind,
+                                reason: "no handler registered".into(),
+                            };
+                            let _ = tx.send(ReplyMsg::Err { err, ready_ns: end0 });
+                        }
+                        continue;
+                    }
                     Err(e) => {
                         // A protocol-handler panic is a bug in the layer
-                        // above; surface it loudly (dropping the reply
-                        // channel fails the requester) instead of
+                        // above; surface it loudly and fail the requester
+                        // with a typed (non-retryable) error instead of
                         // silently wedging the whole fabric.
                         let msg = e
                             .downcast_ref::<&str>()
                             .map(|s| s.to_string())
                             .or_else(|| e.downcast_ref::<String>().cloned())
                             .unwrap_or_else(|| "<non-string panic>".into());
+                        shared.stats.add("handler_failures", 1);
                         eprintln!(
                             "commd-{node}: handler for kind {kind:#x} (from node {src}) \
                              panicked: {msg}"
                         );
+                        if let Some(tx) = reply {
+                            let err = RequestError::HandlerFailed { kind, reason: msg };
+                            let _ = tx.send(ReplyMsg::Err { err, ready_ns: end0 });
+                        }
                         continue;
                     }
                 };
@@ -207,17 +605,40 @@ fn daemon_loop(node: NodeId, rx: Receiver<Envelope>, shared: Arc<NetShared>) {
                         sim::trace::span(served, end - served, node, "net", "not_before", end);
                     }
                 }
-                if let Some(tx) = reply {
-                    let (payload, wire_bytes) = out
-                        .reply
-                        .expect("synchronous request handled by non-replying handler");
-                    // Requester may have vanished on teardown; ignore.
-                    let _ = tx.send(ReplyMsg { payload, wire_bytes, ready_ns: end });
-                } else {
-                    assert!(
-                        out.reply.is_none(),
-                        "one-way message kind {kind:#x} produced a reply"
+                if let Some(key) = out.defer_key {
+                    // The handler took ownership of the reply: park the
+                    // channel; a later invocation discharges it via
+                    // `complete_deferred`. A re-request from the same
+                    // node (its first attempt's reply was lost) simply
+                    // replaces the abandoned channel.
+                    let tx = reply.unwrap_or_else(|| {
+                        panic!("one-way message kind {kind:#x} deferred a reply")
+                    });
+                    shared.deferred.lock().insert(
+                        (node, key, src),
+                        DeferredReply { tx, kind, ready_ns: end, deadline_ns },
                     );
+                    continue;
+                }
+                match (reply, out.reply) {
+                    (Some(tx), Some((payload, wire_bytes))) => {
+                        send_reply(&shared, node, src, kind, tx, payload, wire_bytes, end, deadline_ns);
+                    }
+                    (Some(tx), None) => {
+                        // In resilient mode, protocol messages that are
+                        // one-way on a reliable fabric travel as
+                        // requests so delivery is confirmable: the
+                        // transport acks them without handler help.
+                        assert!(
+                            shared.resilience.is_some(),
+                            "synchronous request handled by non-replying handler"
+                        );
+                        send_reply(&shared, node, src, kind, tx, Box::new(()), 8, end, deadline_ns);
+                    }
+                    (None, Some(_)) => {
+                        panic!("one-way message kind {kind:#x} produced a reply")
+                    }
+                    (None, None) => {}
                 }
             }
         }
@@ -228,6 +649,9 @@ fn daemon_loop(node: NodeId, rx: Receiver<Envelope>, shared: Arc<NetShared>) {
 pub struct Network {
     shared: Arc<NetShared>,
     daemons: Vec<JoinHandle<()>>,
+    /// Inbox receivers, kept so teardown can atomically close each
+    /// channel and answer stranded in-flight requests.
+    drains: Vec<Receiver<Envelope>>,
 }
 
 impl Network {
@@ -258,7 +682,7 @@ impl Network {
         NodePort { node, clock, shared: self.shared.clone() }
     }
 
-    /// Fabric-wide statistics (requests, posts, bytes).
+    /// Fabric-wide statistics (see [`NET_STAT_NAMES`]).
     pub fn stats(&self) -> &StatSet {
         &self.shared.stats
     }
@@ -277,11 +701,41 @@ impl Network {
 
 impl Drop for Network {
     fn drop(&mut self) {
+        // New sends observe the flag and fail fast with FabricStopped.
+        self.shared.stopped.store(true, Ordering::Release);
         for tx in &self.shared.inboxes {
             let _ = tx.send(Envelope::Stop);
         }
         for d in self.daemons.drain(..) {
             let _ = d.join();
+        }
+        // Everything enqueued after Stop (sends that raced the flag) is
+        // drained atomically; in-flight requests among it get a typed
+        // FabricStopped error instead of a wedged or panicking waiter.
+        for rx in self.drains.drain(..) {
+            for env in rx.close_and_drain() {
+                match env {
+                    Envelope::User { reply: Some(tx), arrive_ns, .. } => {
+                        let _ = tx.send(ReplyMsg::Err {
+                            err: RequestError::FabricStopped,
+                            ready_ns: arrive_ns,
+                        });
+                    }
+                    Envelope::Fail { reply, err, ready_ns } => {
+                        let _ = reply.send(ReplyMsg::Err { err, ready_ns });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Reply obligations still parked by handlers (a rendezvous that
+        // never completed, e.g. a barrier cut short by an aborted run)
+        // fail the same way instead of stranding their requesters.
+        for (_, parked) in self.shared.deferred.lock().drain() {
+            let _ = parked.tx.send(ReplyMsg::Err {
+                err: RequestError::FabricStopped,
+                ready_ns: parked.ready_ns,
+            });
         }
     }
 }
@@ -321,19 +775,47 @@ impl NodePort {
         &self.shared.mailboxes[self.node]
     }
 
+    /// The fabric's timeout/retry policy, if one is installed. Protocol
+    /// layers use this to decide between the legacy (infallible) and
+    /// resilient message shapes.
+    pub fn resilience(&self) -> Option<Resilience> {
+        self.shared.resilience
+    }
+
     /// Block on the mailbox and advance the clock to the wake-up's
-    /// arrival time. Returns the payload.
+    /// arrival time. Returns the payload. Panics if the wake-up was
+    /// destroyed by fault injection — waiters on a faulty fabric must
+    /// use [`NodePort::wait_mailbox_checked`].
     pub fn wait_mailbox(&self, tag: u64) -> Payload {
+        self.wait_mailbox_checked(tag).unwrap_or_else(|e| {
+            panic!("node {}: wake-up under tag {tag:#x} lost ({e}) with no resilient waiter", self.node)
+        })
+    }
+
+    /// Block on the mailbox until a deposit under `tag` arrives, or
+    /// until the fault injector's loss tombstone reports that the
+    /// wake-up was destroyed (surfacing as a `Timeout` at the sender's
+    /// deadline, in virtual time).
+    pub fn wait_mailbox_checked(&self, tag: u64) -> Result<Payload, RequestError> {
         let d = self.shared.mailboxes[self.node].wait(tag);
+        if d.lost {
+            self.clock.advance_to(d.arrive_ns);
+            self.shared.stats.add("timeouts", 1);
+            return Err(RequestError::Timeout { deadline_ns: d.arrive_ns });
+        }
         self.clock.advance_to(d.arrive_ns);
         self.clock.advance(self.shared.recv_eff_ns);
-        d.payload
+        Ok(d.payload)
     }
 
     /// Synchronous request: sends `value` to `dst` under `kind`, blocks
     /// for the reply, charges the full round trip (send overhead, wire,
     /// handler queueing and service, reply wire, receive overhead) to
     /// this node's clock, and returns the reply payload.
+    ///
+    /// Infallible form: panics on fabric failure. Use
+    /// [`NodePort::try_request`] or [`NodePort::request_retrying`] on a
+    /// faulty fabric.
     pub fn request<T: std::any::Any + Send>(
         &self,
         dst: NodeId,
@@ -341,29 +823,117 @@ impl NodePort {
         value: T,
         wire_bytes: u64,
     ) -> Payload {
+        self.try_request(dst, kind, value, wire_bytes)
+            .unwrap_or_else(|e| panic!("request kind {kind:#x} to node {dst} failed: {e}"))
+    }
+
+    /// [`NodePort::request`] with failures surfaced as typed errors
+    /// instead of panics. Lost messages and dead peers resolve at
+    /// virtual-time deadlines; the clock is always advanced to the
+    /// moment the failure was known.
+    pub fn try_request<T: std::any::Any + Send>(
+        &self,
+        dst: NodeId,
+        kind: u32,
+        value: T,
+        wire_bytes: u64,
+    ) -> Result<Payload, RequestError> {
         self.shared.stats.add("requests", 1);
         self.shared.stats.add("bytes", wire_bytes);
+        let t0 = self.clock.now();
         let depart = self.clock.advance(self.shared.send_eff_ns);
-        let arrive_ns = self.shared.wire_arrival(self.node, dst, depart, wire_bytes);
-        let (tx, rx) = bounded(1);
-        self.shared.inboxes[dst]
-            .send(Envelope::User {
-                src: self.node,
-                kind,
-                payload: Box::new(value),
-                arrive_ns,
-                reply: Some(tx),
-            })
-            .expect("fabric stopped while request in flight");
-        let rep = rx.recv().expect("handler dropped reply channel");
-        let back = self.shared.wire_arrival(dst, self.node, rep.ready_ns, rep.wire_bytes);
-        self.clock.advance_to(back);
-        self.clock.advance(self.shared.recv_eff_ns);
+        let (tx, rx) = unbounded();
+        self.shared
+            .send_user(self.node, dst, kind, Box::new(value), wire_bytes, depart, Some(tx), None);
+        let res = match rx.recv() {
+            Ok(ReplyMsg::Ok { payload, wire_bytes, ready_ns }) => {
+                let back = self.shared.wire_arrival(dst, self.node, ready_ns, wire_bytes);
+                self.clock.advance_to(back);
+                self.clock.advance(self.shared.recv_eff_ns);
+                Ok(payload)
+            }
+            Ok(ReplyMsg::Err { err, ready_ns }) => {
+                self.clock.advance_to(ready_ns);
+                self.count_error(&err);
+                Err(err)
+            }
+            // Reply channel dropped without an answer: daemons are gone.
+            Err(_) => Err(RequestError::FabricStopped),
+        };
         if sim::trace::enabled() {
-            let t0 = depart - self.shared.send_eff_ns;
             sim::trace::span(t0, self.clock.now() - t0, self.node, "net", "request", kind as u64);
         }
-        rep.payload
+        res
+    }
+
+    /// [`NodePort::try_request`] plus the fabric's retry policy:
+    /// transient failures (timeouts, dead peers) back off exponentially
+    /// — with deterministic jitter — and retry with a fresh delivery
+    /// id, up to the policy's attempt budget. Fatal errors and
+    /// exhausted budgets surface as `Err`.
+    pub fn request_retrying<T: std::any::Any + Send + Clone>(
+        &self,
+        dst: NodeId,
+        kind: u32,
+        value: T,
+        wire_bytes: u64,
+    ) -> Result<Payload, RequestError> {
+        match self.try_request(dst, kind, value.clone(), wire_bytes) {
+            Ok(p) => Ok(p),
+            Err(e) => self.retry_loop(dst, kind, &value, wire_bytes, e),
+        }
+    }
+
+    /// Drive the backoff/retry schedule after a first failure.
+    fn retry_loop<T: std::any::Any + Send + Clone>(
+        &self,
+        dst: NodeId,
+        kind: u32,
+        value: &T,
+        wire_bytes: u64,
+        mut last: RequestError,
+    ) -> Result<Payload, RequestError> {
+        let Some(res) = self.shared.resilience else { return Err(last) };
+        let seed = self.shared.faults.as_ref().map_or(0, |f| f.plan.seed);
+        let mut failures = 1u32;
+        loop {
+            if !last.is_transient() || failures >= res.retry.max_attempts {
+                return Err(last);
+            }
+            self.shared.stats.add("retries", 1);
+            // Jitter from deterministic inputs only: the plan seed and
+            // the stream's retry count. The clock is deliberately NOT an
+            // input — its low microseconds can wobble with thread
+            // scheduling, and hashing them would amplify a sub-µs
+            // timing difference into a full backoff-sized divergence.
+            let salt = match &self.shared.faults {
+                Some(f) => f.next_retry_salt(self.node, dst, kind),
+                None => {
+                    let stream = ((self.node as u64) << 42)
+                        ^ ((dst as u64) << 21)
+                        ^ ((kind as u64) << 1);
+                    mix(seed ^ stream ^ failures as u64)
+                }
+            };
+            let pause = res.retry.backoff_ns(failures, salt);
+            sim::trace::instant(self.clock.now(), self.node, "fault", "retry", kind as u64);
+            self.clock.advance(pause);
+            match self.try_request(dst, kind, value.clone(), wire_bytes) {
+                Ok(p) => return Ok(p),
+                Err(e) => {
+                    last = e;
+                    failures += 1;
+                }
+            }
+        }
+    }
+
+    fn count_error(&self, err: &RequestError) {
+        match err {
+            RequestError::Timeout { .. } => self.shared.stats.add("timeouts", 1),
+            RequestError::NodeDown { .. } => self.shared.stats.add("nodedown", 1),
+            _ => {}
+        }
     }
 
     /// Pipelined batch of synchronous requests: all messages are sent
@@ -371,6 +941,9 @@ impl NodePort {
     /// clock advances to the completion of the *latest* reply — the
     /// behaviour of a DSM that pushes diffs to several homes in parallel
     /// and waits for all acknowledgements.
+    ///
+    /// Infallible form: panics on fabric failure (see
+    /// [`NodePort::request_batch_retrying`]).
     pub fn request_batch<T: std::any::Any + Send>(
         &self,
         msgs: Vec<(NodeId, u32, T, u64)>,
@@ -382,26 +955,27 @@ impl NodePort {
             self.shared.stats.add("requests", 1);
             self.shared.stats.add("bytes", wire_bytes);
             let depart = self.clock.advance(self.shared.send_eff_ns);
-            let arrive_ns = self.shared.wire_arrival(self.node, dst, depart, wire_bytes);
-            let (tx, rx) = bounded(1);
-            self.shared.inboxes[dst]
-                .send(Envelope::User {
-                    src: self.node,
-                    kind,
-                    payload: Box::new(value),
-                    arrive_ns,
-                    reply: Some(tx),
-                })
-                .expect("fabric stopped while request in flight");
-            pending.push((dst, rx));
+            let (tx, rx) = unbounded();
+            self.shared
+                .send_user(self.node, dst, kind, Box::new(value), wire_bytes, depart, Some(tx), None);
+            pending.push((dst, kind, rx));
         }
         let mut out = Vec::with_capacity(pending.len());
         let mut latest = self.clock.now();
-        for (dst, rx) in pending {
-            let rep = rx.recv().expect("handler dropped reply channel");
-            let back = self.shared.wire_arrival(dst, self.node, rep.ready_ns, rep.wire_bytes);
-            latest = latest.max(back + self.shared.recv_eff_ns);
-            out.push(rep.payload);
+        for (dst, kind, rx) in pending {
+            match rx.recv() {
+                Ok(ReplyMsg::Ok { payload, wire_bytes, ready_ns }) => {
+                    let back = self.shared.wire_arrival(dst, self.node, ready_ns, wire_bytes);
+                    latest = latest.max(back + self.shared.recv_eff_ns);
+                    out.push(payload);
+                }
+                Ok(ReplyMsg::Err { err, .. }) => {
+                    panic!("batched request kind {kind:#x} to node {dst} failed: {err}")
+                }
+                Err(_) => {
+                    panic!("batched request kind {kind:#x} to node {dst} failed: fabric stopped")
+                }
+            }
         }
         self.clock.advance_to(latest);
         if sim::trace::enabled() && n_msgs > 0 {
@@ -410,23 +984,98 @@ impl NodePort {
         out
     }
 
+    /// Resilient batch: entries that fail transiently are retried
+    /// individually (with backoff) after the batch settles, so one lost
+    /// diff doesn't abort a whole flush. Returns replies in request
+    /// order, or the first unrecoverable error.
+    pub fn request_batch_retrying<T: std::any::Any + Send + Clone>(
+        &self,
+        msgs: Vec<(NodeId, u32, T, u64)>,
+    ) -> Result<Vec<Payload>, RequestError> {
+        let t0 = self.clock.now();
+        let n_msgs = msgs.len() as u64;
+        let mut pending = Vec::with_capacity(msgs.len());
+        for (dst, kind, value, wire_bytes) in &msgs {
+            self.shared.stats.add("requests", 1);
+            self.shared.stats.add("bytes", *wire_bytes);
+            let depart = self.clock.advance(self.shared.send_eff_ns);
+            let (tx, rx) = unbounded();
+            self.shared.send_user(
+                self.node,
+                *dst,
+                *kind,
+                Box::new(value.clone()),
+                *wire_bytes,
+                depart,
+                Some(tx),
+                None,
+            );
+            pending.push(rx);
+        }
+        let mut out: Vec<Option<Payload>> = msgs.iter().map(|_| None).collect();
+        let mut failed: Vec<(usize, RequestError)> = Vec::new();
+        let mut latest = self.clock.now();
+        for (i, rx) in pending.into_iter().enumerate() {
+            match rx.recv() {
+                Ok(ReplyMsg::Ok { payload, wire_bytes, ready_ns }) => {
+                    let back = self.shared.wire_arrival(msgs[i].0, self.node, ready_ns, wire_bytes);
+                    latest = latest.max(back + self.shared.recv_eff_ns);
+                    out[i] = Some(payload);
+                }
+                Ok(ReplyMsg::Err { err, ready_ns }) => {
+                    latest = latest.max(ready_ns);
+                    self.count_error(&err);
+                    failed.push((i, err));
+                }
+                Err(_) => failed.push((i, RequestError::FabricStopped)),
+            }
+        }
+        self.clock.advance_to(latest);
+        for (i, err) in failed {
+            let (dst, kind, ref value, wire_bytes) = msgs[i];
+            out[i] = Some(self.retry_loop(dst, kind, value, wire_bytes, err)?);
+        }
+        if sim::trace::enabled() && n_msgs > 0 {
+            sim::trace::span(t0, self.clock.now() - t0, self.node, "net", "request_batch", n_msgs);
+        }
+        Ok(out.into_iter().map(|p| p.expect("every batch entry resolved")).collect())
+    }
+
     /// Fire-and-forget message to `dst`. Charges only the send overhead
     /// to this node's clock.
     pub fn post<T: std::any::Any + Send>(&self, dst: NodeId, kind: u32, value: T, wire_bytes: u64) {
+        self.post_inner(dst, kind, value, wire_bytes, None);
+    }
+
+    /// Like [`NodePort::post`], for messages whose receiving handler
+    /// deposits into a mailbox under `wake_tag`: if fault injection
+    /// destroys the message, a loss tombstone lands under that tag so
+    /// the waiter times out instead of blocking forever.
+    pub fn post_tagged<T: std::any::Any + Send>(
+        &self,
+        dst: NodeId,
+        kind: u32,
+        value: T,
+        wire_bytes: u64,
+        wake_tag: u64,
+    ) {
+        self.post_inner(dst, kind, value, wire_bytes, Some(wake_tag));
+    }
+
+    fn post_inner<T: std::any::Any + Send>(
+        &self,
+        dst: NodeId,
+        kind: u32,
+        value: T,
+        wire_bytes: u64,
+        wake_tag: Option<u64>,
+    ) {
         self.shared.stats.add("posts", 1);
         self.shared.stats.add("bytes", wire_bytes);
         let depart = self.clock.advance(self.shared.send_eff_ns);
-        let arrive_ns = self.shared.wire_arrival(self.node, dst, depart, wire_bytes);
         sim::trace::instant(depart, self.node, "net", "post", kind as u64);
-        self.shared.inboxes[dst]
-            .send(Envelope::User {
-                src: self.node,
-                kind,
-                payload: Box::new(value),
-                arrive_ns,
-                reply: None,
-            })
-            .expect("fabric stopped while posting");
+        self.shared
+            .send_user(self.node, dst, kind, Box::new(value), wire_bytes, depart, None, wake_tag);
     }
 
     /// Post `value` to every node except this one. The payload must be
@@ -613,6 +1262,223 @@ mod tests {
         let got: Vec<u64> = counters.iter().map(|c| c.get()).collect();
         assert_eq!(got, vec![1, 0, 1, 1]);
     }
+
+    #[test]
+    fn unknown_kind_is_nacked_not_fatal() {
+        let net = Network::builder(2, tiny_link()).build();
+        net.router(1).register(0x30, |_c, _s, _p| Outcome::reply((), 0));
+        let p = net.port(0, VirtualClock::new());
+        let err = p.try_request(1, 0x31, (), 8).unwrap_err();
+        assert!(matches!(err, RequestError::HandlerFailed { kind: 0x31, .. }), "{err}");
+        assert_eq!(net.stats().get("handler_failures"), 1);
+        // The daemon survived and still serves registered kinds.
+        assert!(p.try_request(1, 0x30, (), 8).is_ok());
+    }
+
+    #[test]
+    fn deferred_reply_rendezvous_answers_all_requesters() {
+        // A 2-party rendezvous at node 2: the first arrival's reply is
+        // parked (Outcome::defer); the last arrival discharges it and
+        // gets the same collective answer in its own reply.
+        let net = Network::builder(3, tiny_link())
+            .resilience(Some(Resilience::default()))
+            .build();
+        let seen = std::sync::Arc::new(Mutex::new(Vec::<(NodeId, u64)>::new()));
+        {
+            let seen = seen.clone();
+            net.router(2).register(0x40, move |ctx, src, p| {
+                let x = downcast::<u64>(p);
+                let mut g = seen.lock();
+                g.push((src, x));
+                if g.len() < 2 {
+                    return Outcome::defer(7);
+                }
+                let sum: u64 = g.iter().map(|&(_, v)| v).sum();
+                for &(who, _) in g.iter() {
+                    if who != src {
+                        ctx.complete_deferred(7, who, sum, 8, ctx.now);
+                    }
+                }
+                Outcome::reply(sum, 8)
+            });
+        }
+        let handles: Vec<_> = (0..2)
+            .map(|n| {
+                let port = net.port(n, VirtualClock::new());
+                std::thread::spawn(move || {
+                    downcast::<u64>(port.request(2, 0x40, (n as u64 + 1) * 10, 8))
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 30);
+        }
+    }
+
+    #[test]
+    fn parked_deferred_reply_fails_at_teardown() {
+        // A deferred request never discharged must not hang teardown:
+        // Network::drop fails it with FabricStopped.
+        let net = Network::builder(2, tiny_link())
+            .resilience(Some(Resilience::default()))
+            .build();
+        net.router(1).register(0x41, |_c, _s, _p| Outcome::defer(1));
+        let port = net.port(0, VirtualClock::new());
+        let h = std::thread::spawn(move || port.try_request(1, 0x41, (), 8));
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(net);
+        assert_eq!(h.join().unwrap().unwrap_err(), RequestError::FabricStopped);
+    }
+
+    #[test]
+    fn request_after_teardown_gets_fabric_stopped() {
+        let net = Network::builder(2, tiny_link()).build();
+        net.router(1).register(0x32, |_c, _s, _p| Outcome::reply((), 0));
+        let p = net.port(0, VirtualClock::new());
+        assert!(p.try_request(1, 0x32, (), 8).is_ok());
+        drop(net);
+        assert_eq!(p.try_request(1, 0x32, (), 8).unwrap_err(), RequestError::FabricStopped);
+    }
+
+    fn all_drop_plan() -> FaultPlan {
+        FaultPlan {
+            seed: 1,
+            default_link: crate::fault::LinkFaults {
+                drop_ppm: crate::fault::PPM as u32,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dropped_request_times_out_in_virtual_time() {
+        let net = Network::builder(2, tiny_link()).faults(Some(all_drop_plan())).build();
+        net.router(1).register(0x40, |_c, _s, _p| Outcome::reply((), 0));
+        let c = VirtualClock::new();
+        let p = net.port(0, c.clone());
+        let err = p.try_request(1, 0x40, (), 8).unwrap_err();
+        let deadline = 100 + Resilience::default().timeout_ns;
+        assert_eq!(err, RequestError::Timeout { deadline_ns: deadline });
+        assert_eq!(c.now(), deadline, "clock advanced to the virtual deadline");
+        assert_eq!(net.stats().get("faults_dropped"), 1);
+        assert_eq!(net.stats().get("timeouts"), 1);
+    }
+
+    #[test]
+    fn crashed_node_reports_node_down_then_heals() {
+        let plan = FaultPlan {
+            crashes: vec![crate::fault::CrashWindow {
+                node: 1,
+                from_ns: 0,
+                until_ns: 1_000_000,
+            }],
+            ..FaultPlan::seeded(3)
+        };
+        let net = Network::builder(2, tiny_link()).faults(Some(plan)).build();
+        net.router(1).register(0x41, |_c, _s, _p| Outcome::reply((), 0));
+        let c = VirtualClock::new();
+        let p = net.port(0, c.clone());
+        match p.try_request(1, 0x41, (), 8) {
+            Err(RequestError::NodeDown { node: 1, .. }) => {}
+            other => panic!("expected NodeDown, got {other:?}"),
+        }
+        assert_eq!(net.stats().get("nodedown"), 1);
+        // request_retrying backs off past the heal time and succeeds.
+        c.advance_to(900_000);
+        assert!(p.request_retrying(1, 0x41, (), 8).is_ok());
+        assert!(net.stats().get("retries") >= 1);
+    }
+
+    #[test]
+    fn duplicates_are_deduplicated_at_the_daemon() {
+        let plan = FaultPlan {
+            seed: 5,
+            default_link: crate::fault::LinkFaults {
+                dup_ppm: crate::fault::PPM as u32,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let net = Network::builder(2, tiny_link()).faults(Some(plan)).build();
+        let hits = Arc::new(sim::Counter::new());
+        let h = hits.clone();
+        net.router(1).register(0x42, move |_c, _s, p| {
+            h.incr();
+            Outcome::reply(downcast::<u32>(p) * 2, 8)
+        });
+        let p = net.port(0, VirtualClock::new());
+        for i in 0..8u32 {
+            assert_eq!(downcast::<u32>(p.request_retrying(1, 0x42, i, 8).unwrap()), i * 2);
+        }
+        drop(net);
+        assert_eq!(hits.get(), 8, "handler ran once per request despite duplication");
+    }
+
+    #[test]
+    fn dup_dedup_counters_match() {
+        let plan = FaultPlan {
+            seed: 6,
+            default_link: crate::fault::LinkFaults {
+                dup_ppm: crate::fault::PPM as u32,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let net = Network::builder(2, tiny_link()).faults(Some(plan)).build();
+        net.router(1).register(0x43, |_c, _s, _p| Outcome::reply((), 0));
+        let p = net.port(0, VirtualClock::new());
+        for _ in 0..5 {
+            let _ = p.request_retrying(1, 0x43, (), 8).unwrap();
+        }
+        let dups = net.stats().get("faults_dup");
+        drop(net);
+        assert!(dups >= 5, "forward and reply streams both duplicate");
+    }
+
+    #[test]
+    fn faulty_fabric_same_seed_same_schedule() {
+        let run = |seed: u64| {
+            let plan = FaultPlan {
+                seed,
+                default_link: crate::fault::LinkFaults {
+                    drop_ppm: 200_000,
+                    dup_ppm: 100_000,
+                    delay_ppm: 200_000,
+                    delay_ns: 50_000,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let net = Network::builder(2, tiny_link()).faults(Some(plan)).build();
+            net.router(1).register(0x44, |_c, _s, p| Outcome::reply(downcast::<u32>(p), 8));
+            let c = VirtualClock::new();
+            let p = net.port(0, c.clone());
+            for i in 0..32u32 {
+                let _ = p.request_retrying(1, 0x44, i, 8).unwrap();
+            }
+            let stats: Vec<u64> = NET_STAT_NAMES.iter().map(|n| net.stats().get(n)).collect();
+            (c.now(), stats)
+        };
+        assert_eq!(run(11), run(11), "same seed reproduces time and counters");
+        assert_ne!(run(11), run(12), "different seed diverges");
+    }
+
+    #[test]
+    fn lost_tagged_post_leaves_tombstone() {
+        let net = Network::builder(2, tiny_link()).faults(Some(all_drop_plan())).build();
+        let mb = net.mailbox(1);
+        net.router(1).register(0x45, move |ctx, _src, p| {
+            mb.deposit(crate::mailbox::tag(0x45, 0), p, ctx.now);
+            Outcome::done()
+        });
+        let p0 = net.port(0, VirtualClock::new());
+        p0.post_tagged(1, 0x45, 7u8, 1, crate::mailbox::tag(0x45, 0));
+        let p1 = net.port(1, VirtualClock::new());
+        let err = p1.wait_mailbox_checked(crate::mailbox::tag(0x45, 0)).unwrap_err();
+        assert!(matches!(err, RequestError::Timeout { .. }));
+        assert_eq!(net.stats().get("tombstones"), 1);
+    }
 }
 
 #[cfg(test)]
@@ -623,7 +1489,7 @@ mod panic_tests {
     #[test]
     fn handler_panic_is_contained_and_reported() {
         // A panicking handler must not wedge the daemon: the panicking
-        // request fails loudly at the requester (dropped reply channel),
+        // request fails loudly at the requester (typed HandlerFailed),
         // while subsequent messages keep flowing.
         let link = LinkCost {
             send_overhead_ns: 10,
@@ -639,14 +1505,14 @@ mod panic_tests {
             Outcome::reply(v * 2, 8)
         });
         let port = net.port(0, VirtualClock::new());
-        // Trigger the panic from a scratch thread so this test survives.
-        let p2 = port.clone();
-        let bad = std::thread::spawn(move || {
-            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                p2.request(1, 0x66, 13u32, 8)
-            }));
-        });
-        bad.join().unwrap();
+        let err = port.try_request(1, 0x66, 13u32, 8).unwrap_err();
+        match &err {
+            RequestError::HandlerFailed { kind: 0x66, reason } => {
+                assert!(reason.contains("unlucky"), "{reason}")
+            }
+            other => panic!("expected HandlerFailed, got {other:?}"),
+        }
+        assert!(!err.is_transient(), "handler bugs are not retryable");
         // The daemon is still alive and serving.
         let ok = downcast::<u32>(port.request(1, 0x66, 21u32, 8));
         assert_eq!(ok, 42);
@@ -693,5 +1559,35 @@ mod batch_tests {
             batched * 2 < serial,
             "batch should pipeline: serial={serial} batched={batched}"
         );
+    }
+
+    #[test]
+    fn resilient_batch_retries_lost_entries() {
+        let plan = FaultPlan {
+            seed: 9,
+            default_link: crate::fault::LinkFaults { drop_ppm: 300_000, ..Default::default() },
+            ..Default::default()
+        };
+        let net = Network::builder(4, tiny()).faults(Some(plan)).build();
+        for n in 1..4 {
+            net.router(n)
+                .register(0x22, |_c, _s, p| Outcome::reply(downcast::<u64>(p) + 1, 8));
+        }
+        let p = net.port(0, VirtualClock::new());
+        let replies = p
+            .request_batch_retrying((1..4).map(|d| (d, 0x22, d as u64, 8)).collect::<Vec<_>>())
+            .unwrap();
+        let vals: Vec<u64> = replies.into_iter().map(downcast::<u64>).collect();
+        assert_eq!(vals, vec![2, 3, 4], "replies stay in request order");
+    }
+
+    fn tiny() -> LinkCost {
+        LinkCost {
+            send_overhead_ns: 100,
+            recv_overhead_ns: 100,
+            latency_ns: 1_000,
+            bytes_per_sec: 1_000_000_000,
+            handler_ns: 50,
+        }
     }
 }

@@ -1,5 +1,6 @@
 //! Per-node handler registry.
 
+use crate::error::DispatchError;
 use crate::message::{Handler, HandlerCtx, NodeId, Outcome, Payload};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -34,13 +35,19 @@ impl Router {
         assert!(prev.is_none(), "handler kind {kind:#x} registered twice");
     }
 
-    /// Dispatch a message. Panics on unknown kinds (protocol bug).
-    pub fn dispatch(&self, ctx: &HandlerCtx<'_>, src: NodeId, kind: u32, payload: Payload) -> Outcome {
+    /// Dispatch a message. An unknown kind is reported as a
+    /// [`DispatchError`] so the communication daemon can NACK the
+    /// requester instead of dying with it.
+    pub fn dispatch(
+        &self,
+        ctx: &HandlerCtx<'_>,
+        src: NodeId,
+        kind: u32,
+        payload: Payload,
+    ) -> Result<Outcome, DispatchError> {
         let guard = self.handlers.read();
-        let h = guard
-            .get(&kind)
-            .unwrap_or_else(|| panic!("no handler for message kind {kind:#x}"));
-        h(ctx, src, payload)
+        let h = guard.get(&kind).ok_or(DispatchError { kind })?;
+        Ok(h(ctx, src, payload))
     }
 
     /// Whether a handler is registered for `kind`.

@@ -8,6 +8,9 @@
 use memwire::Interval;
 use std::collections::HashMap;
 
+/// A cached release: `(epoch, release_ns, intervals sorted by rank)`.
+type ReleasedEpoch = (u64, u64, Vec<(usize, Interval)>);
+
 /// Pending state of one barrier at its manager.
 #[derive(Debug, Default)]
 struct BarrierState {
@@ -21,6 +24,11 @@ struct BarrierState {
 #[derive(Debug, Default)]
 pub struct BarrierMgr {
     barriers: HashMap<u32, BarrierState>,
+    /// Last released epoch per barrier, with its release time and
+    /// intervals, kept so a retried arrival (the arriver never saw the
+    /// release) can be answered with a targeted replay instead of
+    /// corrupting the next epoch's state.
+    released: HashMap<u32, ReleasedEpoch>,
 }
 
 /// What the manager does after an arrival.
@@ -35,6 +43,17 @@ pub enum BarrierStep {
         /// Virtual time of the release (latest arrival).
         release_ns: u64,
         /// Every participant's interval, sorted by rank.
+        intervals: Vec<(usize, Interval)>,
+    },
+    /// The arrival is a retry for an epoch that already released (the
+    /// release broadcast to that node was lost): answer the arriver
+    /// directly with the cached release.
+    Replay {
+        /// The already-released epoch.
+        epoch: u64,
+        /// Virtual time of the original release.
+        release_ns: u64,
+        /// The released intervals, sorted by rank.
         intervals: Vec<(usize, Interval)>,
     },
 }
@@ -57,6 +76,21 @@ impl BarrierMgr {
         arrive_ns: u64,
         expected: usize,
     ) -> BarrierStep {
+        if let Some((rel_epoch, release_ns, intervals)) = self.released.get(&id) {
+            if epoch == *rel_epoch {
+                // Retried arrival for an epoch this manager already
+                // released: the arriver never saw the release.
+                return BarrierStep::Replay {
+                    epoch,
+                    release_ns: *release_ns,
+                    intervals: intervals.clone(),
+                };
+            }
+            assert!(
+                epoch > *rel_epoch,
+                "barrier {id}: node {who} arrived for stale epoch {epoch} (last released {rel_epoch})"
+            );
+        }
         let st = self.barriers.entry(id).or_default();
         if st.arrived.is_empty() {
             st.epoch = epoch;
@@ -66,10 +100,11 @@ impl BarrierMgr {
             "barrier {id}: node {who} arrived for epoch {epoch}, manager in {}",
             st.epoch
         );
-        assert!(
-            !st.arrived.iter().any(|(n, _)| *n == who),
-            "barrier {id}: node {who} arrived twice in epoch {epoch}"
-        );
+        if st.arrived.iter().any(|(n, _)| *n == who) {
+            // Duplicate (retried) arrival within the pending epoch; the
+            // interval is identical, so it contributes nothing new.
+            return BarrierStep::Waiting;
+        }
         st.arrived.push((who, interval));
         st.latest_ns = st.latest_ns.max(arrive_ns);
         if st.arrived.len() == expected {
@@ -77,6 +112,7 @@ impl BarrierMgr {
             intervals.sort_by_key(|(n, _)| *n);
             let release_ns = st.latest_ns;
             st.latest_ns = 0;
+            self.released.insert(id, (epoch, release_ns, intervals.clone()));
             BarrierStep::Release { epoch, release_ns, intervals }
         } else {
             BarrierStep::Waiting
@@ -108,7 +144,7 @@ mod tests {
                 assert_eq!(intervals[0].0, 0);
                 assert_eq!(intervals[0].1, iv(&[1]));
             }
-            BarrierStep::Waiting => panic!("should release"),
+            other => panic!("should release, got {other:?}"),
         }
     }
 
@@ -136,11 +172,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "arrived twice")]
-    fn double_arrival_panics() {
+    fn duplicate_arrival_is_idempotent() {
         let mut m = BarrierMgr::new();
-        m.arrive(0, 1, 0, iv(&[]), 10, 3);
-        m.arrive(0, 1, 0, iv(&[]), 11, 3);
+        assert_eq!(m.arrive(0, 1, 0, iv(&[]), 10, 2), BarrierStep::Waiting);
+        // A retried arrival (its ack was lost) must not count twice.
+        assert_eq!(m.arrive(0, 1, 0, iv(&[]), 11, 2), BarrierStep::Waiting);
+        match m.arrive(0, 1, 1, iv(&[]), 12, 2) {
+            BarrierStep::Release { epoch, intervals, .. } => {
+                assert_eq!(epoch, 1);
+                assert_eq!(intervals.len(), 2);
+            }
+            other => panic!("expected release, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rearrival_after_release_replays() {
+        let mut m = BarrierMgr::new();
+        m.arrive(0, 1, 0, iv(&[7]), 10, 2);
+        m.arrive(0, 1, 1, iv(&[]), 30, 2);
+        // Node 1's release broadcast was lost; it re-arrives for the
+        // same epoch and must get the original release replayed.
+        match m.arrive(0, 1, 1, iv(&[]), 500, 2) {
+            BarrierStep::Replay { epoch, release_ns, intervals } => {
+                assert_eq!(epoch, 1);
+                assert_eq!(release_ns, 30);
+                assert_eq!(intervals[0], (0, iv(&[7])));
+            }
+            other => panic!("expected replay, got {other:?}"),
+        }
+        // The next epoch starts clean despite the replay.
+        assert_eq!(m.arrive(0, 2, 0, iv(&[]), 600, 2), BarrierStep::Waiting);
     }
 
     #[test]

@@ -57,4 +57,4 @@ pub mod proto;
 
 pub use memwire::{RegionDir, RegionMeta};
 pub use home::HomeStore;
-pub use node::{BarrierAlgo, DsmConfig, DsmNode, SwDsm};
+pub use node::{BarrierAlgo, DsmConfig, DsmError, DsmNode, SwDsm};

@@ -8,7 +8,7 @@ use crate::kinds;
 use crate::lockmgr::{Acquire, LockMgr};
 use crate::proto::*;
 use cluster::{Cluster, NodeCtx};
-use interconnect::{downcast, Outcome};
+use interconnect::{downcast, Outcome, RequestError};
 use memwire::{
     CachedPage, Diff, Distribution, GlobalAddr, Interval, PageId, PageTable, RegionDir,
     RegionMeta, PAGE_SIZE,
@@ -21,6 +21,37 @@ use std::sync::Arc;
 /// Barrier ids with the top bit set are reserved for internal use
 /// (collective allocation).
 const ALLOC_BARRIER: u32 = 0x8000_0000;
+
+/// Upper bound on protocol-level retry rounds (re-arrivals, grant
+/// re-requests) before the node gives up on a synchronization op.
+const MAX_SYNC_ROUNDS: u32 = 64;
+
+/// A synchronization operation failed unrecoverably on a faulty fabric:
+/// either a fatal [`RequestError`] or transient faults outlasting every
+/// retry. Returned by the `try_*` synchronization entry points; the
+/// infallible wrappers turn it into a structured panic (the node's
+/// orderly shutdown report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DsmError {
+    /// The failing operation ("lock_acquire", "lock_release", "barrier").
+    pub op: &'static str,
+    /// The lock or barrier id involved.
+    pub id: u32,
+    /// The underlying fabric error.
+    pub err: RequestError,
+}
+
+impl std::fmt::Display for DsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} of {} failed: {}", self.op, self.id, self.err)
+    }
+}
+
+impl std::error::Error for DsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.err)
+    }
+}
 
 /// Region ids at or above this belong to single-node (TreadMarks-style)
 /// allocations and encode the allocating rank.
@@ -114,6 +145,10 @@ pub struct SwDsm {
     /// Per-home tracking of consecutive same-writer diffs, and the
     /// migration candidates gathered for the next barrier.
     migration: Vec<Mutex<MigrationTrack>>,
+    /// Per-node: barrier id → highest release epoch whose notice-clear
+    /// already ran, so a replayed release does not wipe notices that
+    /// accumulated after the original broadcast.
+    release_seen: Vec<Mutex<HashMap<u32, u64>>>,
 }
 
 #[derive(Default)]
@@ -137,6 +172,7 @@ pub const STAT_NAMES: &[&str] = &[
     "migrations",
     "reads",
     "writes",
+    "retries",
 ];
 
 impl SwDsm {
@@ -144,6 +180,12 @@ impl SwDsm {
     /// on every node. Call once, before [`Cluster::run`].
     pub fn install(cluster: &Cluster, cfg: DsmConfig) -> Arc<SwDsm> {
         let nodes = cluster.config().nodes;
+        assert!(
+            cluster.config().resilience.is_none()
+                || cfg.barrier_algo == BarrierAlgo::Central,
+            "dissemination barriers have no retry protocol: \
+             use BarrierAlgo::Central on a fabric with a resilience policy"
+        );
         let dsm = Arc::new(SwDsm {
             cfg,
             nodes,
@@ -155,6 +197,7 @@ impl SwDsm {
             stats: (0..nodes).map(|_| StatSet::new(STAT_NAMES)).collect(),
             home_override: parking_lot::RwLock::new(HashMap::new()),
             migration: (0..nodes).map(|_| Mutex::new(MigrationTrack::default())).collect(),
+            release_seen: (0..nodes).map(|_| Mutex::new(HashMap::new())).collect(),
         });
         dsm.register_handlers(cluster);
         dsm
@@ -327,11 +370,20 @@ impl SwDsm {
             move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
                 let rel = downcast::<LockRel>(p);
                 for (next, notices) in
-                    mgr.lock().release(rel.lock, rel.releaser, rel.interval, ctx.now)
+                    mgr.lock().release(rel.lock, rel.releaser, rel.interval.clone(), ctx.now)
                 {
                     sim::trace::instant(ctx.now, node, "swdsm", "lock_grant", rel.lock as u64);
                     let bytes = notices_wire_bytes(&notices);
-                    ctx.post(next, kinds::LOCK_GRANT, LockGrant { lock: rel.lock, notices }, bytes);
+                    // Tagged so a lost grant leaves a loss tombstone
+                    // under the waiter's mailbox tag instead of hanging
+                    // it forever.
+                    ctx.post_tagged(
+                        next,
+                        kinds::LOCK_GRANT,
+                        LockGrant { lock: rel.lock, notices },
+                        bytes,
+                        interconnect::mailbox::tag(kinds::LOCK_GRANT, rel.lock),
+                    );
                 }
                 Outcome::done()
             }
@@ -362,20 +414,59 @@ impl SwDsm {
                     ctx.now,
                     dsm.nodes,
                 );
-                if let BarrierStep::Release { epoch, release_ns, intervals } = step {
-                    // Quiescent point: every node is blocked in this
-                    // barrier, so pending home migrations apply now. No
-                    // page content moves: the new home is the page's
-                    // last writer, whose copy is already current — only
-                    // the directory entries ride the release broadcast.
-                    let moved = dsm.apply_migrations();
-                    // The release is stamped with its `not_before`
-                    // floor: no participant resumes before release_ns.
-                    sim::trace::instant(release_ns, node, "swdsm", "barrier_release", arr.id as u64);
-                    let rel = BarrierRelease { id: arr.id, epoch, intervals };
-                    let bytes = rel.wire_bytes() + moved * 16;
-                    for dst in 0..dsm.nodes {
-                        ctx.post_at(dst, kinds::BARRIER_RELEASE, rel.clone(), bytes, release_ns);
+                let tag = interconnect::mailbox::tag(kinds::BARRIER_RELEASE, arr.id);
+                match step {
+                    BarrierStep::Release { epoch, release_ns, intervals } => {
+                        // Quiescent point: every node is blocked in this
+                        // barrier, so pending home migrations apply now. No
+                        // page content moves: the new home is the page's
+                        // last writer, whose copy is already current — only
+                        // the directory entries ride the release broadcast.
+                        let moved = dsm.apply_migrations();
+                        // The release is stamped with its `not_before`
+                        // floor: no participant resumes before release_ns.
+                        sim::trace::instant(release_ns, node, "swdsm", "barrier_release", arr.id as u64);
+                        let rel = BarrierRelease { id: arr.id, epoch, intervals };
+                        let bytes = rel.wire_bytes() + moved * 16;
+                        if ctx.resilient() {
+                            // Pure request/reply rendezvous: every earlier
+                            // arrival parked its reply channel; the release
+                            // discharges them all, and the final arriver
+                            // takes the release as its own reply. No
+                            // broadcast exists for a retried arrival to
+                            // race, so the schedule is reproducible.
+                            for &(who, _) in &rel.intervals {
+                                if who != arr.who {
+                                    ctx.complete_deferred(tag, who, rel.clone(), bytes, release_ns);
+                                }
+                            }
+                            return Outcome::reply_not_before(rel, bytes, release_ns);
+                        }
+                        for dst in 0..dsm.nodes {
+                            ctx.post_tagged_at(
+                                dst,
+                                kinds::BARRIER_RELEASE,
+                                rel.clone(),
+                                bytes,
+                                tag,
+                                release_ns,
+                            );
+                        }
+                    }
+                    BarrierStep::Replay { epoch, release_ns, intervals } => {
+                        // A retried arrival for an epoch that already
+                        // released: the arriver's release reply was lost.
+                        // Answer with the cached release.
+                        let rel = BarrierRelease { id: arr.id, epoch, intervals };
+                        let bytes = rel.wire_bytes();
+                        return Outcome::reply_not_before(rel, bytes, release_ns);
+                    }
+                    BarrierStep::Waiting => {
+                        if ctx.resilient() {
+                            // Park the reply; it is answered with the
+                            // release when the last participant arrives.
+                            return Outcome::defer(tag);
+                        }
                     }
                 }
                 Outcome::done()
@@ -405,7 +496,21 @@ impl SwDsm {
                 let rel = downcast::<BarrierRelease>(p);
                 // A barrier makes all prior writes visible everywhere;
                 // notice history on locks managed here is now redundant.
-                dsm.lockmgrs[node].lock().clear_notices();
+                // Replayed releases (same epoch again) must not clear
+                // notices that accumulated after the original broadcast.
+                let fresh = {
+                    let mut seen = dsm.release_seen[node].lock();
+                    let e = seen.entry(rel.id).or_insert(0);
+                    if rel.epoch > *e {
+                        *e = rel.epoch;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if fresh {
+                    dsm.lockmgrs[node].lock().clear_notices();
+                }
                 let tag = interconnect::mailbox::tag(kinds::BARRIER_RELEASE, rel.id);
                 mailbox.deposit(tag, Box::new(rel), ctx.now);
                 Outcome::done()
@@ -674,6 +779,13 @@ impl DsmNode {
         }
     }
 
+    /// Whether the fabric was built with a timeout/retry policy (fault
+    /// injection active): protocol requests then retry transient faults
+    /// instead of panicking on the first loss.
+    fn resilient(&self) -> bool {
+        self.ctx.port().resilience().is_some()
+    }
+
     fn fetch_page(&self, page: PageId) {
         let t0 = self.ctx.clock().now();
         self.stat("traps", 1);
@@ -681,10 +793,38 @@ impl DsmNode {
         self.ctx.compute(self.dsm.cfg.fault_trap_ns);
         self.make_room();
         let home = self.dsm.home_of(page);
-        let reply = self.ctx.port().request(home, kinds::GET_PAGE, GetPage { page }, 24);
+        let reply = if self.resilient() {
+            self.ctx
+                .port()
+                .request_retrying(home, kinds::GET_PAGE, GetPage { page }, 24)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "swdsm node {}: unrecoverable fault fetching page {page:?}: {e}",
+                        self.rank
+                    )
+                })
+        } else {
+            self.ctx.port().request(home, kinds::GET_PAGE, GetPage { page }, 24)
+        };
         let data = downcast::<PageData>(reply);
         self.table.lock().install(page, CachedPage::read_only(data.bytes));
         self.trace_span(t0, "page_fault", page.pack());
+    }
+
+    /// Ship a batch of home-bound messages, retrying transient faults
+    /// when the fabric is resilient. Fatal faults end the node with a
+    /// structured report — a half-flushed interval is unrecoverable.
+    fn send_batch<T: std::any::Any + Send + Clone>(&self, msgs: Vec<(usize, u32, T, u64)>) {
+        if msgs.is_empty() {
+            return;
+        }
+        if self.resilient() {
+            if let Err(e) = self.ctx.port().request_batch_retrying(msgs) {
+                panic!("swdsm node {}: unrecoverable fault flushing interval: {e}", self.rank);
+            }
+        } else {
+            let _acks = self.ctx.port().request_batch(msgs);
+        }
     }
 
     /// Enforce the page-cache bound before installing a new page: drop
@@ -752,7 +892,7 @@ impl DsmNode {
                     (home, kinds::PUT_PAGE, msg, bytes)
                 })
                 .collect();
-            let _acks = self.ctx.port().request_batch(msgs);
+            self.send_batch(msgs);
         } else {
             let mut by_home: HashMap<usize, Vec<(PageId, Diff)>> = HashMap::new();
             {
@@ -776,9 +916,7 @@ impl DsmNode {
                     (home, kinds::APPLY_DIFFS, msg, bytes)
                 })
                 .collect();
-            if !msgs.is_empty() {
-                let _acks = self.ctx.port().request_batch(msgs);
-            }
+            self.send_batch(msgs);
         }
         self.trace_span(t0, "diff_flush", dirty.len() as u64);
         interval
@@ -854,9 +992,7 @@ impl DsmNode {
                 (home, kinds::APPLY_DIFFS, msg, bytes)
             })
             .collect();
-        if !msgs.is_empty() {
-            let _acks = self.ctx.port().request_batch(msgs);
-        }
+        self.send_batch(msgs);
     }
 
     /// Drop every cached copy (conservative acquire in the
@@ -874,28 +1010,51 @@ impl DsmNode {
 
     /// Acquire global lock `lock` exclusively.
     pub fn acquire(&self, lock: u32) {
-        self.acquire_mode(lock, crate::lockmgr::Mode::Excl);
+        self.try_acquire(lock).unwrap_or_else(|e| self.fatal(&e));
     }
 
     /// Acquire global lock `lock` in shared (reader) mode: concurrent
     /// readers hold it together; writers exclude everyone.
     pub fn acquire_shared(&self, lock: u32) {
-        self.acquire_mode(lock, crate::lockmgr::Mode::Shared);
+        self.try_acquire_shared(lock).unwrap_or_else(|e| self.fatal(&e));
     }
 
-    fn acquire_mode(&self, lock: u32, mode: crate::lockmgr::Mode) {
+    /// [`DsmNode::acquire`] with unrecoverable fabric faults surfaced as
+    /// a [`DsmError`] instead of a panic.
+    pub fn try_acquire(&self, lock: u32) -> Result<(), DsmError> {
+        self.try_acquire_mode(lock, crate::lockmgr::Mode::Excl)
+    }
+
+    /// [`DsmNode::acquire_shared`] with unrecoverable fabric faults
+    /// surfaced as a [`DsmError`] instead of a panic.
+    pub fn try_acquire_shared(&self, lock: u32) -> Result<(), DsmError> {
+        self.try_acquire_mode(lock, crate::lockmgr::Mode::Shared)
+    }
+
+    /// Structured shutdown on an unrecoverable fault: every `DsmError`
+    /// escape hatch funnels through here so the panic payload always
+    /// names the node, the operation, and the fabric error.
+    fn fatal(&self, e: &DsmError) -> ! {
+        panic!("swdsm node {}: unrecoverable fault: {e}", self.rank)
+    }
+
+    fn try_acquire_mode(&self, lock: u32, mode: crate::lockmgr::Mode) -> Result<(), DsmError> {
         let t0 = self.ctx.clock().now();
         self.stat("lock_acquires", 1);
         let mgr = lock as usize % self.dsm.nodes;
-        let reply = self.ctx.port().request(mgr, kinds::LOCK_REQ, LockReq { lock, mode }, 16);
-        let notices = match downcast::<LockReply>(reply) {
-            LockReply::Granted(notices) => notices,
-            LockReply::Queued => {
-                self.stat("lock_queued", 1);
-                let tag = interconnect::mailbox::tag(kinds::LOCK_GRANT, lock);
-                let grant = downcast::<LockGrant>(self.ctx.port().wait_mailbox(tag));
-                assert_eq!(grant.lock, lock);
-                grant.notices
+        let notices = if self.resilient() {
+            self.acquire_notices_resilient(lock, mode, mgr)?
+        } else {
+            let reply = self.ctx.port().request(mgr, kinds::LOCK_REQ, LockReq { lock, mode }, 16);
+            match downcast::<LockReply>(reply) {
+                LockReply::Granted(notices) => notices,
+                LockReply::Queued => {
+                    self.stat("lock_queued", 1);
+                    let tag = interconnect::mailbox::tag(kinds::LOCK_GRANT, lock);
+                    let grant = downcast::<LockGrant>(self.ctx.port().wait_mailbox(tag));
+                    assert_eq!(grant.lock, lock);
+                    grant.notices
+                }
             }
         };
         if self.dsm.cfg.notices_on_locks {
@@ -904,48 +1063,145 @@ impl DsmNode {
             self.invalidate_all_cached();
         }
         self.trace_span(t0, "lock_acquire", lock as u64);
+        Ok(())
+    }
+
+    /// The resilient acquire protocol: request with retries; if queued,
+    /// wait for the deferred grant. A loss tombstone under the grant tag
+    /// means the grant was destroyed in flight — re-request, which the
+    /// (idempotent) manager answers with a fresh copy of the same grant.
+    fn acquire_notices_resilient(
+        &self,
+        lock: u32,
+        mode: crate::lockmgr::Mode,
+        mgr: usize,
+    ) -> Result<Vec<(usize, Interval)>, DsmError> {
+        let wrap = |err| DsmError { op: "lock_acquire", id: lock, err };
+        let mut rounds = 0u32;
+        'req: loop {
+            rounds += 1;
+            assert!(
+                rounds <= MAX_SYNC_ROUNDS,
+                "swdsm node {}: lock {lock} acquire still failing after {MAX_SYNC_ROUNDS} rounds",
+                self.rank
+            );
+            if rounds > 1 {
+                self.stat("retries", 1);
+            }
+            let reply = self
+                .ctx
+                .port()
+                .request_retrying(mgr, kinds::LOCK_REQ, LockReq { lock, mode }, 16)
+                .map_err(wrap)?;
+            match downcast::<LockReply>(reply) {
+                LockReply::Granted(notices) => return Ok(notices),
+                LockReply::Queued => {
+                    if rounds == 1 {
+                        self.stat("lock_queued", 1);
+                    }
+                    let tag = interconnect::mailbox::tag(kinds::LOCK_GRANT, lock);
+                    match self.ctx.port().wait_mailbox_checked(tag) {
+                        Ok(p) => {
+                            let grant = downcast::<LockGrant>(p);
+                            assert_eq!(grant.lock, lock);
+                            return Ok(grant.notices);
+                        }
+                        Err(e) if e.is_transient() => continue 'req,
+                        Err(e) => return Err(wrap(e)),
+                    }
+                }
+            }
+        }
     }
 
     /// Release global lock `lock`, publishing this interval's writes.
     pub fn release(&self, lock: u32) {
+        self.try_release(lock).unwrap_or_else(|e| self.fatal(&e));
+    }
+
+    /// [`DsmNode::release`] with unrecoverable fabric faults surfaced as
+    /// a [`DsmError`] instead of a panic. On a resilient fabric the
+    /// release is acknowledged (and retried) so a lost release cannot
+    /// strand the lock's waiters.
+    pub fn try_release(&self, lock: u32) -> Result<(), DsmError> {
         let interval = self.flush_interval();
         self.epoch_mods.lock().merge(&interval);
         let mgr = lock as usize % self.dsm.nodes;
         let rel = LockRel { lock, releaser: self.rank, interval };
         let bytes = 16 + rel.interval.wire_bytes();
-        self.ctx.port().post(mgr, kinds::LOCK_REL, rel, bytes);
+        if self.resilient() {
+            self.ctx
+                .port()
+                .request_retrying(mgr, kinds::LOCK_REL, rel, bytes)
+                .map_err(|err| DsmError { op: "lock_release", id: lock, err })?;
+        } else {
+            self.ctx.port().post(mgr, kinds::LOCK_REL, rel, bytes);
+        }
+        Ok(())
     }
 
     /// Global barrier `id`: flushes the interval, exchanges write
     /// notices, and invalidates what others wrote.
     pub fn barrier(&self, id: u32) {
+        self.try_barrier(id).unwrap_or_else(|e| self.fatal(&e));
+    }
+
+    /// [`DsmNode::barrier`] with unrecoverable fabric faults surfaced as
+    /// a [`DsmError`] instead of a panic. The barrier epoch commits only
+    /// after the release is in hand, so a retried barrier re-arrives
+    /// under the same epoch (which the manager deduplicates or replays).
+    pub fn try_barrier(&self, id: u32) -> Result<(), DsmError> {
         let t0 = self.ctx.clock().now();
         self.stat("barriers", 1);
         let mut interval = std::mem::take(&mut *self.epoch_mods.lock());
         interval.merge(&self.flush_interval());
-        let epoch = {
-            let mut g = self.epochs.lock();
-            let e = g.entry(id).or_insert(0);
-            *e += 1;
-            *e
-        };
+        let epoch = self.epochs.lock().get(&id).copied().unwrap_or(0) + 1;
         match self.dsm.cfg.barrier_algo {
             BarrierAlgo::Central => {
-                let mgr = id as usize % self.dsm.nodes;
-                let arr = BarrierArrive { id, epoch, who: self.rank, interval };
-                let bytes = 24 + arr.interval.wire_bytes();
-                self.ctx.port().post(mgr, kinds::BARRIER_ARRIVE, arr, bytes);
-                let tag = interconnect::mailbox::tag(kinds::BARRIER_RELEASE, id);
-                let rel = downcast::<BarrierRelease>(self.ctx.port().wait_mailbox(tag));
-                assert_eq!(rel.epoch, epoch, "barrier {id}: epoch mismatch");
-                self.apply_notices(&rel.intervals);
+                let intervals = self.central_barrier_intervals(id, epoch, interval)?;
+                self.apply_notices(&intervals);
             }
             BarrierAlgo::Dissemination => {
                 let notices = self.barrier_dissemination(id, epoch, interval);
                 self.apply_notices(&notices);
             }
         }
+        self.epochs.lock().insert(id, epoch);
         self.trace_span(t0, "barrier", id as u64);
+        Ok(())
+    }
+
+    /// Run the centralized barrier protocol and return the released
+    /// intervals. On a resilient fabric the barrier is a single
+    /// request/reply exchange: the manager parks every arrival's reply
+    /// channel and answers all of them with the release, so a retried
+    /// arrival (its reply was lost) is always causally behind the event
+    /// that answers it — dedup'd while the epoch is pending, replayed
+    /// from the release cache afterwards.
+    fn central_barrier_intervals(
+        &self,
+        id: u32,
+        epoch: u64,
+        interval: Interval,
+    ) -> Result<Vec<(usize, Interval)>, DsmError> {
+        let mgr = id as usize % self.dsm.nodes;
+        let arr = BarrierArrive { id, epoch, who: self.rank, interval };
+        let bytes = 24 + arr.interval.wire_bytes();
+        if !self.resilient() {
+            let tag = interconnect::mailbox::tag(kinds::BARRIER_RELEASE, id);
+            self.ctx.port().post(mgr, kinds::BARRIER_ARRIVE, arr, bytes);
+            let rel = downcast::<BarrierRelease>(self.ctx.port().wait_mailbox(tag));
+            assert_eq!(rel.epoch, epoch, "barrier {id}: epoch mismatch");
+            return Ok(rel.intervals);
+        }
+        let rel = self
+            .ctx
+            .port()
+            .request_retrying(mgr, kinds::BARRIER_ARRIVE, arr, bytes)
+            .map_err(|err| DsmError { op: "barrier", id, err })?;
+        let rel = downcast::<BarrierRelease>(rel);
+        assert_eq!(rel.epoch, epoch, "barrier {id}: epoch mismatch");
+        Ok(rel.intervals)
     }
 
     /// Dissemination barrier: after round r every node knows the
@@ -967,7 +1223,10 @@ impl DsmNode {
             let msg =
                 DissMsg { id, epoch, round, knowledge: knowledge.clone() };
             let bytes = msg.wire_bytes();
-            self.ctx.port().post(to, kind, msg, bytes);
+            // Dissemination rounds are not retried (no manager to make
+            // them idempotent); the tagged post at least converts a lost
+            // round into a structured panic instead of a hang.
+            self.ctx.port().post_tagged(to, kind, msg, bytes, interconnect::mailbox::tag(kind, id));
             let got = downcast::<DissMsg>(
                 self.ctx.port().wait_mailbox(interconnect::mailbox::tag(kind, id)),
             );

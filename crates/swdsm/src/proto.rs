@@ -16,6 +16,7 @@ pub struct PageData {
 }
 
 /// Ship diffs (all homed at the destination) for application.
+#[derive(Clone)]
 pub struct ApplyDiffs {
     /// The diffs, all homed at the destination.
     pub diffs: Vec<(PageId, Diff)>,
@@ -29,6 +30,7 @@ impl ApplyDiffs {
 }
 
 /// Whole pages shipped home (ablation mode).
+#[derive(Clone)]
 pub struct PutPages {
     /// Full replacement contents, all homed at the destination.
     pub pages: Vec<(PageId, Vec<u8>)>,
@@ -67,6 +69,7 @@ pub struct LockGrant {
 }
 
 /// Release `lock`, publishing the releasing interval's notices.
+#[derive(Clone)]
 pub struct LockRel {
     /// The lock being released.
     pub lock: u32,
@@ -77,6 +80,7 @@ pub struct LockRel {
 }
 
 /// Node `who` reached barrier `id` with its interval.
+#[derive(Clone)]
 pub struct BarrierArrive {
     /// Barrier identifier.
     pub id: u32,

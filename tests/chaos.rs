@@ -1,0 +1,115 @@
+//! Workspace-level chaos tests: the fault-injection + retry layer,
+//! end to end through the software DSM.
+//!
+//! * Property: under *any* seeded drop/dup/delay/reorder plan (rates up
+//!   to the chaos bench's and beyond), a 2-node SOR run converges to
+//!   the exact fault-free checksum, and the same seed reproduces the
+//!   identical fault schedule, counters, and virtual times.
+//! * Integration: a node crashes while it manages a barrier mid-run;
+//!   survivors see `NodeDown`, back off, and the retried arrival
+//!   completes the barrier after the heal — with memory semantics
+//!   intact.
+
+use cluster::{Cluster, FabricConfig, LinkKind, RunReport};
+use interconnect::fault::{CrashWindow, FaultPlan, LinkFaults};
+use interconnect::Resilience;
+use memwire::Distribution;
+use proptest::prelude::*;
+
+fn fabric(nodes: usize, faults: Option<FaultPlan>) -> FabricConfig {
+    let mut cfg = FabricConfig::new(nodes, LinkKind::Ethernet);
+    if let Some(plan) = faults {
+        cfg.faults = Some(plan);
+        cfg.resilience = Some(Resilience::default());
+    }
+    cfg
+}
+
+/// Run SOR on the software DSM and return the run report plus the
+/// checksum every node agreed on.
+fn sor_run(nodes: usize, faults: Option<FaultPlan>) -> (RunReport, u64) {
+    let cluster = Cluster::new(fabric(nodes, faults));
+    let dsm = swdsm::SwDsm::install(&cluster, swdsm::DsmConfig::default());
+    let (report, rs) = cluster.run(|ctx| {
+        let w = apps::world::NativeWorld::new(dsm.node(ctx));
+        apps::sor::sor(&w, 48, 4, true).checksum
+    });
+    assert!(rs.iter().all(|&c| c == rs[0]), "nodes disagree on checksum: {rs:?}");
+    (report, rs[0])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn seeded_fault_plans_converge_and_reproduce(
+        seed in any::<u64>(),
+        drop_ppm in 0u32..40_000,
+        dup_ppm in 0u32..30_000,
+        delay_ppm in 0u32..60_000,
+        reorder_ppm in 0u32..30_000,
+    ) {
+        let plan = || {
+            let mut p = FaultPlan::seeded(seed);
+            p.default_link = LinkFaults {
+                drop_ppm,
+                dup_ppm,
+                delay_ppm,
+                delay_ns: 150_000,
+                reorder_ppm,
+                reorder_window_ns: 80_000,
+            };
+            p
+        };
+        let (_, clean) = sor_run(2, None);
+        let (r1, c1) = sor_run(2, Some(plan()));
+        let (r2, c2) = sor_run(2, Some(plan()));
+        // Exactly-once delivery semantics: faults never change results.
+        prop_assert_eq!(c1, clean, "chaos checksum diverged from fault-free");
+        prop_assert_eq!(c2, clean);
+        // Determinism: same seed, same schedule, same virtual history.
+        prop_assert_eq!(r1.net_stats, r2.net_stats, "fault schedule not reproducible");
+        prop_assert_eq!(r1.sim_time_ns, r2.sim_time_ns, "virtual time not reproducible");
+    }
+}
+
+/// The crash/heal scenario from the issue: a node that manages a
+/// barrier crashes before the others arrive; survivors' arrivals fail
+/// with `NodeDown`, back off, and succeed after the heal.
+#[test]
+fn crashed_barrier_manager_heals_and_barrier_completes() {
+    const NODES: usize = 3;
+    // Node 2 manages barrier 2 (id % nodes). Startup ends at 2 ms; the
+    // crash covers [3 ms, 9 ms); the retry schedule (≈35 ms of total
+    // backoff) comfortably outlasts it.
+    let run = |faults: Option<FaultPlan>| {
+        let cluster = Cluster::new(fabric(NODES, faults));
+        let dsm = swdsm::SwDsm::install(&cluster, swdsm::DsmConfig::default());
+        cluster.run(|ctx| {
+            let node = dsm.node(ctx);
+            let me = node.rank();
+            let a = node.alloc(NODES * 4096, Distribution::Block);
+            node.barrier(1);
+            node.write_u64(a.add((me * 4096) as u32), (me as u64 + 1) * 100);
+            // March every node into the crash window before arriving.
+            node.ctx().compute(2_000_000);
+            node.barrier(2);
+            let sum: u64 = (0..NODES)
+                .map(|n| node.read_u64(a.add((n * 4096) as u32)))
+                .sum();
+            node.barrier(3);
+            sum
+        })
+    };
+
+    let (_, clean) = run(None);
+    let mut plan = FaultPlan::seeded(7);
+    plan.crashes.push(CrashWindow { node: 2, from_ns: 3_000_000, until_ns: 9_000_000 });
+    let (report, rs) = run(Some(plan));
+
+    assert_eq!(rs, clean, "crash/heal changed the computed results");
+    assert_eq!(rs, vec![600; NODES]);
+    let stat = |k: &str| report.net_stats.get(k).copied().unwrap_or(0);
+    assert!(stat("nodedown") > 0, "survivors never observed NodeDown: {:?}", report.net_stats);
+    assert!(stat("retries") > 0, "barrier completed without retries: {:?}", report.net_stats);
+}

@@ -8,7 +8,7 @@ pub mod channel {
     //! MPMC channels with `crossbeam_channel`'s API shape.
 
     use std::collections::VecDeque;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
 
     struct Chan<T> {
@@ -19,6 +19,10 @@ pub mod channel {
         cap: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
+        /// Explicitly closed via [`Receiver::close_and_drain`]. Checked
+        /// under the queue mutex so close-then-drain is atomic with
+        /// respect to concurrent sends.
+        closed: AtomicBool,
     }
 
     /// Error returned by [`Sender::send`] when all receivers are gone.
@@ -52,6 +56,7 @@ pub mod channel {
             cap,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
+            closed: AtomicBool::new(false),
         });
         (Sender(chan.clone()), Receiver(chan))
     }
@@ -74,7 +79,9 @@ pub mod channel {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
-                if self.0.receivers.load(Ordering::Acquire) == 0 {
+                if self.0.receivers.load(Ordering::Acquire) == 0
+                    || self.0.closed.load(Ordering::Relaxed)
+                {
                     return Err(SendError(value));
                 }
                 match self.0.cap {
@@ -141,6 +148,23 @@ pub mod channel {
         pub fn iter(&self) -> Iter<'_, T> {
             Iter { rx: self }
         }
+
+        /// Atomically close the channel and take every queued message.
+        ///
+        /// After this returns, every `send` fails — including sends that
+        /// were racing with the close: the closed flag is set under the
+        /// queue mutex, so a message is either in the returned drain or
+        /// bounced back to its sender, never silently stranded. Used for
+        /// race-free fabric teardown.
+        pub fn close_and_drain(&self) -> Vec<T> {
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            self.0.closed.store(true, Ordering::Relaxed);
+            let drained = q.drain(..).collect();
+            drop(q);
+            // Senders blocked on a full bounded channel must re-check.
+            self.0.writable.notify_all();
+            drained
+        }
     }
 
     impl<T> Clone for Receiver<T> {
@@ -199,6 +223,16 @@ pub mod channel {
             let (tx, rx) = unbounded();
             drop(rx);
             assert_eq!(tx.send(5), Err(SendError(5)));
+        }
+
+        #[test]
+        fn close_and_drain_bounces_later_sends() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.close_and_drain(), vec![1, 2]);
+            assert_eq!(tx.send(3), Err(SendError(3)));
+            assert_eq!(rx.try_recv(), None);
         }
 
         #[test]

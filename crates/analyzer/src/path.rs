@@ -1,0 +1,232 @@
+//! Critical-path extraction: a backward walk over the reconstructed
+//! happens-before DAG.
+//!
+//! The walk starts at the end of the run (the node whose timeline
+//! finishes last) and steps backward through that node's lane segments.
+//! At synchronization waits it follows the causal edge to the node that
+//! *caused* the wait instead of charging the wait itself:
+//!
+//! * **Barrier wait** — the release was gated by the last arriver (the
+//!   straggler, identified by the barrier span group sharing the span's
+//!   `(module, id, epoch)` key). Only the release-propagation tail
+//!   `[straggler_arrival, t]` stays on the path; the walk then jumps to
+//!   the straggler at its arrival time.
+//! * **Lock wait** — the grant was gated by the previous holder's
+//!   release (`lock_release` instant of the same `(module, lock)`).
+//!   Only the release→grant leg stays on the path; the walk jumps to
+//!   the releasing node at release time.
+//!
+//! Every step attributes exactly the walked interval, and the walk ends
+//! at time zero, so the path length equals the global makespan — the
+//! wall-clock-continuity invariant the report's consumers check.
+
+use crate::sweep::Segment;
+use crate::{Contributor, CriticalPath, Lane};
+use sim::TraceEvent;
+use std::collections::BTreeMap;
+
+/// Safety cap on walk steps: generous for any real trace (each segment
+/// is visited at most a handful of times via jumps), tripped only by a
+/// malformed trace; the remainder is then attributed as compute.
+const MAX_STEPS: usize = 4_000_000;
+
+/// Extract the critical path from canonically sorted `events` and the
+/// per-node lane `segments` (see [`crate::sweep::node_segments`]).
+pub fn critical_path(events: &[TraceEvent], segments: &[Vec<Segment>]) -> CriticalPath {
+    // Start at the node whose timeline ends last (ties: lowest rank).
+    let Some((start_node, makespan)) = segments
+        .iter()
+        .enumerate()
+        .map(|(n, s)| (n, s.last().map_or(0, |s| s.end)))
+        .max_by_key(|&(n, end)| (end, std::cmp::Reverse(n)))
+    else {
+        return CriticalPath { total_ns: 0, steps: 0, contributors: Vec::new() };
+    };
+
+    // Barrier span groups: (module, id, epoch) → [(node, start, end)].
+    type BarrierGroups<'a> = BTreeMap<(&'a str, u64, u64), Vec<(usize, u64, u64)>>;
+    let mut barriers: BarrierGroups = BTreeMap::new();
+    // Lock releases: (module, lock) → [(t, node)], time-ascending.
+    let mut releases: BTreeMap<(&str, u64), Vec<(u64, usize)>> = BTreeMap::new();
+    for e in events {
+        if e.op == "barrier" && e.dur_ns > 0 {
+            barriers
+                .entry((e.module, e.arg, e.corr))
+                .or_default()
+                .push((e.node, e.t_ns, e.t_ns + e.dur_ns));
+        } else if e.op == "lock_release" && e.dur_ns == 0 {
+            releases.entry((e.module, e.arg)).or_default().push((e.t_ns, e.node));
+        }
+    }
+    // Wait spans by (node, op family) for cause lookups: which barrier
+    // or lock does the segment under the cursor belong to? Value tuple:
+    // (start, end, module, arg, corr).
+    type WaitSpans<'a> = BTreeMap<(usize, &'a str), Vec<(u64, u64, &'a str, u64, u64)>>;
+    let mut waits: WaitSpans = BTreeMap::new();
+    for e in events.iter().filter(|e| e.dur_ns > 0) {
+        if e.op == "barrier" || e.op == "lock_acquire" {
+            waits
+                .entry((e.node, e.op))
+                .or_default()
+                .push((e.t_ns, e.t_ns + e.dur_ns, e.module, e.arg, e.corr));
+        }
+    }
+
+    // The covering wait span: latest start among spans of `op` on
+    // `node` containing time t (half-open (start, end]).
+    let covering = |node: usize, op: &str, t: u64| -> Option<(u64, u64, &str, u64, u64)> {
+        waits
+            .get(&(node, op))?
+            .iter()
+            .filter(|&&(s, e, ..)| s < t && t <= e)
+            .max_by_key(|&&(s, ..)| s)
+            .copied()
+    };
+
+    let mut contrib: BTreeMap<(Lane, usize, &'static str), u64> = BTreeMap::new();
+    let mut node = start_node;
+    let mut t = makespan;
+    let mut steps = 0usize;
+    while t > 0 {
+        steps += 1;
+        // Segment on `node` containing (t-1, t]; segments tile the
+        // timeline, so this exists whenever t ≤ node makespan.
+        let seg = segments[node]
+            .iter()
+            .rev()
+            .find(|s| s.start < t && t <= s.end)
+            .copied()
+            .unwrap_or(Segment { start: 0, end: t, lane: Lane::Compute, op: "compute" });
+
+        // The causal jump, if this is a synchronization wait.
+        let mut jump: Option<(usize, u64)> = None;
+        match seg.lane {
+            Lane::BarrierWait => {
+                if let Some((_, _, module, id, epoch)) = covering(node, "barrier", t) {
+                    // Straggler: the group's latest arrival (ties:
+                    // lowest rank for determinism).
+                    let group = &barriers[&(module, id, epoch)];
+                    if let Some(&(s_node, s_start, _)) = group
+                        .iter()
+                        .max_by_key(|&&(n, s, _)| (s, std::cmp::Reverse(n)))
+                    {
+                        if s_node != node && seg.start < s_start && s_start < t {
+                            jump = Some((s_node, s_start));
+                        }
+                    }
+                }
+            }
+            Lane::LockWait => {
+                if let Some((_, _, module, lock, _)) = covering(node, "lock_acquire", t) {
+                    if let Some(rel) = releases.get(&(module, lock)) {
+                        // The latest release inside the wait: the one
+                        // whose handoff let this acquire complete.
+                        if let Some(&(r_t, r_node)) = rel
+                            .iter()
+                            .filter(|&&(r_t, _)| seg.start < r_t && r_t < t)
+                            .max_by_key(|&&(r_t, n)| (r_t, std::cmp::Reverse(n)))
+                        {
+                            jump = Some((r_node, r_t));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        let (next_node, next_t) = match jump {
+            Some((n, jt)) if jt < t => (n, jt),
+            _ => (node, seg.start),
+        };
+        *contrib.entry((seg.lane, node, seg.op)).or_default() += t - next_t;
+        node = next_node;
+        t = next_t;
+
+        if steps >= MAX_STEPS {
+            *contrib.entry((Lane::Compute, node, "compute")).or_default() += t;
+            t = 0;
+        }
+    }
+
+    let mut contributors: Vec<Contributor> = contrib
+        .into_iter()
+        .map(|((lane, node, op), ns)| Contributor { lane, node, op, ns })
+        .collect();
+    contributors
+        .sort_by(|a, b| (std::cmp::Reverse(a.ns), a.lane, a.node, a.op).cmp(&(
+            std::cmp::Reverse(b.ns),
+            b.lane,
+            b.node,
+            b.op,
+        )));
+    let total_ns = contributors.iter().map(|c| c.ns).sum();
+    CriticalPath { total_ns, steps, contributors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::node_segments;
+
+    fn ev(
+        t: u64,
+        dur: u64,
+        node: usize,
+        module: &'static str,
+        op: &'static str,
+        arg: u64,
+        corr: u64,
+    ) -> TraceEvent {
+        TraceEvent { t_ns: t, dur_ns: dur, node, module, op, arg, corr }
+    }
+
+    #[test]
+    fn pure_compute_path_stays_on_one_node() {
+        let evs = vec![ev(100, 0, 0, "mem", "write", 0, 0), ev(60, 0, 1, "mem", "write", 0, 0)];
+        let segs = node_segments(&evs);
+        let p = critical_path(&evs, &segs);
+        assert_eq!(p.total_ns, 100);
+        assert_eq!(p.contributors.len(), 1);
+        assert_eq!((p.contributors[0].node, p.contributors[0].ns), (0, 100));
+    }
+
+    #[test]
+    fn uncontended_lock_wait_continues_program_order() {
+        // No release precedes the acquire: the round trip itself is
+        // the cost, charged as lock-wait on the same node.
+        let evs = vec![ev(10, 20, 0, "swdsm", "lock_acquire", 3, 4)];
+        let segs = node_segments(&evs);
+        let p = critical_path(&evs, &segs);
+        assert_eq!(p.total_ns, 30);
+        let lw: u64 =
+            p.contributors.iter().filter(|c| c.lane == Lane::LockWait).map(|c| c.ns).sum();
+        assert_eq!(lw, 20);
+    }
+
+    #[test]
+    fn barrier_jump_does_not_loop_on_self_straggler() {
+        // The last arriver's own (tiny) wait must not jump to itself.
+        let evs = vec![
+            ev(0, 100, 0, "swdsm", "barrier", 1, 1),
+            ev(95, 5, 1, "swdsm", "barrier", 1, 1),
+        ];
+        let segs = node_segments(&evs);
+        let p = critical_path(&evs, &segs);
+        assert_eq!(p.total_ns, 100);
+    }
+
+    #[test]
+    fn path_total_always_equals_makespan() {
+        let evs = vec![
+            ev(0, 50, 0, "swdsm", "barrier", 1, 1),
+            ev(40, 10, 1, "swdsm", "barrier", 1, 1),
+            ev(60, 20, 1, "swdsm", "lock_acquire", 2, 3),
+            ev(70, 0, 0, "swdsm", "lock_release", 2, 1 << 32 | 3),
+            ev(90, 0, 1, "mem", "write", 0, 0),
+        ];
+        let segs = node_segments(&evs);
+        let p = critical_path(&evs, &segs);
+        let makespan = segs.iter().map(|s| s.last().map_or(0, |x| x.end)).max().unwrap();
+        assert_eq!(p.total_ns, makespan);
+    }
+}

@@ -1,0 +1,256 @@
+//! Lane attribution: tile every node's timeline with non-overlapping
+//! segments, each owned by exactly one [`Lane`].
+//!
+//! Wait spans nest and overlap (a page fetch inside a lock acquire
+//! inside a barrier), so a boundary sweep resolves every instant to the
+//! highest-priority active lane; uncovered time is compute. Because the
+//! segments tile `[0, node_makespan]` exactly, per-node lane totals sum
+//! to the node's makespan by construction — the invariant the report's
+//! consumers (and the acceptance checks) rely on.
+//!
+//! Daemon-thread spans (`net/handler`, `net/not_before`), bus stalls,
+//! and `phase` markers overlap the application timeline from the side
+//! and are excluded from attribution; they still extend the node's
+//! makespan, since the node was busy until their end.
+
+use crate::{Lane, PhaseBreakdown, LANES};
+use sim::TraceEvent;
+
+/// One attributed slice of a node's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Slice start (virtual ns, inclusive).
+    pub start: u64,
+    /// Slice end (virtual ns, exclusive).
+    pub end: u64,
+    /// Owning lane.
+    pub lane: Lane,
+    /// Operation that claimed the slice ("compute" for residual time).
+    pub op: &'static str,
+}
+
+/// Map a traced span to its wait lane; `None` for spans that do not
+/// represent the application thread waiting (handler daemon work, bus
+/// stalls, phase markers) and for all instants.
+pub fn wait_lane(module: &str, op: &str) -> Option<Lane> {
+    match (module, op) {
+        (_, "barrier") => Some(Lane::BarrierWait),
+        (_, "lock_acquire") => Some(Lane::LockWait),
+        ("swdsm", "page_fault") | ("swdsm", "diff_flush") => Some(Lane::PageFault),
+        ("net", "request") | ("net", "request_batch") => Some(Lane::Net),
+        _ => None,
+    }
+}
+
+/// Tile every node's `[0, makespan]` with lane segments. Returns one
+/// segment list per node, indexed by rank, each sorted by start and
+/// covering the node's timeline without gaps or overlaps.
+pub fn node_segments(events: &[TraceEvent]) -> Vec<Vec<Segment>> {
+    let nodes = events.iter().map(|e| e.node + 1).max().unwrap_or(0);
+    let mut out = Vec::with_capacity(nodes);
+    for node in 0..nodes {
+        out.push(segments_for(events, node));
+    }
+    out
+}
+
+fn segments_for(events: &[TraceEvent], node: usize) -> Vec<Segment> {
+    let makespan = events
+        .iter()
+        .filter(|e| e.node == node)
+        .map(|e| e.t_ns + e.dur_ns)
+        .max()
+        .unwrap_or(0);
+
+    // Boundaries: +1 at span start, -1 at span end, tagged (lane, op).
+    let mut bounds: Vec<(u64, i32, Lane, &'static str)> = Vec::new();
+    for e in events.iter().filter(|e| e.node == node && e.dur_ns > 0) {
+        if let Some(lane) = wait_lane(e.module, e.op) {
+            bounds.push((e.t_ns, 1, lane, e.op));
+            bounds.push((e.t_ns + e.dur_ns, -1, lane, e.op));
+        }
+    }
+    // Ends before starts at equal times keeps active counts exact.
+    bounds.sort_by(|a, b| (a.0, a.1, a.2, a.3).cmp(&(b.0, b.1, b.2, b.3)));
+
+    // Active span count per (lane, op); ops per lane are few, so a
+    // small sorted vec per lane is enough.
+    let mut active: [Vec<(&'static str, usize)>; LANES] = Default::default();
+    let winner = |active: &[Vec<(&'static str, usize)>; LANES]| -> Option<(Lane, &'static str)> {
+        for lane in Lane::all().into_iter().rev() {
+            if let Some((op, _)) = active[lane as usize].iter().find(|(_, c)| *c > 0) {
+                return Some((lane, op));
+            }
+        }
+        None
+    };
+
+    let mut segs: Vec<Segment> = Vec::new();
+    let push = |segs: &mut Vec<Segment>, start: u64, end: u64, lane: Lane, op| {
+        if end <= start {
+            return;
+        }
+        if let Some(last) = segs.last_mut() {
+            if last.end == start && last.lane == lane && last.op == op {
+                last.end = end;
+                return;
+            }
+        }
+        segs.push(Segment { start, end, lane, op });
+    };
+
+    let mut cursor = 0u64;
+    let mut i = 0;
+    while i < bounds.len() {
+        let t = bounds[i].0;
+        if t > cursor {
+            let (lane, op) = winner(&active).unwrap_or((Lane::Compute, "compute"));
+            push(&mut segs, cursor, t.min(makespan), lane, op);
+            cursor = t;
+        }
+        while i < bounds.len() && bounds[i].0 == t {
+            let (_, delta, lane, op) = bounds[i];
+            let slot = &mut active[lane as usize];
+            match slot.iter_mut().find(|(o, _)| *o == op) {
+                Some((_, c)) => *c = (*c as i64 + delta as i64) as usize,
+                None => slot.push((op, delta.max(0) as usize)),
+            }
+            slot.sort_by_key(|&(o, _)| o);
+            i += 1;
+        }
+    }
+    if makespan > cursor {
+        push(&mut segs, cursor, makespan, Lane::Compute, "compute");
+    }
+    segs
+}
+
+/// Intersect the application's `phase` spans with the lane segments,
+/// aggregating across nodes. Phases are reported in order of first
+/// appearance in the (canonically sorted) event stream.
+pub fn phase_breakdown(events: &[TraceEvent], segments: &[Vec<Segment>]) -> Vec<PhaseBreakdown> {
+    let mut order: Vec<&'static str> = Vec::new();
+    let mut acc: std::collections::BTreeMap<&'static str, (u64, [u64; LANES])> =
+        std::collections::BTreeMap::new();
+    for e in events.iter().filter(|e| e.module == "phase" && e.dur_ns > 0) {
+        if !order.contains(&e.op) {
+            order.push(e.op);
+        }
+        let (total, lanes) = acc.entry(e.op).or_default();
+        *total += e.dur_ns;
+        let (lo, hi) = (e.t_ns, e.t_ns + e.dur_ns);
+        for s in &segments[e.node] {
+            let a = s.start.max(lo);
+            let b = s.end.min(hi);
+            if b > a {
+                lanes[s.lane as usize] += b - a;
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|name| {
+            let (total_ns, lanes) = acc[name];
+            PhaseBreakdown { name, total_ns, lanes }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        t: u64,
+        dur: u64,
+        node: usize,
+        module: &'static str,
+        op: &'static str,
+    ) -> TraceEvent {
+        TraceEvent { t_ns: t, dur_ns: dur, node, module, op, arg: 0, corr: 0 }
+    }
+
+    #[test]
+    fn nested_waits_resolve_by_priority() {
+        // A barrier [10, 100) containing a net request [20, 40).
+        let evs =
+            vec![ev(10, 90, 0, "swdsm", "barrier"), ev(20, 20, 0, "net", "request")];
+        let segs = node_segments(&evs);
+        assert_eq!(
+            segs[0],
+            vec![
+                Segment { start: 0, end: 10, lane: Lane::Compute, op: "compute" },
+                Segment { start: 10, end: 100, lane: Lane::BarrierWait, op: "barrier" },
+            ]
+        );
+    }
+
+    #[test]
+    fn net_inside_lock_yields_to_lock_and_back() {
+        // Lock acquire [10, 50) with a net round trip [20, 70) that
+        // outlives it (the tail is net, the overlap is lock wait).
+        let evs =
+            vec![ev(10, 40, 0, "swdsm", "lock_acquire"), ev(20, 50, 0, "net", "request")];
+        let segs = node_segments(&evs);
+        assert_eq!(
+            segs[0],
+            vec![
+                Segment { start: 0, end: 10, lane: Lane::Compute, op: "compute" },
+                Segment { start: 10, end: 50, lane: Lane::LockWait, op: "lock_acquire" },
+                Segment { start: 50, end: 70, lane: Lane::Net, op: "request" },
+            ]
+        );
+    }
+
+    #[test]
+    fn handler_spans_are_not_attributed() {
+        let evs = vec![ev(0, 10, 0, "net", "handler"), ev(5, 0, 0, "mem", "write")];
+        let segs = node_segments(&evs);
+        // The handler extends the makespan but the time stays compute.
+        assert_eq!(
+            segs[0],
+            vec![Segment { start: 0, end: 10, lane: Lane::Compute, op: "compute" }]
+        );
+    }
+
+    #[test]
+    fn segments_tile_without_gaps() {
+        let evs = vec![
+            ev(5, 10, 0, "swdsm", "page_fault"),
+            ev(12, 30, 0, "swdsm", "barrier"),
+            ev(50, 5, 0, "net", "request"),
+            ev(60, 0, 0, "mem", "write"),
+        ];
+        let segs = node_segments(&evs);
+        let mut cursor = 0;
+        for s in &segs[0] {
+            assert_eq!(s.start, cursor);
+            assert!(s.end > s.start);
+            cursor = s.end;
+        }
+        assert_eq!(cursor, 60);
+    }
+
+    #[test]
+    fn phases_intersect_lanes() {
+        let evs = vec![
+            TraceEvent {
+                t_ns: 0,
+                dur_ns: 100,
+                node: 0,
+                module: "phase",
+                op: "step",
+                arg: 100,
+                corr: 0,
+            },
+            ev(40, 60, 0, "swdsm", "barrier"),
+        ];
+        let segs = node_segments(&evs);
+        let phases = phase_breakdown(&evs, &segs);
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].name, "step");
+        assert_eq!(phases[0].total_ns, 100);
+        assert_eq!(phases[0].lanes[Lane::Compute as usize], 40);
+        assert_eq!(phases[0].lanes[Lane::BarrierWait as usize], 60);
+    }
+}

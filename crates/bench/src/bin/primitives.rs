@@ -3,7 +3,7 @@
 //! (TreadMarks Table 2, JiaJia §4, …). All numbers are virtual time.
 //!
 //! ```sh
-//! cargo run -p bench --release --bin primitives
+//! cargo run -p hamster-bench --release --bin primitives
 //! ```
 
 use bench::report::{write_report, Json};

@@ -4,8 +4,8 @@
 //! against a sequential reference.
 //!
 //! ```sh
-//! cargo run -p bench --release --bin stress            # 20 seeds
-//! cargo run -p bench --release --bin stress -- --quick # 5 seeds
+//! cargo run -p hamster-bench --release --bin stress            # 20 seeds
+//! cargo run -p hamster-bench --release --bin stress -- --quick # 5 seeds
 //! ```
 //!
 //! The same generator backs the `swdsm` property tests; this binary

@@ -19,7 +19,7 @@ impl ConsMgmt<'_> {
     pub fn acquire_scope(&self, scope: u32) {
         self.core.charge_service();
         self.core.stats.cons.add("acquires", 1);
-        self.core.trace("cons", "acquire", scope as u64);
+        self.core.trace_corr("cons", "acquire", scope as u64, scope as u64 + 1);
         self.core.platform.acquire(scope);
     }
 
@@ -29,7 +29,7 @@ impl ConsMgmt<'_> {
     pub fn release_scope(&self, scope: u32) {
         self.core.charge_service();
         self.core.stats.cons.add("releases", 1);
-        self.core.trace("cons", "release", scope as u64);
+        self.core.trace_corr("cons", "release", scope as u64, scope as u64 + 1);
         self.core.platform.release(scope);
     }
 
@@ -46,7 +46,7 @@ impl ConsMgmt<'_> {
     pub fn barrier_sync(&self, id: u32) {
         self.core.charge_service();
         self.core.stats.cons.add("sync_barriers", 1);
-        self.core.trace("cons", "barrier_sync", id as u64);
+        self.core.trace_corr("cons", "barrier_sync", id as u64, id as u64 + 1);
         self.core.platform.barrier(id);
     }
 }

@@ -42,6 +42,16 @@ impl NodeCore {
     /// no-op costing two atomic loads otherwise.
     #[inline]
     pub fn trace(&self, module: &'static str, op: &'static str, arg: u64) {
+        self.trace_corr(module, op, arg, 0);
+    }
+
+    /// Like [`NodeCore::trace`], carrying a correlation id so the
+    /// analyzer can tie the service-level instant to the protocol
+    /// events it caused (see `sim::trace::TraceEvent::corr`). The
+    /// managers pass `principal + 1` (lock id, barrier id, region id)
+    /// so every event of one synchronization object shares an id.
+    #[inline]
+    pub fn trace_corr(&self, module: &'static str, op: &'static str, arg: u64, corr: u64) {
         let local = self.tracer.is_enabled();
         let global = sim::trace::enabled();
         if !local && !global {
@@ -54,6 +64,7 @@ impl NodeCore {
             module,
             op,
             arg,
+            corr,
         };
         if local {
             self.tracer.record(ev);

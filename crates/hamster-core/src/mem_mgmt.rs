@@ -114,8 +114,10 @@ impl MemMgmt<'_> {
             return Err(MemError::UnsupportedCoherence);
         }
         self.core.stats.mem.add("alloc_bytes", bytes as u64);
-        self.core.trace("mem", "alloc", bytes as u64);
         let addr = self.core.platform.alloc_hinted(bytes, spec.dist, spec.engine);
+        // Correlate the allocation instant with the region it produced
+        // so per-page diagnoses can name their region's birth.
+        self.core.trace_corr("mem", "alloc", bytes as u64, addr.0 + 1);
         Ok(Region::new(addr, bytes))
     }
 

@@ -23,8 +23,19 @@
 //! (The full counter vocabulary of every layer is catalogued in the
 //! repository's `OBSERVABILITY.md`.)
 
-use sim::StatSet;
+use sim::{Histogram, StatSet};
 use std::collections::BTreeMap;
+
+/// The fabric view attached to a node's monitor: the interconnect's
+/// message counters plus its request round-trip latency histogram. Both
+/// share storage with the live fabric, so queries see current values.
+#[derive(Clone)]
+pub struct NetView {
+    /// Fabric-wide message/byte counters (see `OBSERVABILITY.md`).
+    pub stats: StatSet,
+    /// Request round-trip latency in virtual ns.
+    pub rtt: Histogram,
+}
 
 /// The five modules' counter sets for one node.
 #[derive(Clone)]
@@ -39,6 +50,9 @@ pub struct ModuleStats {
     pub task: StatSet,
     /// Cluster-control counters.
     pub cluster: StatSet,
+    /// The interconnect view, when the runtime attached one (queried as
+    /// module `"net"`; reports latency quantiles alongside counters).
+    pub net: Option<NetView>,
 }
 
 impl ModuleStats {
@@ -50,10 +64,19 @@ impl ModuleStats {
             sync: StatSet::new(&["locks", "unlocks", "barriers", "events_set", "events_waited", "atomics"]),
             task: StatSet::new(&["remote_spawns", "joins", "forwards"]),
             cluster: StatSet::new(&["msgs_sent", "msgs_recv", "bytes_sent", "queries"]),
+            net: None,
         }
     }
 
-    /// The named module's counters.
+    /// Attach the interconnect view so `query("net")` works (builder
+    /// style; the runtime calls this during node bring-up).
+    pub fn with_net(mut self, stats: StatSet, rtt: Histogram) -> Self {
+        self.net = Some(NetView { stats, rtt });
+        self
+    }
+
+    /// The named module's counters. `"net"` resolves to the fabric's
+    /// counter set when the runtime attached one.
     pub fn module(&self, name: &str) -> &StatSet {
         match name {
             "mem" => &self.mem,
@@ -61,24 +84,51 @@ impl ModuleStats {
             "sync" => &self.sync,
             "task" => &self.task,
             "cluster" => &self.cluster,
+            "net" => {
+                &self.net.as_ref().expect("no fabric view attached to this monitor").stats
+            }
             other => panic!("unknown HAMSTER module {other:?}"),
         }
     }
 
-    /// Query service: snapshot one module's counters.
+    /// Query service: snapshot one module's counters. For `"net"` the
+    /// snapshot additionally carries the request round-trip latency
+    /// quantiles (`rtt_p50` … `rtt_max`, `rtt_mean`, `rtt_count`), all
+    /// in virtual nanoseconds.
     pub fn query(&self, module: &str) -> BTreeMap<&'static str, u64> {
-        self.module(module).snapshot()
+        let mut snap = self.module(module).snapshot();
+        if module == "net" {
+            if let Some(net) = &self.net {
+                let q = net.rtt.quantiles();
+                snap.insert("rtt_count", q.count);
+                snap.insert("rtt_p50", q.p50);
+                snap.insert("rtt_p90", q.p90);
+                snap.insert("rtt_p99", q.p99);
+                snap.insert("rtt_max", q.max);
+                snap.insert("rtt_mean", q.mean);
+            }
+        }
+        snap
     }
 
-    /// Reset service: zero one module's counters.
+    /// Reset service: zero one module's counters (and, for `"net"`, the
+    /// latency histogram).
     pub fn reset(&self, module: &str) {
         self.module(module).reset_all();
+        if module == "net" {
+            if let Some(net) = &self.net {
+                net.rtt.reset();
+            }
+        }
     }
 
     /// Zero everything (between benchmark phases).
     pub fn reset_all(&self) {
         for m in ["mem", "cons", "sync", "task", "cluster"] {
             self.reset(m);
+        }
+        if self.net.is_some() {
+            self.reset("net");
         }
     }
 }
@@ -111,5 +161,31 @@ mod tests {
     #[should_panic(expected = "unknown HAMSTER module")]
     fn unknown_module_panics() {
         ModuleStats::new().query("gpu");
+    }
+
+    #[test]
+    #[should_panic(expected = "no fabric view attached")]
+    fn net_without_fabric_view_panics() {
+        ModuleStats::new().query("net");
+    }
+
+    #[test]
+    fn net_query_reports_latency_quantiles() {
+        let stats = StatSet::new(&["msgs"]);
+        let rtt = Histogram::new();
+        let s = ModuleStats::new().with_net(stats.clone(), rtt.clone());
+        stats.add("msgs", 3);
+        for v in [100, 200, 400] {
+            rtt.record(v);
+        }
+        let snap = s.query("net");
+        assert_eq!(snap["msgs"], 3);
+        assert_eq!(snap["rtt_count"], 3);
+        assert_eq!(snap["rtt_max"], 400);
+        assert!(snap["rtt_p50"] >= 100 && snap["rtt_p50"] <= 400);
+        s.reset("net");
+        let snap = s.query("net");
+        assert_eq!(snap["msgs"], 0);
+        assert_eq!(snap["rtt_count"], 0);
     }
 }

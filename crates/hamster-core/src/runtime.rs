@@ -71,11 +71,13 @@ impl RuntimeInner {
                 h.node(ctx),
             )),
         };
+        let net = self.cluster.network();
         Hamster {
             core: Arc::new(NodeCore {
                 platform,
                 machine: self.config.cost.machine,
-                stats: ModuleStats::new(),
+                stats: ModuleStats::new()
+                    .with_net(net.stats().clone(), net.rtt_histogram()),
                 tracer: crate::trace::Tracer::new(65_536),
                 runtime: self.weak_self.clone(),
             }),

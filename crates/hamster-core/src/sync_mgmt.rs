@@ -24,7 +24,7 @@ impl SyncMgmt<'_> {
         assert!(lock < ATOMIC_LOCK_BASE, "lock id {lock:#x} is reserved");
         self.core.charge_service();
         self.core.stats.sync.add("locks", 1);
-        self.core.trace("sync", "lock", lock as u64);
+        self.core.trace_corr("sync", "lock", lock as u64, lock as u64 + 1);
         self.core.platform.acquire(lock);
     }
 
@@ -35,7 +35,7 @@ impl SyncMgmt<'_> {
         assert!(lock < ATOMIC_LOCK_BASE, "lock id {lock:#x} is reserved");
         self.core.charge_service();
         self.core.stats.sync.add("locks", 1);
-        self.core.trace("sync", "read_lock", lock as u64);
+        self.core.trace_corr("sync", "read_lock", lock as u64, lock as u64 + 1);
         self.core.platform.acquire_shared(lock);
     }
 
@@ -43,7 +43,7 @@ impl SyncMgmt<'_> {
     pub fn unlock(&self, lock: u32) {
         self.core.charge_service();
         self.core.stats.sync.add("unlocks", 1);
-        self.core.trace("sync", "unlock", lock as u64);
+        self.core.trace_corr("sync", "unlock", lock as u64, lock as u64 + 1);
         self.core.platform.release(lock);
     }
 
@@ -51,7 +51,7 @@ impl SyncMgmt<'_> {
     pub fn barrier(&self, id: u32) {
         self.core.charge_service();
         self.core.stats.sync.add("barriers", 1);
-        self.core.trace("sync", "barrier", id as u64);
+        self.core.trace_corr("sync", "barrier", id as u64, id as u64 + 1);
         self.core.platform.barrier(id);
     }
 

@@ -23,6 +23,7 @@
 //!
 //! let events = [TraceEvent {
 //!     t_ns: 1_500, dur_ns: 800, node: 0, module: "swdsm", op: "page_fault", arg: 4096,
+//!     corr: 0,
 //! }];
 //! let json = chrome_trace_json(&events);
 //! assert_eq!(validate_chrome_trace(&json).unwrap(), 1);
@@ -150,7 +151,8 @@ fn us(ns: u64) -> String {
 /// via metadata events), each emitting module a thread within it. Span
 /// events (`dur_ns > 0`) render as complete slices (`ph: "X"`); instant
 /// events as thread-scoped instants (`ph: "i"`). The event argument is
-/// preserved under `args.arg`.
+/// preserved under `args.arg`; correlated events additionally carry
+/// their correlation id under `args.corr`.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     // Stable (node, module) -> tid assignment in order of appearance.
     let mut tids: BTreeMap<(usize, &'static str), u64> = BTreeMap::new();
@@ -202,7 +204,11 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
         } else {
             out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
         }
-        let _ = write!(out, ",\"args\":{{\"arg\":{}}}}}", ev.arg);
+        if ev.corr != 0 {
+            let _ = write!(out, ",\"args\":{{\"arg\":{},\"corr\":{}}}}}", ev.arg, ev.corr);
+        } else {
+            let _ = write!(out, ",\"args\":{{\"arg\":{}}}}}", ev.arg);
+        }
     }
     out.push_str("]}");
     out
@@ -213,7 +219,16 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
 /// their bucket range with `#`, instants mark a single bucket with `.`
 /// (`:` where both overlap). Rows are grouped by node with a final
 /// event-count column.
+///
+/// Degenerate inputs render cleanly: an empty timeline yields a single
+/// `(no events)` line instead of a bare header, and `width` is the
+/// chart-column count (clamped to at least 10), so lane labels longer
+/// than `width` never garble the layout — the label column is sized
+/// independently.
 pub fn gantt_summary(events: &[TraceEvent], width: usize) -> String {
+    if events.is_empty() {
+        return "(no events)\n".to_string();
+    }
     let width = width.max(10);
     let end_ns = events.iter().map(|e| e.t_ns + e.dur_ns).max().unwrap_or(0).max(1);
     let bucket = |ns: u64| -> usize {
@@ -306,228 +321,16 @@ pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
     Ok(n)
 }
 
-/// A minimal recursive-descent JSON reader, enough to validate exported
-/// traces and read benchmark reports back in tests. Not exposed beyond
-/// what [`validate_chrome_trace`] needs; numbers are kept as `f64`.
-mod mini_json {
-    use std::collections::BTreeMap;
-
-    /// A parsed JSON value.
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        /// `null`
-        Null,
-        /// `true` / `false`
-        Bool(bool),
-        /// Any JSON number.
-        Num(f64),
-        /// A string.
-        Str(String),
-        /// An array.
-        Arr(Vec<Value>),
-        /// An object.
-        Obj(BTreeMap<String, Value>),
-    }
-
-    impl Value {
-        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
-            match self {
-                Value::Obj(m) => Some(m),
-                _ => None,
-            }
-        }
-        pub fn as_array(&self) -> Option<&[Value]> {
-            match self {
-                Value::Arr(v) => Some(v),
-                _ => None,
-            }
-        }
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::Str(s) => Some(s),
-                _ => None,
-            }
-        }
-        pub fn is_number(&self) -> bool {
-            matches!(self, Value::Num(_))
-        }
-    }
-
-    pub fn parse(s: &str) -> Result<Value, String> {
-        let b = s.as_bytes();
-        let mut pos = 0;
-        let v = value(b, &mut pos)?;
-        skip_ws(b, &mut pos);
-        if pos != b.len() {
-            return Err(format!("trailing data at byte {pos}"));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(b: &[u8], pos: &mut usize) {
-        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-            *pos += 1;
-        }
-    }
-
-    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-        if *pos < b.len() && b[*pos] == c {
-            *pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {pos}", c as char))
-        }
-    }
-
-    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b'{') => object(b, pos),
-            Some(b'[') => array(b, pos),
-            Some(b'"') => Ok(Value::Str(string(b, pos)?)),
-            Some(b't') => literal(b, pos, "true", Value::Bool(true)),
-            Some(b'f') => literal(b, pos, "false", Value::Bool(false)),
-            Some(b'n') => literal(b, pos, "null", Value::Null),
-            Some(_) => number(b, pos),
-            None => Err("unexpected end of input".into()),
-        }
-    }
-
-    fn literal(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
-        if b[*pos..].starts_with(word.as_bytes()) {
-            *pos += word.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at byte {pos}"))
-        }
-    }
-
-    fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(b, pos, b'{')?;
-        let mut map = BTreeMap::new();
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b'}') {
-            *pos += 1;
-            return Ok(Value::Obj(map));
-        }
-        loop {
-            skip_ws(b, pos);
-            let key = string(b, pos)?;
-            skip_ws(b, pos);
-            expect(b, pos, b':')?;
-            map.insert(key, value(b, pos)?);
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b'}') => {
-                    *pos += 1;
-                    return Ok(Value::Obj(map));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-            }
-        }
-    }
-
-    fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(b, pos, b'[')?;
-        let mut items = Vec::new();
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b']') {
-            *pos += 1;
-            return Ok(Value::Arr(items));
-        }
-        loop {
-            items.push(value(b, pos)?);
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b']') => {
-                    *pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-            }
-        }
-    }
-
-    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-        expect(b, pos, b'"')?;
-        let mut out = String::new();
-        while let Some(&c) = b.get(*pos) {
-            *pos += 1;
-            match c {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let esc = *b.get(*pos).ok_or("unterminated escape")?;
-                    *pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = b
-                                .get(*pos..*pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            *pos += 4;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
-                                16,
-                            )
-                            .map_err(|_| "bad \\u escape")?;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        }
-                        _ => return Err(format!("bad escape at byte {pos}")),
-                    }
-                }
-                c => {
-                    // Re-assemble multi-byte UTF-8 sequences.
-                    if c < 0x80 {
-                        out.push(c as char);
-                    } else {
-                        let start = *pos - 1;
-                        let len = match c {
-                            0xc0..=0xdf => 2,
-                            0xe0..=0xef => 3,
-                            _ => 4,
-                        };
-                        let chunk = b.get(start..start + len).ok_or("truncated UTF-8")?;
-                        out.push_str(
-                            std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8")?,
-                        );
-                        *pos = start + len;
-                    }
-                }
-            }
-        }
-        Err("unterminated string".into())
-    }
-
-    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        let start = *pos;
-        while *pos < b.len()
-            && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-        {
-            *pos += 1;
-        }
-        std::str::from_utf8(&b[start..*pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Value::Num)
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
-}
+/// The shared offline JSON reader ([`sim::json`]), used here to
+/// validate exported traces and in tests to read reports back.
+use sim::json as mini_json;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn ev(t: u64, node: usize, op: &'static str) -> TraceEvent {
-        TraceEvent { t_ns: t, dur_ns: 0, node, module: "sync", op, arg: 0 }
+        TraceEvent { t_ns: t, dur_ns: 0, node, module: "sync", op, arg: 0, corr: 0 }
     }
 
     #[test]
@@ -574,8 +377,14 @@ mod tests {
     #[test]
     fn chrome_export_validates_and_counts() {
         let events = vec![
-            TraceEvent { t_ns: 100, dur_ns: 50, node: 0, module: "swdsm", op: "page_fault", arg: 7 },
-            TraceEvent { t_ns: 180, dur_ns: 0, node: 1, module: "sync", op: "lock_grant", arg: 3 },
+            TraceEvent {
+                t_ns: 100, dur_ns: 50, node: 0, module: "swdsm", op: "page_fault", arg: 7,
+                corr: 0,
+            },
+            TraceEvent {
+                t_ns: 180, dur_ns: 0, node: 1, module: "sync", op: "lock_grant", arg: 3,
+                corr: 42,
+            },
         ];
         let json = chrome_trace_json(&events);
         assert_eq!(validate_chrome_trace(&json).unwrap(), 2);
@@ -585,6 +394,9 @@ mod tests {
         // Both lanes got thread-name metadata.
         assert!(json.contains("\"name\":\"swdsm\""));
         assert!(json.contains("\"name\":\"sync\""));
+        // The correlation id is preserved (and omitted when zero).
+        assert!(json.contains("\"corr\":42"));
+        assert!(json.contains("{\"arg\":7}"));
     }
 
     #[test]
@@ -604,9 +416,9 @@ mod tests {
     #[test]
     fn gantt_has_one_lane_per_node_module() {
         let events = vec![
-            TraceEvent { t_ns: 0, dur_ns: 400, node: 0, module: "phase", op: "compute", arg: 0 },
-            TraceEvent { t_ns: 500, dur_ns: 0, node: 0, module: "sync", op: "barrier", arg: 0 },
-            TraceEvent { t_ns: 200, dur_ns: 100, node: 1, module: "phase", op: "compute", arg: 0 },
+            TraceEvent { t_ns: 0, dur_ns: 400, node: 0, module: "phase", op: "compute", arg: 0, corr: 0 },
+            TraceEvent { t_ns: 500, dur_ns: 0, node: 0, module: "sync", op: "barrier", arg: 0, corr: 0 },
+            TraceEvent { t_ns: 200, dur_ns: 100, node: 1, module: "phase", op: "compute", arg: 0, corr: 0 },
         ];
         let text = gantt_summary(&events, 40);
         assert!(text.contains("node0 phase"));
@@ -614,6 +426,25 @@ mod tests {
         assert!(text.contains("node1 phase"));
         assert!(text.contains('#'));
         assert!(text.contains('.'));
+    }
+
+    #[test]
+    fn gantt_empty_timeline_is_a_clean_line() {
+        assert_eq!(gantt_summary(&[], 60), "(no events)\n");
+        assert_eq!(gantt_summary(&[], 0), "(no events)\n");
+    }
+
+    #[test]
+    fn gantt_small_width_stays_aligned() {
+        let events =
+            vec![TraceEvent { t_ns: 0, dur_ns: 10, node: 0, module: "hybriddsm", op: "x", arg: 0, corr: 0 }];
+        // Width far below the lane-label length: the chart clamps to 10
+        // columns and every row keeps the same label column width.
+        let text = gantt_summary(&events, 2);
+        let bars: Vec<usize> =
+            text.lines().map(|l| l.find('|').expect("every row has a chart")).collect();
+        assert!(bars.windows(2).all(|w| w[0] == w[1]), "misaligned rows:\n{text}");
+        assert!(text.contains("node0 hybriddsm"));
     }
 
     #[test]

@@ -11,8 +11,16 @@
 use cluster::{Cluster, NodeCtx};
 use interconnect::{downcast, mailbox, Outcome};
 use parking_lot::Mutex;
+use sim::Histogram;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+
+/// Correlation id for a lock grant: packs `(grantee, lock)` the same way
+/// the software DSM does, so the analyzer's handoff-chain logic works
+/// unchanged across both protocols.
+fn grant_corr(grantee: usize, lock: u32) -> u64 {
+    ((grantee as u64 + 1) << 32) | (lock as u64 + 1)
+}
 
 /// Message kinds (0x2xx block). `kind_base` offsets allow two cores on
 /// one fabric.
@@ -79,6 +87,9 @@ pub struct SyncCore {
     nodes: usize,
     base: u32,
     mgrs: Vec<Arc<Mutex<MgrState>>>,
+    /// Lock-acquire latency (virtual ns from request to grant-in-hand),
+    /// pooled across nodes; feeds the monitoring quantiles.
+    lock_hist: Histogram,
 }
 
 impl SyncCore {
@@ -90,6 +101,7 @@ impl SyncCore {
             nodes,
             base: kind_base,
             mgrs: (0..nodes).map(|_| Arc::new(Mutex::new(MgrState::default()))).collect(),
+            lock_hist: Histogram::new(),
         });
         let net = cluster.network();
 
@@ -119,6 +131,14 @@ impl SyncCore {
                     let floor = if excl { slot.free_any_ns } else { slot.free_excl_ns };
                     slot.holders.push(src);
                     slot.excl = excl;
+                    sim::trace::instant_corr(
+                        ctx.now.max(floor),
+                        node,
+                        "hybriddsm",
+                        "lock_grant",
+                        lock as u64,
+                        grant_corr(src, lock),
+                    );
                     Outcome::reply_not_before(LockReply::Granted, 8, floor)
                 } else {
                     slot.queue.push_back((src, excl, ctx.now));
@@ -163,6 +183,14 @@ impl SyncCore {
                         let (next, excl, _) = slot.queue.remove(first).unwrap();
                         slot.holders.push(next);
                         slot.excl = excl;
+                        sim::trace::instant_corr(
+                            ctx.now,
+                            node,
+                            "hybriddsm",
+                            "lock_grant",
+                            lock as u64,
+                            grant_corr(next, lock),
+                        );
                         let tag = mailbox::tag(base + LOCK_GRANT, lock);
                         ctx.post_tagged(next, base + LOCK_GRANT, lock, 8, tag);
                         if !excl {
@@ -179,6 +207,14 @@ impl SyncCore {
                                 if !e && t <= cutoff {
                                     let (r, _, _) = slot.queue.remove(i).unwrap();
                                     slot.holders.push(r);
+                                    sim::trace::instant_corr(
+                                        ctx.now,
+                                        node,
+                                        "hybriddsm",
+                                        "lock_grant",
+                                        lock as u64,
+                                        grant_corr(r, lock),
+                                    );
                                     let tag = mailbox::tag(base + LOCK_GRANT, lock);
                                     ctx.post_tagged(r, base + LOCK_GRANT, lock, 8, tag);
                                 } else {
@@ -236,6 +272,16 @@ impl SyncCore {
                     slot.latest_ns = 0;
                     g.released.insert(arr.id, (arr.epoch, release_ns));
                     drop(g);
+                    // corr = epoch ties the release to the matching
+                    // client-side barrier spans.
+                    sim::trace::instant_corr(
+                        release_ns,
+                        node,
+                        "hybriddsm",
+                        "barrier_release",
+                        arr.id as u64,
+                        arr.epoch,
+                    );
                     if ctx.resilient() {
                         // Request/reply rendezvous: discharge every
                         // parked arrival with the release; the final
@@ -280,6 +326,12 @@ impl SyncCore {
     pub fn node(self: &Arc<Self>, ctx: &NodeCtx) -> SyncNode {
         SyncNode { core: self.clone(), ctx: ctx.clone(), epochs: Mutex::new(HashMap::new()) }
     }
+
+    /// Lock-acquire latency histogram (shared storage: the returned
+    /// clone observes later acquisitions too).
+    pub fn lock_histogram(&self) -> Histogram {
+        self.lock_hist.clone()
+    }
 }
 
 /// Per-node synchronization handle.
@@ -307,6 +359,22 @@ impl SyncNode {
     }
 
     fn acquire_mode(&self, lock: u32, excl: bool) {
+        let t0 = self.ctx.clock().now();
+        self.acquire_inner(lock, excl);
+        let now = self.ctx.clock().now();
+        self.core.lock_hist.record(now.saturating_sub(t0));
+        sim::trace::span_corr(
+            t0,
+            now.saturating_sub(t0),
+            self.ctx.rank(),
+            "hybriddsm",
+            "lock_acquire",
+            lock as u64,
+            lock as u64 + 1,
+        );
+    }
+
+    fn acquire_inner(&self, lock: u32, excl: bool) {
         let mgr = lock as usize % self.core.nodes;
         if !self.resilient() {
             let rep = self
@@ -376,12 +444,23 @@ impl SyncNode {
         } else {
             self.ctx.port().post(mgr, self.core.base + LOCK_REL, lock, 16);
         }
+        // Same (releaser, lock) encoding as the manager's grant instants,
+        // so release → next grant chains join up in the analyzer.
+        sim::trace::instant_corr(
+            self.ctx.clock().now(),
+            self.ctx.rank(),
+            "hybriddsm",
+            "lock_release",
+            lock as u64,
+            grant_corr(self.ctx.rank(), lock),
+        );
     }
 
     /// Wait at global barrier `id`. The epoch commits only once the
     /// release is in hand, so a retried barrier re-arrives under the
     /// same epoch (deduplicated or replayed by the manager).
     pub fn barrier(&self, id: u32) {
+        let t0 = self.ctx.clock().now();
         let epoch = self.epochs.lock().get(&id).copied().unwrap_or(0) + 1;
         let mgr = id as usize % self.core.nodes;
         let tag = mailbox::tag(self.core.base + BAR_RELEASE, id);
@@ -413,6 +492,16 @@ impl SyncNode {
             }
         }
         self.epochs.lock().insert(id, epoch);
+        let now = self.ctx.clock().now();
+        sim::trace::span_corr(
+            t0,
+            now.saturating_sub(t0),
+            self.ctx.rank(),
+            "hybriddsm",
+            "barrier",
+            id as u64,
+            epoch,
+        );
     }
 }
 

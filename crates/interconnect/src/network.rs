@@ -15,7 +15,7 @@ use crate::message::{HandlerCtx, NodeId, Outcome, Payload};
 use crate::router::Router;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use sim::{Bus, LinkCost, StatSet, VirtualClock};
+use sim::{Bus, Histogram, LinkCost, StatSet, VirtualClock};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,9 +41,10 @@ enum Envelope {
         payload: Payload,
         arrive_ns: u64,
         reply: Option<Sender<ReplyMsg>>,
-        /// Delivery id; 0 when fault injection is off. Duplicated
-        /// deliveries repeat the id so the receiving daemon can
-        /// recognize and discard the copy.
+        /// Delivery id (unique per enqueued message; doubles as the
+        /// trace correlation id between sender and handler spans).
+        /// Duplicated deliveries repeat the id so the receiving daemon
+        /// can recognize and discard the copy.
         req_id: u64,
         /// Virtual time at which the requester gives up (0 = none).
         deadline_ns: u64,
@@ -147,6 +148,9 @@ pub struct NetShared {
     send_eff_ns: u64,
     recv_eff_ns: u64,
     stats: StatSet,
+    /// Latency histogram over completed synchronous request round trips
+    /// (send overhead → reply received), in virtual ns.
+    rtt_hist: Histogram,
     faults: Option<FaultState>,
     resilience: Option<Resilience>,
     /// Teardown flag: once set, requests fail with `FabricStopped` and
@@ -236,6 +240,10 @@ impl NetShared {
     /// the requester's timeout deadline — an `Err` reply for requests,
     /// a mailbox tombstone for tagged posts — so waiting threads time
     /// out in virtual time instead of blocking forever.
+    ///
+    /// Returns the delivery id assigned to the enqueued message (every
+    /// delivery gets one: it doubles as the sender↔handler correlation
+    /// id in traces), or 0 if the message never reached an inbox.
     #[allow(clippy::too_many_arguments)]
     fn send_user(
         &self,
@@ -247,7 +255,7 @@ impl NetShared {
         depart: u64,
         reply: Option<Sender<ReplyMsg>>,
         wake_tag: Option<u64>,
-    ) {
+    ) -> u64 {
         if self.stopped.load(Ordering::Acquire) {
             if let Some(tx) = reply {
                 let _ = tx.send(ReplyMsg::Err {
@@ -255,23 +263,24 @@ impl NetShared {
                     ready_ns: depart,
                 });
             }
-            return;
+            return 0;
         }
         let arrive_ns = self.wire_arrival(src, dst, depart, wire_bytes);
         let Some(fs) = &self.faults else {
             // Sends to stopped fabrics are ignored: a handler may
             // legitimately fire a post while the run is tearing down
             // (the drain in `Network::drop` answers any reply channel).
+            let req_id = self.next_req_id.fetch_add(1, Ordering::Relaxed) + 1;
             let _ = self.inboxes[dst].send(Envelope::User {
                 src,
                 kind,
                 payload,
                 arrive_ns,
                 reply,
-                req_id: 0,
+                req_id,
                 deadline_ns: 0,
             });
-            return;
+            return req_id;
         };
         let deadline_ns = depart + self.timeout_ns();
         let dst_down = fs.plan.down_at(dst, arrive_ns);
@@ -287,7 +296,7 @@ impl NetShared {
                 RequestError::Timeout { deadline_ns }
             };
             self.fail_delivery(dst, reply, wake_tag, err, deadline_ns);
-            return;
+            return 0;
         }
         let d = fs.next_decision(src, dst, kind);
         if d.drop {
@@ -295,7 +304,7 @@ impl NetShared {
             sim::trace::instant(depart, src, "fault", "drop", kind as u64);
             let err = RequestError::Timeout { deadline_ns };
             self.fail_delivery(dst, reply, wake_tag, err, deadline_ns);
-            return;
+            return 0;
         }
         let arrive_ns = arrive_ns + d.extra_delay_ns;
         if d.extra_delay_ns > 0 {
@@ -317,6 +326,7 @@ impl NetShared {
             sim::trace::instant(depart, src, "fault", "dup", kind as u64);
             let _ = self.inboxes[dst].send(Envelope::Dup { kind, req_id, arrive_ns });
         }
+        req_id
     }
 
     fn fail_delivery(
@@ -352,7 +362,7 @@ impl NetShared {
     ) {
         self.stats.add("posts", 1);
         self.stats.add("bytes", wire_bytes);
-        self.send_user(src, dst, kind, payload, wire_bytes, depart, None, wake_tag);
+        let _ = self.send_user(src, dst, kind, payload, wire_bytes, depart, None, wake_tag);
     }
 }
 
@@ -447,6 +457,7 @@ impl NetworkBuilder {
             send_eff_ns,
             recv_eff_ns,
             stats: StatSet::new(NET_STAT_NAMES),
+            rtt_hist: Histogram::new(),
             faults,
             resilience,
             stopped: AtomicBool::new(false),
@@ -597,12 +608,24 @@ fn daemon_loop(node: NodeId, rx: Receiver<Envelope>, shared: Arc<NetShared>) {
                 };
                 let end = served.max(out.not_before_ns);
                 if sim::trace::enabled() {
-                    sim::trace::span(arrive_ns, served - arrive_ns, node, "net", "handler", kind as u64);
+                    // corr = the delivery id stamped by `send_user`, the
+                    // same id the requester's `net/request` span carries:
+                    // the analyzer joins the two to rebuild send→serve
+                    // edges of the happens-before graph.
+                    sim::trace::span_corr(
+                        arrive_ns,
+                        served - arrive_ns,
+                        node,
+                        "net",
+                        "handler",
+                        kind as u64,
+                        req_id,
+                    );
                     if end > served {
                         // The protocol handler imposed a release floor
                         // (e.g. a lock grant not valid before the
                         // holder's release time): the reply stalls here.
-                        sim::trace::span(served, end - served, node, "net", "not_before", end);
+                        sim::trace::span_corr(served, end - served, node, "net", "not_before", end, req_id);
                     }
                 }
                 if let Some(key) = out.defer_key {
@@ -685,6 +708,13 @@ impl Network {
     /// Fabric-wide statistics (see [`NET_STAT_NAMES`]).
     pub fn stats(&self) -> &StatSet {
         &self.shared.stats
+    }
+
+    /// The fabric's request round-trip latency histogram. The returned
+    /// handle shares storage with the live fabric ([`Histogram`] clones
+    /// are views), so a monitor can keep it and query quantiles later.
+    pub fn rtt_histogram(&self) -> Histogram {
+        self.shared.rtt_hist.clone()
     }
 
     /// Register `handler` for `kind` on every node (common for symmetric
@@ -843,7 +873,8 @@ impl NodePort {
         let t0 = self.clock.now();
         let depart = self.clock.advance(self.shared.send_eff_ns);
         let (tx, rx) = unbounded();
-        self.shared
+        let req_id = self
+            .shared
             .send_user(self.node, dst, kind, Box::new(value), wire_bytes, depart, Some(tx), None);
         let res = match rx.recv() {
             Ok(ReplyMsg::Ok { payload, wire_bytes, ready_ns }) => {
@@ -860,8 +891,19 @@ impl NodePort {
             // Reply channel dropped without an answer: daemons are gone.
             Err(_) => Err(RequestError::FabricStopped),
         };
+        if res.is_ok() {
+            self.shared.rtt_hist.record(self.clock.now() - t0);
+        }
         if sim::trace::enabled() {
-            sim::trace::span(t0, self.clock.now() - t0, self.node, "net", "request", kind as u64);
+            sim::trace::span_corr(
+                t0,
+                self.clock.now() - t0,
+                self.node,
+                "net",
+                "request",
+                kind as u64,
+                req_id,
+            );
         }
         res
     }
@@ -1073,9 +1115,10 @@ impl NodePort {
         self.shared.stats.add("posts", 1);
         self.shared.stats.add("bytes", wire_bytes);
         let depart = self.clock.advance(self.shared.send_eff_ns);
-        sim::trace::instant(depart, self.node, "net", "post", kind as u64);
-        self.shared
+        let req_id = self
+            .shared
             .send_user(self.node, dst, kind, Box::new(value), wire_bytes, depart, None, wake_tag);
+        sim::trace::instant_corr(depart, self.node, "net", "post", kind as u64, req_id);
     }
 
     /// Post `value` to every node except this one. The payload must be

@@ -1,0 +1,275 @@
+//! A minimal recursive-descent JSON reader.
+//!
+//! The harness runs fully offline (no serde), yet several layers need to
+//! read JSON back: `hamster-core` validates exported Chrome traces, the
+//! analyzer validates its own `BENCH_analysis.json` report, and tests
+//! spot-check benchmark artifacts. This module is the one shared parser;
+//! it lives in `sim` because `sim` is the crate every layer already
+//! depends on. Numbers are kept as `f64` (ample for validation).
+//!
+//! ```
+//! use sim::json;
+//! let v = json::parse("{\"makespan_ns\": 1500, \"lanes\": [\"net\"]}").unwrap();
+//! let obj = v.as_object().unwrap();
+//! assert_eq!(obj.get("makespan_ns").and_then(|n| n.as_num()), Some(1500.0));
+//! assert_eq!(obj.get("lanes").unwrap().as_array().unwrap().len(), 1);
+//! ```
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The member map if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The items if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The text if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number if this is numeric.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// True when the value is a number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Num(_))
+    }
+
+    /// Object member lookup (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+/// Parse a complete JSON document (trailing data is an error).
+pub fn parse(s: &str) -> Result<Value, String> {
+    let b = s.as_bytes();
+    let mut pos = 0;
+    let v = value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", c as char))
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+        Some(b't') => literal(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => literal(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => literal(b, pos, "null", Value::Null),
+        Some(_) => number(b, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        map.insert(key, value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b.get(*pos..*pos + 4).ok_or("truncated \\u escape")?;
+                        *pos += 4;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            c => {
+                // Re-assemble multi-byte UTF-8 sequences.
+                if c < 0x80 {
+                    out.push(c as char);
+                } else {
+                    let start = *pos - 1;
+                    let len = match c {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = b.get(start..start + len).ok_or("truncated UTF-8")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8")?);
+                    *pos = start + len;
+                }
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Value::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_escapes() {
+        let v = parse("{\"a\\n\": [1, -2.5e2, \"\\u0041ß\", true, null]}").unwrap();
+        let obj = v.as_object().unwrap();
+        let arr = obj.get("a\n").unwrap().as_array().unwrap();
+        assert_eq!(arr[2].as_str(), Some("Aß"));
+        assert!(arr[1].is_number());
+        assert_eq!(arr[1].as_num(), Some(-250.0));
+        assert_eq!(arr[3], Value::Bool(true));
+        assert_eq!(arr[4], Value::Null);
+    }
+
+    #[test]
+    fn get_navigates_objects() {
+        let v = parse("{\"outer\": {\"inner\": 3}}").unwrap();
+        assert_eq!(v.get("outer").and_then(|o| o.get("inner")).and_then(|n| n.as_num()), Some(3.0));
+        assert!(v.get("missing").is_none());
+        assert!(parse("3").unwrap().get("x").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} junk").is_err());
+        assert!(parse("\"open").is_err());
+    }
+}

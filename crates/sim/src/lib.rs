@@ -14,13 +14,16 @@
 //! * [`VirtualClock`] — a per-CPU nanosecond clock.
 //! * [`Server`] — a FIFO queueing server used to model contended resources.
 //! * [`CostModel`] / [`LinkCost`] — interconnect and machine constants.
-//! * [`stats`] — named atomic counters backing HAMSTER's per-module
-//!   performance monitoring (paper §4.3).
+//! * [`stats`] — named atomic counters and latency histograms backing
+//!   HAMSTER's per-module performance monitoring (paper §4.3).
 //! * [`trace`] — the process-global structured event sink every layer
 //!   above emits into while a trace session is open.
+//! * [`json`] — the shared offline JSON reader used by trace/report
+//!   validators up the stack.
 
 pub mod clock;
 pub mod cost;
+pub mod json;
 pub mod server;
 pub mod stats;
 pub mod trace;
@@ -28,5 +31,5 @@ pub mod trace;
 pub use clock::VirtualClock;
 pub use cost::{CostModel, LinkCost, MachineCost, SciAccessCost};
 pub use server::{Bus, Server};
-pub use stats::{Counter, StatSet};
+pub use stats::{Counter, Histogram, Quantiles, StatSet};
 pub use trace::{TraceEvent, TraceSession};

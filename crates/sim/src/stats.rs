@@ -124,6 +124,145 @@ impl StatSet {
     }
 }
 
+/// Number of log2 buckets in a [`Histogram`]: bucket `i` holds samples
+/// whose value has `i` significant bits (bucket 0 is the value 0), so
+/// the full `u64` range is covered.
+const HIST_BUCKETS: usize = 65;
+
+/// A lock-free latency histogram with logarithmic (power-of-two)
+/// buckets, built for virtual-nanosecond samples on protocol hot paths.
+///
+/// Like [`StatSet`], clones share the underlying storage, so a module
+/// can hand a cheap handle to its monitor while continuing to record.
+/// Quantiles are approximate: a reported quantile is the *upper bound*
+/// of the bucket containing it (within 2× of the true value), which is
+/// plenty for "is p99 lock wait milliseconds or microseconds" questions.
+/// The exact maximum recorded sample is tracked separately.
+///
+/// ```
+/// use sim::stats::Histogram;
+/// let h = Histogram::new();
+/// for v in [100, 200, 300, 4000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// let q = h.quantiles();
+/// assert_eq!(q.max, 4000);
+/// assert!(q.p50 >= 200 && q.p50 < 512);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Arc<Vec<Counter>>,
+    /// Exact running maximum (atomic max via compare-and-swap).
+    max: Arc<AtomicU64>,
+    /// Sum of all samples, for mean computation.
+    sum: Arc<AtomicU64>,
+}
+
+/// Summary quantiles reported by [`Histogram::quantiles`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Quantiles {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Median (upper bucket bound).
+    pub p50: u64,
+    /// 90th percentile (upper bucket bound).
+    pub p90: u64,
+    /// 99th percentile (upper bucket bound).
+    pub p99: u64,
+    /// Exact maximum sample.
+    pub max: u64,
+    /// Mean sample (sum / count, integer division).
+    pub mean: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: Arc::new((0..HIST_BUCKETS).map(|_| Counter::new()).collect()),
+            max: Arc::new(AtomicU64::new(0)),
+            sum: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Bucket index for a sample: its number of significant bits.
+    #[inline]
+    fn bucket(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Upper bound of bucket `i` (the largest value it can hold).
+    fn bucket_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket(v)].add(1);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|c| c.get()).sum()
+    }
+
+    /// Compute summary quantiles over everything recorded so far.
+    pub fn quantiles(&self) -> Quantiles {
+        let counts: Vec<u64> = self.buckets.iter().map(|c| c.get()).collect();
+        let count: u64 = counts.iter().sum();
+        if count == 0 {
+            return Quantiles::default();
+        }
+        // Rank of quantile q (1-based): ceil(q * count), i.e. the
+        // smallest rank whose cumulative share reaches q.
+        let rank = |num: u64, den: u64| count.saturating_mul(num).div_ceil(den).max(1);
+        let at = |target_rank: u64| {
+            let mut seen = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= target_rank {
+                    return Self::bucket_bound(i);
+                }
+            }
+            Self::bucket_bound(HIST_BUCKETS - 1)
+        };
+        let max = self.max.load(Ordering::Relaxed);
+        Quantiles {
+            count,
+            p50: at(rank(50, 100)).min(max),
+            p90: at(rank(90, 100)).min(max),
+            p99: at(rank(99, 100)).min(max),
+            max,
+            mean: self.sum.load(Ordering::Relaxed) / count,
+        }
+    }
+
+    /// Reset all buckets and the maximum to zero.
+    pub fn reset(&self) {
+        for c in self.buckets.iter() {
+            c.reset();
+        }
+        self.max.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +316,63 @@ mod tests {
         let t = s.clone();
         s.add("a", 1);
         assert_eq!(t.get("a"), 1);
+    }
+
+    #[test]
+    fn histogram_empty_quantiles_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantiles(), Quantiles::default());
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn histogram_single_sample() {
+        let h = Histogram::new();
+        h.record(1000);
+        let q = h.quantiles();
+        assert_eq!(q.count, 1);
+        assert_eq!(q.max, 1000);
+        assert_eq!(q.mean, 1000);
+        // Every quantile falls in the sample's bucket (512..=1023),
+        // clamped to the exact max.
+        assert_eq!(q.p50, 1000);
+        assert_eq!(q.p99, 1000);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bound_true_values() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let q = h.quantiles();
+        assert_eq!(q.count, 1000);
+        assert_eq!(q.max, 1000);
+        assert!(q.p50 <= q.p90 && q.p90 <= q.p99 && q.p99 <= q.max);
+        // Upper bucket bounds: within 2x above the true quantile.
+        assert!(q.p50 >= 500 && q.p50 < 1024, "p50 = {}", q.p50);
+        assert!(q.p99 >= 990, "p99 = {}", q.p99);
+    }
+
+    #[test]
+    fn histogram_zero_and_reset() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        let q = h.quantiles();
+        assert_eq!((q.count, q.p50, q.max), (2, 0, 0));
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantiles().max, 0);
+    }
+
+    #[test]
+    fn histogram_clone_shares_storage() {
+        let h = Histogram::new();
+        let g = h.clone();
+        h.record(7);
+        assert_eq!(g.count(), 1);
+        assert_eq!(g.quantiles().max, 7);
     }
 
     #[test]

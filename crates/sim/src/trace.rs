@@ -48,6 +48,12 @@ pub struct TraceEvent {
     pub op: &'static str,
     /// Operation argument (lock id, byte count, `not_before` floor, …).
     pub arg: u64,
+    /// Correlation id tying causally linked events together (a network
+    /// request and the handler that served it, a lock grant and the
+    /// acquire it unblocks, a barrier epoch's arrivals and release).
+    /// `0` means uncorrelated. The id space is per `(module, op)` pair;
+    /// see `OBSERVABILITY.md` for each emitter's encoding.
+    pub corr: u64,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -69,16 +75,43 @@ pub fn emit(ev: TraceEvent) {
     }
 }
 
-/// Emit an instant event (duration 0).
+/// Emit an instant event (duration 0, uncorrelated).
 #[inline]
 pub fn instant(t_ns: u64, node: usize, module: &'static str, op: &'static str, arg: u64) {
-    emit(TraceEvent { t_ns, dur_ns: 0, node, module, op, arg });
+    emit(TraceEvent { t_ns, dur_ns: 0, node, module, op, arg, corr: 0 });
 }
 
-/// Emit a span starting at `t_ns` lasting `dur_ns`.
+/// Emit a span starting at `t_ns` lasting `dur_ns` (uncorrelated).
 #[inline]
 pub fn span(t_ns: u64, dur_ns: u64, node: usize, module: &'static str, op: &'static str, arg: u64) {
-    emit(TraceEvent { t_ns, dur_ns, node, module, op, arg });
+    emit(TraceEvent { t_ns, dur_ns, node, module, op, arg, corr: 0 });
+}
+
+/// Emit an instant event carrying a correlation id.
+#[inline]
+pub fn instant_corr(
+    t_ns: u64,
+    node: usize,
+    module: &'static str,
+    op: &'static str,
+    arg: u64,
+    corr: u64,
+) {
+    emit(TraceEvent { t_ns, dur_ns: 0, node, module, op, arg, corr });
+}
+
+/// Emit a span carrying a correlation id.
+#[inline]
+pub fn span_corr(
+    t_ns: u64,
+    dur_ns: u64,
+    node: usize,
+    module: &'static str,
+    op: &'static str,
+    arg: u64,
+    corr: u64,
+) {
+    emit(TraceEvent { t_ns, dur_ns, node, module, op, arg, corr });
 }
 
 /// An exclusive, process-global trace collection window.
@@ -101,11 +134,17 @@ impl TraceSession {
     }
 
     /// Close the session and return its timeline, ordered by virtual
-    /// time (ties broken by node).
+    /// time (ties broken by node, then by event content, so the returned
+    /// order is deterministic even when two threads of one node emitted
+    /// at the same virtual instant in a racy real-time order).
     pub fn finish(mut self) -> Vec<TraceEvent> {
         ENABLED.store(false, Ordering::SeqCst);
         let mut events = std::mem::take(&mut *EVENTS.lock());
-        events.sort_by_key(|e| (e.t_ns, e.node));
+        events.sort_by(|a, b| {
+            (a.t_ns, a.node, a.dur_ns, a.module, a.op, a.arg, a.corr).cmp(&(
+                b.t_ns, b.node, b.dur_ns, b.module, b.op, b.arg, b.corr,
+            ))
+        });
         self.guard.take();
         events
     }

@@ -14,7 +14,7 @@ use memwire::{
     RegionMeta, PAGE_SIZE,
 };
 use parking_lot::Mutex;
-use sim::{MachineCost, StatSet};
+use sim::{Histogram, MachineCost, StatSet};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -149,6 +149,9 @@ pub struct SwDsm {
     /// already ran, so a replayed release does not wipe notices that
     /// accumulated after the original broadcast.
     release_seen: Vec<Mutex<HashMap<u32, u64>>>,
+    /// Lock-acquire latency (virtual ns from request to grant-in-hand),
+    /// pooled across nodes; feeds the monitoring quantiles.
+    lock_hist: Histogram,
 }
 
 #[derive(Default)]
@@ -198,6 +201,7 @@ impl SwDsm {
             home_override: parking_lot::RwLock::new(HashMap::new()),
             migration: (0..nodes).map(|_| Mutex::new(MigrationTrack::default())).collect(),
             release_seen: (0..nodes).map(|_| Mutex::new(HashMap::new())).collect(),
+            lock_hist: Histogram::new(),
         });
         dsm.register_handlers(cluster);
         dsm
@@ -211,6 +215,12 @@ impl SwDsm {
     /// The protocol configuration.
     pub fn config(&self) -> &DsmConfig {
         &self.cfg
+    }
+
+    /// Lock-acquire latency histogram (shared storage: the returned
+    /// clone observes later acquisitions too).
+    pub fn lock_histogram(&self) -> Histogram {
+        self.lock_hist.clone()
     }
 
     /// Home node of `page` (migration directory first, then the
@@ -349,8 +359,18 @@ impl SwDsm {
                     Acquire::Granted(notices, not_before) => {
                         // The grant carries its validity floor: the
                         // requester may not proceed before `not_before`
-                        // (the current holder's release time).
-                        sim::trace::instant(ctx.now.max(not_before), node, "swdsm", "lock_grant", not_before);
+                        // (the current holder's release time). corr packs
+                        // (grantee, lock) so the analyzer can chain
+                        // grants into per-lock handoff sequences.
+                        let corr = ((src as u64 + 1) << 32) | (req.lock as u64 + 1);
+                        sim::trace::instant_corr(
+                            ctx.now.max(not_before),
+                            node,
+                            "swdsm",
+                            "lock_grant",
+                            req.lock as u64,
+                            corr,
+                        );
                         let bytes = notices_wire_bytes(&notices);
                         Outcome::reply_not_before(
                             LockReply::Granted(notices),
@@ -372,7 +392,8 @@ impl SwDsm {
                 for (next, notices) in
                     mgr.lock().release(rel.lock, rel.releaser, rel.interval.clone(), ctx.now)
                 {
-                    sim::trace::instant(ctx.now, node, "swdsm", "lock_grant", rel.lock as u64);
+                    let corr = ((next as u64 + 1) << 32) | (rel.lock as u64 + 1);
+                    sim::trace::instant_corr(ctx.now, node, "swdsm", "lock_grant", rel.lock as u64, corr);
                     let bytes = notices_wire_bytes(&notices);
                     // Tagged so a lost grant leaves a loss tombstone
                     // under the waiter's mailbox tag instead of hanging
@@ -425,7 +446,9 @@ impl SwDsm {
                         let moved = dsm.apply_migrations();
                         // The release is stamped with its `not_before`
                         // floor: no participant resumes before release_ns.
-                        sim::trace::instant(release_ns, node, "swdsm", "barrier_release", arr.id as u64);
+                        // corr = epoch ties the release to the matching
+                        // client-side barrier spans.
+                        sim::trace::instant_corr(release_ns, node, "swdsm", "barrier_release", arr.id as u64, epoch);
                         let rel = BarrierRelease { id: arr.id, epoch, intervals };
                         let bytes = rel.wire_bytes() + moved * 16;
                         if ctx.resilient() {
@@ -592,9 +615,17 @@ impl DsmNode {
     /// Emit a protocol span `[t0, now]` into the global trace session.
     #[inline]
     fn trace_span(&self, t0: u64, op: &'static str, arg: u64) {
+        self.trace_span_corr(t0, op, arg, 0);
+    }
+
+    /// [`DsmNode::trace_span`] with a correlation id (see
+    /// `sim::trace::TraceEvent::corr`): lock spans carry `lock + 1`,
+    /// barrier spans carry the epoch.
+    #[inline]
+    fn trace_span_corr(&self, t0: u64, op: &'static str, arg: u64, corr: u64) {
         if sim::trace::enabled() {
             let now = self.ctx.clock().now();
-            sim::trace::span(t0, now.saturating_sub(t0), self.rank, "swdsm", op, arg);
+            sim::trace::span_corr(t0, now.saturating_sub(t0), self.rank, "swdsm", op, arg, corr);
         }
     }
 
@@ -675,7 +706,7 @@ impl DsmNode {
             let page = a.page();
             let off = a.page_offset();
             let chunk = (PAGE_SIZE - off).min(data.len() - done);
-            self.ensure_writable(page);
+            self.ensure_writable(page, off);
             self.copy_to_page(page, off, &data[done..done + chunk]);
             done += chunk;
         }
@@ -751,9 +782,22 @@ impl DsmNode {
     }
 
     /// Make `page` locally writable (twinning on the first write).
-    fn ensure_writable(&self, page: PageId) {
+    /// `off` is the in-page byte offset of the triggering write; the
+    /// first write per interval is traced with `corr = off + 1` so the
+    /// sharing analyzer can tell true sharing (same offset from several
+    /// nodes) from false sharing (distinct offsets on one page).
+    fn ensure_writable(&self, page: PageId, off: usize) {
         if self.is_home(page) {
-            self.local_mods.lock().insert(page);
+            if self.local_mods.lock().insert(page) {
+                sim::trace::instant_corr(
+                    self.ctx.clock().now(),
+                    self.rank,
+                    "swdsm",
+                    "write_local",
+                    page.pack(),
+                    off as u64 + 1,
+                );
+            }
             return;
         }
         let mut table = self.table.lock();
@@ -763,7 +807,14 @@ impl DsmNode {
                 // Write fault on a read-only copy: trap + twin.
                 self.stat("traps", 1);
                 self.stat("twins", 1);
-                sim::trace::instant(self.ctx.clock().now(), self.rank, "swdsm", "write_fault", page.pack());
+                sim::trace::instant_corr(
+                    self.ctx.clock().now(),
+                    self.rank,
+                    "swdsm",
+                    "write_fault",
+                    page.pack(),
+                    off as u64 + 1,
+                );
                 self.ctx.compute(self.dsm.cfg.fault_trap_ns + self.dsm.cfg.twin_ns);
                 p.make_writable();
             }
@@ -773,6 +824,14 @@ impl DsmNode {
                 let mut table = self.table.lock();
                 let p = table.get_mut(page).expect("fetched page vanished");
                 self.stat("twins", 1);
+                sim::trace::instant_corr(
+                    self.ctx.clock().now(),
+                    self.rank,
+                    "swdsm",
+                    "write_fault",
+                    page.pack(),
+                    off as u64 + 1,
+                );
                 self.ctx.compute(self.dsm.cfg.twin_ns);
                 p.make_writable();
             }
@@ -1062,7 +1121,8 @@ impl DsmNode {
         } else {
             self.invalidate_all_cached();
         }
-        self.trace_span(t0, "lock_acquire", lock as u64);
+        self.dsm.lock_hist.record(self.ctx.clock().now().saturating_sub(t0));
+        self.trace_span_corr(t0, "lock_acquire", lock as u64, lock as u64 + 1);
         Ok(())
     }
 
@@ -1137,6 +1197,10 @@ impl DsmNode {
         } else {
             self.ctx.port().post(mgr, kinds::LOCK_REL, rel, bytes);
         }
+        // corr packs (releaser, lock) — the same encoding the manager's
+        // grant instants use, so release → next grant chains join up.
+        let corr = ((self.rank as u64 + 1) << 32) | (lock as u64 + 1);
+        sim::trace::instant_corr(self.ctx.clock().now(), self.rank, "swdsm", "lock_release", lock as u64, corr);
         Ok(())
     }
 
@@ -1167,7 +1231,7 @@ impl DsmNode {
             }
         }
         self.epochs.lock().insert(id, epoch);
-        self.trace_span(t0, "barrier", id as u64);
+        self.trace_span_corr(t0, "barrier", id as u64, epoch);
         Ok(())
     }
 

@@ -16,6 +16,9 @@
 //! * [`cluster`], [`interconnect`], [`memwire`], [`sim`] — the simulated
 //!   cluster substrate (see `DESIGN.md` for the substitution rationale).
 //! * [`apps`] — the paper's benchmark suite (Table 1).
+//! * [`analyzer`] — causal trace analysis: critical-path extraction,
+//!   contention and sharing attribution over `sim::trace` event streams
+//!   (see `OBSERVABILITY.md`).
 //!
 //! ## Quickstart
 //!
@@ -36,6 +39,7 @@
 //! assert_eq!(report.nodes, 2);
 //! ```
 
+pub use analyzer;
 pub use apps;
 pub use cluster;
 pub use hamster_core as core;

@@ -75,7 +75,8 @@ pub fn run_native<T: Send>(
     dsm_cfg: swdsm::DsmConfig,
     f: impl Fn(&NativeWorld) -> T + Send + Sync,
 ) -> (cluster::RunReport, Vec<T>) {
-    let fabric = cluster::FabricConfig::new(nodes, cluster::LinkKind::Ethernet);
+    let fabric =
+        cluster::FabricConfig::builder().nodes(nodes).link(cluster::LinkKind::Ethernet).build();
     let c = cluster::Cluster::new(fabric);
     let dsm = swdsm::SwDsm::install(&c, dsm_cfg);
     c.run(|ctx| f(&NativeWorld::new(dsm.node(ctx))))

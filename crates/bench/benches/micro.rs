@@ -60,7 +60,7 @@ fn bench_dsm_ops(c: &mut Criterion) {
     use swdsm::{DsmConfig, SwDsm};
     // Single node: exercise the local fast paths (collective allocation
     // with one participant completes immediately).
-    let cl = Cluster::new(FabricConfig::new(1, LinkKind::Ethernet));
+    let cl = Cluster::new(FabricConfig::builder().nodes(1).link(LinkKind::Ethernet).build());
     let dsm = SwDsm::install(&cl, DsmConfig::default());
     let node = dsm.node(cl.node_ctx(0));
     let a = node.alloc(4096, Distribution::Block);
@@ -82,7 +82,7 @@ fn bench_hybrid_ops(c: &mut Criterion) {
     use cluster::{Cluster, FabricConfig, LinkKind};
     use hybriddsm::{HybridConfig, HybridDsm};
     use memwire::Distribution;
-    let cl = Cluster::new(FabricConfig::new(1, LinkKind::Sci));
+    let cl = Cluster::new(FabricConfig::builder().nodes(1).link(LinkKind::Sci).build());
     let dsm = HybridDsm::install(&cl, HybridConfig::default());
     let node = dsm.node(cl.node_ctx(0));
     let a = node.alloc(4096, Distribution::Block);

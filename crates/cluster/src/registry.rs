@@ -68,7 +68,7 @@ mod tests {
 
     #[test]
     fn registry_matches_config() {
-        let cfg = FabricConfig::new(4, LinkKind::Ethernet);
+        let cfg = FabricConfig::builder().nodes(4).link(LinkKind::Ethernet).build();
         let r = Registry::from_config(&cfg);
         assert_eq!(r.len(), 4);
         assert_eq!(r.node(2).name, "node02");
@@ -77,7 +77,7 @@ mod tests {
 
     #[test]
     fn lookup_by_name() {
-        let cfg = FabricConfig::new(2, LinkKind::Sci);
+        let cfg = FabricConfig::builder().nodes(2).link(LinkKind::Sci).build();
         let r = Registry::from_config(&cfg);
         assert_eq!(r.by_name("node01").unwrap().rank, 1);
         assert!(r.by_name("node99").is_none());

@@ -45,6 +45,7 @@ impl Cluster {
             .unified(config.unified_saving_ns())
             .faults(config.faults.clone())
             .resilience(config.resilience)
+            .engine(config.engine)
             .build();
         let clocks = (0..config.nodes).map(|_| VirtualClock::starting_at(STARTUP_NS)).collect();
         let buses = (0..config.nodes)
@@ -131,7 +132,7 @@ mod tests {
     use interconnect::{downcast, Outcome};
 
     fn small(link: LinkKind) -> FabricConfig {
-        FabricConfig::new(3, link)
+        FabricConfig::builder().nodes(3).link(link).build()
     }
 
     #[test]

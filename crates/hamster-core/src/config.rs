@@ -4,7 +4,7 @@
 //! configuration file) is changed between experiments; the actual codes
 //! are not modified, and in fact we use the identical binaries."
 
-use cluster::{ConfigMap, FabricConfig, LinkKind};
+use cluster::{ConfigMap, EngineMode, FabricConfig, LinkKind};
 use hybriddsm::HybridConfig;
 use sim::CostModel;
 use std::str::FromStr;
@@ -53,6 +53,8 @@ pub struct ClusterConfig {
     /// HAMSTER's unified messaging layer (§3.3). On by default; the
     /// native-baseline experiments turn it off.
     pub unified_messaging: bool,
+    /// The fabric's delivery engine (default: sharded event-driven).
+    pub engine: EngineMode,
 }
 
 impl ClusterConfig {
@@ -65,12 +67,14 @@ impl ClusterConfig {
             dsm: DsmConfig::default(),
             hybrid: HybridConfig::default(),
             unified_messaging: true,
+            engine: EngineMode::default(),
         }
     }
 
     /// Build from a parsed configuration file. Recognized keys:
     /// `nodes` (usize, required), `platform` (smp|hybrid|swdsm,
-    /// required), `unified_messaging` (bool).
+    /// required), `unified_messaging` (bool), `engine`
+    /// (`threads` | `sharded` | `sharded:N`).
     pub fn from_config_map(map: &ConfigMap) -> Result<Self, String> {
         let nodes = map
             .get_as::<usize>("nodes")?
@@ -84,6 +88,9 @@ impl ClusterConfig {
         let mut cfg = Self::new(nodes, platform);
         if let Some(v) = map.get_as::<bool>("unified_messaging")? {
             cfg.unified_messaging = v;
+        }
+        if let Some(v) = map.get_as::<EngineMode>("engine")? {
+            cfg.engine = v;
         }
         Ok(cfg)
     }
@@ -108,10 +115,13 @@ impl ClusterConfig {
 
     /// The fabric configuration for this run.
     pub fn fabric(&self) -> FabricConfig {
-        let mut f = FabricConfig::new(self.nodes, self.link());
-        f.cost = self.cost;
-        f.unified_messaging = self.unified_messaging;
-        f
+        FabricConfig::builder()
+            .nodes(self.nodes)
+            .link(self.link())
+            .cost(self.cost)
+            .unified_messaging(self.unified_messaging)
+            .engine(self.engine)
+            .build()
     }
 }
 
@@ -155,5 +165,17 @@ mod tests {
     fn unified_messaging_defaults_on() {
         assert!(ClusterConfig::new(2, PlatformKind::SwDsm).unified_messaging);
         assert!(ClusterConfig::parse("nodes=2\nplatform=swdsm").unwrap().unified_messaging);
+    }
+
+    #[test]
+    fn engine_key_selects_delivery_engine() {
+        let cfg = ClusterConfig::parse("nodes=2\nplatform=swdsm").unwrap();
+        assert_eq!(cfg.engine, EngineMode::default());
+        let cfg = ClusterConfig::parse("nodes=2\nplatform=swdsm\nengine=threads").unwrap();
+        assert_eq!(cfg.engine, EngineMode::ThreadPerNode);
+        assert_eq!(cfg.fabric().engine, EngineMode::ThreadPerNode);
+        let cfg = ClusterConfig::parse("nodes=2\nplatform=swdsm\nengine=sharded:3").unwrap();
+        assert_eq!(cfg.engine, EngineMode::Sharded { workers: 3 });
+        assert!(ClusterConfig::parse("nodes=2\nplatform=swdsm\nengine=warp").is_err());
     }
 }

@@ -211,7 +211,7 @@ mod tests {
     use cluster::{FabricConfig, LinkKind};
 
     fn smp(cpus: usize) -> (Cluster, Arc<SmpShared>) {
-        let c = Cluster::new(FabricConfig::new(cpus, LinkKind::Loopback));
+        let c = Cluster::new(FabricConfig::builder().nodes(cpus).link(LinkKind::Loopback).build());
         let s = SmpShared::install(&c);
         (c, s)
     }

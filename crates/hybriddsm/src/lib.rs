@@ -27,5 +27,6 @@
 pub mod node;
 pub mod sync;
 
+pub use interconnect::Page;
 pub use node::{HybridConfig, HybridDsm, HybridNode};
 pub use sync::{SyncCore, SyncNode};

@@ -512,7 +512,7 @@ mod tests {
 
     #[test]
     fn barrier_joins_clocks() {
-        let cluster = Cluster::new(FabricConfig::new(3, LinkKind::Sci));
+        let cluster = Cluster::new(FabricConfig::builder().nodes(3).link(LinkKind::Sci).build());
         let core = SyncCore::install(&cluster, 0);
         let (report, _) = cluster.run(|ctx| {
             let sync = core.node(&ctx);
@@ -527,7 +527,7 @@ mod tests {
 
     #[test]
     fn locks_are_mutually_exclusive() {
-        let cluster = Cluster::new(FabricConfig::new(4, LinkKind::Sci));
+        let cluster = Cluster::new(FabricConfig::builder().nodes(4).link(LinkKind::Sci).build());
         let core = SyncCore::install(&cluster, 0);
         let counter = std::sync::atomic::AtomicU64::new(0);
         let max_seen = std::sync::atomic::AtomicU64::new(0);
@@ -547,7 +547,7 @@ mod tests {
 
     #[test]
     fn repeated_barriers_advance_epochs() {
-        let cluster = Cluster::new(FabricConfig::new(2, LinkKind::Sci));
+        let cluster = Cluster::new(FabricConfig::builder().nodes(2).link(LinkKind::Sci).build());
         let core = SyncCore::install(&cluster, 0);
         let (_, _) = cluster.run(|ctx| {
             let sync = core.node(&ctx);
@@ -559,7 +559,7 @@ mod tests {
 
     #[test]
     fn distinct_kind_bases_coexist() {
-        let cluster = Cluster::new(FabricConfig::new(2, LinkKind::Sci));
+        let cluster = Cluster::new(FabricConfig::builder().nodes(2).link(LinkKind::Sci).build());
         let a = SyncCore::install(&cluster, 0);
         let b = SyncCore::install(&cluster, 0x80);
         let (_, _) = cluster.run(|ctx| {
@@ -574,7 +574,7 @@ mod tests {
 
     #[test]
     fn sci_barrier_is_fast() {
-        let cluster = Cluster::new(FabricConfig::new(4, LinkKind::Sci));
+        let cluster = Cluster::new(FabricConfig::builder().nodes(4).link(LinkKind::Sci).build());
         let core = SyncCore::install(&cluster, 0);
         let (report, _) = cluster.run(|ctx| {
             let sync = core.node(&ctx);

@@ -5,13 +5,13 @@ use hybriddsm::{HybridConfig, HybridDsm};
 use memwire::Distribution;
 
 fn cluster(nodes: usize) -> (Cluster, std::sync::Arc<HybridDsm>) {
-    let c = Cluster::new(FabricConfig::new(nodes, LinkKind::Sci));
+    let c = Cluster::new(FabricConfig::builder().nodes(nodes).link(LinkKind::Sci).build());
     let dsm = HybridDsm::install(&c, HybridConfig::default());
     (c, dsm)
 }
 
 fn cluster_uncached(nodes: usize) -> (Cluster, std::sync::Arc<HybridDsm>) {
-    let c = Cluster::new(FabricConfig::new(nodes, LinkKind::Sci));
+    let c = Cluster::new(FabricConfig::builder().nodes(nodes).link(LinkKind::Sci).build());
     let cfg = HybridConfig { cache_remote_reads: false, ..HybridConfig::default() };
     let dsm = HybridDsm::install(&c, cfg);
     (c, dsm)

@@ -58,18 +58,35 @@ impl std::fmt::Display for RequestError {
 
 impl std::error::Error for RequestError {}
 
-/// Returned by [`crate::Router::dispatch`] when no handler is
-/// registered for a message kind. The daemon turns this into a NACK
+/// Why [`crate::Router::dispatch`] could not produce an [`crate::Outcome`].
+/// The delivery engine turns this into a NACK
 /// ([`RequestError::HandlerFailed`]) instead of dying.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DispatchError {
-    /// The unroutable message kind.
-    pub kind: u32,
+pub enum DispatchError {
+    /// No handler is registered for the message kind.
+    NoHandler {
+        /// The unroutable message kind.
+        kind: u32,
+    },
+    /// The payload was not the type the handler expects. Produced by
+    /// [`crate::try_downcast`] inside fallible handlers — the typed
+    /// alternative to the panicking [`crate::downcast`].
+    PayloadType {
+        /// The type the handler expected (`std::any::type_name`).
+        expected: &'static str,
+    },
 }
 
 impl std::fmt::Display for DispatchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "no handler for message kind {:#x}", self.kind)
+        match self {
+            DispatchError::NoHandler { kind } => {
+                write!(f, "no handler for message kind {kind:#x}")
+            }
+            DispatchError::PayloadType { expected } => {
+                write!(f, "payload type mismatch: handler expected {expected}")
+            }
+        }
     }
 }
 

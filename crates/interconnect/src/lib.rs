@@ -29,6 +29,7 @@
 //!   delay, reorder, crash, partition) plus the [`fault::Resilience`]
 //!   timeout/retry policy; failures surface as typed [`RequestError`]s.
 
+pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod mailbox;
@@ -36,9 +37,10 @@ pub mod message;
 pub mod network;
 pub mod router;
 
+pub use engine::EngineMode;
 pub use error::{DispatchError, RequestError};
 pub use fault::{FaultPlan, LinkFaults, Resilience, RetryPolicy};
 pub use mailbox::Mailbox;
-pub use message::{downcast, HandlerCtx, NodeId, Outcome, Payload};
+pub use message::{downcast, try_downcast, HandlerCtx, NodeId, Outcome, Page, Payload};
 pub use network::{Network, NetworkBuilder, NodePort};
 pub use router::Router;

@@ -45,12 +45,18 @@ impl Mailbox {
     }
 
     /// Deposit a wake-up under `tag`. Called from protocol handlers.
+    ///
+    /// A real wake-up supersedes any loss tombstone still pending under
+    /// the same tag: the tombstone said "the wake-up was destroyed", and
+    /// a later copy (a fault-injected duplicate, a retried send) proving
+    /// otherwise must win. Without the purge, batched delivery could
+    /// hand the waiter the stale tombstone — a spurious timeout — while
+    /// the real wake-up sat right behind it.
     pub fn deposit(&self, tag: u64, payload: Payload, arrive_ns: u64) {
         let mut g = self.inner.lock();
-        g.queues
-            .entry(tag)
-            .or_default()
-            .push_back(Deposit { payload, arrive_ns, lost: false });
+        let q = g.queues.entry(tag).or_default();
+        q.retain(|d| !d.lost);
+        q.push_back(Deposit { payload, arrive_ns, lost: false });
         self.cond.notify_all();
     }
 
@@ -71,7 +77,7 @@ impl Mailbox {
         let mut g = self.inner.lock();
         loop {
             if let Some(q) = g.queues.get_mut(&tag) {
-                if let Some(d) = q.pop_front() {
+                if let Some(d) = take_preferring_real(q) {
                     return d;
                 }
             }
@@ -82,7 +88,7 @@ impl Mailbox {
     /// Take a deposit under `tag` if one is already present.
     pub fn try_take(&self, tag: u64) -> Option<Deposit> {
         let mut g = self.inner.lock();
-        g.queues.get_mut(&tag).and_then(|q| q.pop_front())
+        g.queues.get_mut(&tag).and_then(take_preferring_real)
     }
 
     /// Number of pending deposits under `tag`.
@@ -91,10 +97,121 @@ impl Mailbox {
     }
 }
 
+/// Take the first *real* deposit if one exists; fall back to a
+/// tombstone only when nothing else is queued. Batched delivery can
+/// land a late real wake-up behind an already-queued tombstone for the
+/// same tag in one batch — the waiter must never time out on the
+/// tombstone while the real deposit is present.
+fn take_preferring_real(q: &mut VecDeque<Deposit>) -> Option<Deposit> {
+    if let Some(ix) = q.iter().position(|d| !d.lost) {
+        q.remove(ix)
+    } else {
+        q.pop_front()
+    }
+}
+
 /// Build a mailbox tag from a message kind and an instance id (e.g. a
 /// particular barrier or lock).
 pub fn tag(kind: u32, id: u32) -> u64 {
     ((kind as u64) << 32) | id as u64
+}
+
+/// A bounded multi-producer work queue with explicit backpressure: the
+/// per-node envelope queue of the sharded engine.
+///
+/// Two enqueue flavours reflect who is calling:
+///
+/// * [`BoundedQueue::push_wait`] — application threads. Blocks (in real
+///   time) while the queue is full; this is the backpressure that keeps
+///   a flooding sender from ballooning memory.
+/// * [`BoundedQueue::push`] — handler context. Never blocks, even over
+///   capacity: a worker that blocked pushing to a queue it is itself
+///   responsible for draining would deadlock the shard, so handler
+///   enqueues always overflow the bound instead.
+///
+/// Closing the queue (teardown) wakes blocked producers and makes every
+/// subsequent push return the rejected value to the caller, which
+/// answers any reply obligation itself.
+pub struct BoundedQueue<T> {
+    inner: Mutex<BoundedInner<T>>,
+    space: Condvar,
+    capacity: usize,
+}
+
+struct BoundedInner<T> {
+    q: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An open queue admitting `capacity` items before producers block.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "bounded queue needs capacity");
+        Self {
+            inner: Mutex::new(BoundedInner { q: VecDeque::new(), closed: false }),
+            space: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Non-blocking enqueue that may overflow the bound (handler
+    /// context — see the type docs). `Err(v)` when closed.
+    pub fn push(&self, v: T) -> Result<(), T> {
+        let mut g = self.inner.lock();
+        if g.closed {
+            return Err(v);
+        }
+        g.q.push_back(v);
+        Ok(())
+    }
+
+    /// Blocking enqueue honoring the bound. Returns whether the caller
+    /// had to wait for space (the backpressure signal), or `Err(v)`
+    /// when the queue is (or becomes, while waiting) closed.
+    pub fn push_wait(&self, v: T) -> Result<bool, T> {
+        let mut g = self.inner.lock();
+        let mut waited = false;
+        while g.q.len() >= self.capacity && !g.closed {
+            waited = true;
+            self.space.wait(&mut g);
+        }
+        if g.closed {
+            return Err(v);
+        }
+        g.q.push_back(v);
+        Ok(waited)
+    }
+
+    /// Move up to `max` items (FIFO) into `out`, waking producers that
+    /// were blocked on the freed space.
+    pub fn drain_into(&self, max: usize, out: &mut Vec<T>) {
+        let mut g = self.inner.lock();
+        let n = g.q.len().min(max);
+        out.extend(g.q.drain(..n));
+        if n > 0 {
+            self.space.notify_all();
+        }
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().q.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Close the queue and return everything still queued. Blocked
+    /// producers wake up with `Err`.
+    pub fn close(&self) -> Vec<T> {
+        let mut g = self.inner.lock();
+        g.closed = true;
+        let left = g.q.drain(..).collect();
+        self.space.notify_all();
+        left
+    }
 }
 
 #[cfg(test)]
@@ -163,5 +280,91 @@ mod tests {
     fn tag_packing_distinct() {
         assert_ne!(tag(1, 2), tag(2, 1));
         assert_eq!(tag(0xABCD, 0x1234) >> 32, 0xABCD);
+    }
+
+    #[test]
+    fn late_deposit_supersedes_tombstone() {
+        // Regression: batched delivery can enqueue a loss tombstone and
+        // then a late real copy of the same wake-up before the waiter
+        // runs. The waiter must get the real deposit, and the stale
+        // tombstone must be gone — not surface as a spurious timeout on
+        // the *next* wait under the tag.
+        let m = Mailbox::new();
+        m.deposit_lost(tag(5, 1), 9_000);
+        m.deposit(tag(5, 1), Box::new(3u8), 700);
+        assert_eq!(m.pending(tag(5, 1)), 1, "real deposit purges the tombstone");
+        let d = m.wait(tag(5, 1));
+        assert!(!d.lost);
+        assert_eq!(d.arrive_ns, 700);
+        assert!(m.try_take(tag(5, 1)).is_none());
+    }
+
+    #[test]
+    fn take_prefers_real_over_queued_tombstone() {
+        // Even if a tombstone lands *between* two real deposits (so the
+        // purge in `deposit` cannot see it coming), takers skip over it.
+        let m = Mailbox::new();
+        let q_tag = tag(6, 0);
+        {
+            // Build the pathological order directly: real, lost, real
+            // cannot occur via deposit() (it purges), but try_take must
+            // still prefer real entries if a tombstone is mid-queue.
+            m.deposit(q_tag, Box::new(1u8), 10);
+            m.deposit_lost(q_tag, 5_000);
+        }
+        assert!(!m.try_take(q_tag).unwrap().lost, "real deposit wins over tombstone");
+        assert!(m.try_take(q_tag).unwrap().lost, "tombstone only when nothing real is left");
+    }
+
+    #[test]
+    fn bounded_queue_fifo_and_drain() {
+        let q = BoundedQueue::new(4);
+        for i in 0..3 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 3);
+        let mut out = Vec::new();
+        q.drain_into(2, &mut out);
+        assert_eq!(out, vec![0, 1]);
+        q.drain_into(8, &mut out);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bounded_queue_backpressure_blocks_until_drained() {
+        let q = Arc::new(BoundedQueue::new(2));
+        q.push_wait(0).unwrap();
+        q.push_wait(1).unwrap();
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.push_wait(2).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.len(), 2, "third producer is blocked");
+        let mut out = Vec::new();
+        q.drain_into(1, &mut out);
+        assert!(h.join().unwrap(), "blocked producer reports having waited");
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn bounded_queue_push_overflows_instead_of_blocking() {
+        // Handler-context pushes must never block, even over capacity.
+        let q = BoundedQueue::new(1);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn bounded_queue_close_rejects_and_returns_leftovers() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(7).unwrap();
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.push_wait(8));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let left = q.close();
+        assert_eq!(left, vec![7]);
+        assert_eq!(h.join().unwrap(), Err(8), "blocked producer wakes with its value");
+        assert_eq!(q.push(9), Err(9));
     }
 }

@@ -1,6 +1,8 @@
 //! Message and handler types shared across the fabric.
 
+use crate::error::DispatchError;
 use std::any::Any;
+use std::sync::Arc;
 
 /// Identifier of a simulated node (0-based rank).
 pub type NodeId = usize;
@@ -15,10 +17,106 @@ pub type Payload = Box<dyn Any + Send>;
 ///
 /// Panics on a type mismatch: handler kinds and payload types are paired
 /// statically by each protocol, so a mismatch is a protocol bug, not a
-/// runtime condition.
+/// runtime condition. Fallible handlers (see [`crate::Router::register_try`])
+/// use [`try_downcast`] and surface the mismatch as a typed NACK instead.
 pub fn downcast<T: 'static>(p: Payload) -> T {
     *p.downcast::<T>()
         .unwrap_or_else(|_| panic!("payload type mismatch for {}", std::any::type_name::<T>()))
+}
+
+/// Downcast a payload to a concrete protocol message type, reporting a
+/// mismatch as a typed [`DispatchError`] on the `Result` path (the
+/// delivery engine NACKs the requester) instead of panicking.
+pub fn try_downcast<T: 'static>(p: Payload) -> Result<T, DispatchError> {
+    p.downcast::<T>()
+        .map(|b| *b)
+        .map_err(|_| DispatchError::PayloadType { expected: std::any::type_name::<T>() })
+}
+
+/// An immutable, cheaply clonable page of bytes: the zero-copy payload
+/// unit for whole-page traffic (DSM page fetches, whole-page
+/// write-back).
+///
+/// Cloning a `Page` bumps a reference count; the bytes are shared. A
+/// home store that hands out snapshots therefore pays nothing per
+/// fetch, and a retried `PutPages` clones Arcs, not kilobytes. Mutation
+/// goes through [`Page::make_mut`], which copies only when the bytes
+/// are shared (copy-on-write) — exactly the ownership shape of a real
+/// zero-copy transport, where a page in flight must not be scribbled on.
+///
+/// Downstream code should name this type (re-exported from `swdsm` and
+/// `hybriddsm`), never the `Arc<[u8]>` representation.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Page(Arc<[u8]>);
+
+impl Page {
+    /// A zero-filled page of `len` bytes.
+    pub fn zeroed(len: usize) -> Self {
+        Self(vec![0u8; len].into())
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for a zero-length page.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The bytes, read-only.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// An owned copy of the bytes (for sinks that need a `Vec`, e.g.
+    /// installing into a locally mutable page cache).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+
+    /// Mutable access, copy-on-write: in-place when this is the only
+    /// reference, otherwise the bytes are copied first so shared
+    /// snapshots (pages in flight) are never mutated.
+    pub fn make_mut(&mut self) -> &mut [u8] {
+        if Arc::get_mut(&mut self.0).is_none() {
+            self.0 = Arc::from(&self.0[..]);
+        }
+        Arc::get_mut(&mut self.0).expect("freshly copied page is uniquely owned")
+    }
+}
+
+impl From<Vec<u8>> for Page {
+    fn from(v: Vec<u8>) -> Self {
+        Self(v.into())
+    }
+}
+
+impl From<&[u8]> for Page {
+    fn from(v: &[u8]) -> Self {
+        Self(Arc::from(v))
+    }
+}
+
+impl std::ops::Deref for Page {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Page {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Don't dump kilobytes of page contents into assertion output.
+        write!(f, "Page({} bytes)", self.0.len())
+    }
 }
 
 /// What a handler produced.
@@ -202,8 +300,13 @@ impl HandlerCtx<'_> {
     }
 }
 
-/// A protocol handler: `(ctx, requester, payload) -> outcome`.
-pub type Handler = Box<dyn Fn(&HandlerCtx<'_>, NodeId, Payload) -> Outcome + Send + Sync>;
+/// A protocol handler: `(ctx, requester, payload) -> outcome`, with
+/// dispatch-level failures (wrong payload type) on the `Err` path. The
+/// delivery engine NACKs the requester on `Err` instead of panicking.
+/// Infallible handlers register through [`crate::Router::register`],
+/// which wraps them in `Ok`.
+pub type Handler =
+    Box<dyn Fn(&HandlerCtx<'_>, NodeId, Payload) -> Result<Outcome, DispatchError> + Send + Sync>;
 
 #[cfg(test)]
 mod tests {
@@ -220,6 +323,45 @@ mod tests {
     fn downcast_wrong_type_panics() {
         let p: Payload = Box::new(42u32);
         let _: u64 = downcast::<u64>(p);
+    }
+
+    #[test]
+    fn try_downcast_reports_typed_mismatch() {
+        let p: Payload = Box::new(42u32);
+        assert_eq!(try_downcast::<u32>(p).unwrap(), 42);
+        let p: Payload = Box::new(42u32);
+        let err = try_downcast::<u64>(p).unwrap_err();
+        assert!(matches!(err, DispatchError::PayloadType { .. }));
+        assert!(err.to_string().contains("u64"), "{err}");
+    }
+
+    #[test]
+    fn page_clone_shares_bytes() {
+        let a = Page::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert!(std::ptr::eq(a.as_slice().as_ptr(), b.as_slice().as_ptr()), "clone is zero-copy");
+    }
+
+    #[test]
+    fn page_make_mut_copies_only_when_shared() {
+        let mut a = Page::from(vec![0u8; 4]);
+        let before = a.as_slice().as_ptr();
+        a.make_mut()[0] = 7;
+        assert!(std::ptr::eq(before, a.as_slice().as_ptr()), "unique page mutates in place");
+        let b = a.clone();
+        a.make_mut()[1] = 9;
+        assert_eq!(b.as_slice(), &[7, 0, 0, 0], "shared snapshot untouched");
+        assert_eq!(a.as_slice(), &[7, 9, 0, 0]);
+    }
+
+    #[test]
+    fn page_zeroed_and_debug() {
+        let p = Page::zeroed(16);
+        assert_eq!(p.len(), 16);
+        assert!(!p.is_empty());
+        assert!(p.iter().all(|&b| b == 0));
+        assert_eq!(format!("{p:?}"), "Page(16 bytes)");
     }
 
     #[test]

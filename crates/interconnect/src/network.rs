@@ -1,5 +1,12 @@
-//! The fabric: per-node inboxes, communication daemons, and timed
+//! The fabric: per-node ingress queues, the delivery engine, and timed
 //! request/post primitives.
+//!
+//! Two delivery engines execute the same envelope-processing code (see
+//! [`EngineMode`]): the legacy thread-per-node communication daemons,
+//! and the default sharded event-driven scheduler — per-node bounded
+//! run queues over a small worker pool with batched virtual-time
+//! delivery. Virtual timings are identical either way; only wall-clock
+//! throughput differs.
 //!
 //! With a [`FaultPlan`] installed the fabric fails on purpose: messages
 //! are dropped, duplicated, delayed or displaced, and whole nodes crash
@@ -8,10 +15,12 @@
 //! wall-clock waits), and the resilient request variants retry through
 //! transient faults with exponential backoff.
 
+use crate::engine::{EngineMode, NodeQueue, ENGINE_BATCH};
 use crate::error::RequestError;
 use crate::fault::{FaultDecision, FaultPlan, Resilience, mix, REPLY_STREAM, RETRY_STREAM};
 use crate::mailbox::Mailbox;
 use crate::message::{HandlerCtx, NodeId, Outcome, Payload};
+
 use crate::router::Router;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -126,9 +135,20 @@ impl FaultState {
     }
 }
 
+/// Per-node ingress of the fabric: which delivery engine owns the
+/// envelopes between `send_user` and `process_envelope`.
+enum Ingress {
+    /// Legacy: one unbounded channel per node, drained by a dedicated
+    /// communication-daemon thread.
+    Threads(Vec<Sender<Envelope>>),
+    /// Sharded scheduler: one bounded run queue per node, drained in
+    /// batches by the shard worker the node is pinned to.
+    Sharded { queues: Vec<NodeQueue<Envelope>>, shards: Arc<sim::sched::Shards> },
+}
+
 /// Shared state of the fabric (one per experiment run).
 pub struct NetShared {
-    inboxes: Vec<Sender<Envelope>>,
+    ingress: Ingress,
     /// Protocol-handler occupancy per node (the communication daemon),
     /// modelled as windowed service demand: one virtual "byte" per
     /// nanosecond of handler time. Like the NIC and memory buses, the
@@ -156,6 +176,10 @@ pub struct NetShared {
     /// Teardown flag: once set, requests fail with `FabricStopped` and
     /// posts are dropped instead of racing the daemons' exit.
     stopped: AtomicBool,
+    /// Times an application thread blocked on a full node queue
+    /// (sharded engine backpressure). Real-time dependent, so kept out
+    /// of the deterministic [`NET_STAT_NAMES`] counters.
+    bp_waits: AtomicU64,
     next_req_id: AtomicU64,
     /// Reply obligations parked by handlers ([`Outcome::defer`]), keyed
     /// by `(handling node, protocol key, requester)`. A re-request from
@@ -178,7 +202,48 @@ struct DeferredReply {
 impl NetShared {
     /// Number of nodes in the fabric.
     pub fn nodes(&self) -> usize {
-        self.inboxes.len()
+        match &self.ingress {
+            Ingress::Threads(inboxes) => inboxes.len(),
+            Ingress::Sharded { queues, .. } => queues.len(),
+        }
+    }
+
+    /// Hand `env` to `dst`'s delivery engine. `can_block` distinguishes
+    /// application threads (which absorb backpressure on a full node
+    /// queue) from handler context, which must never block: the worker
+    /// draining the destination queue may be the caller itself, so a
+    /// handler-context enqueue overflows the bound instead. Envelopes
+    /// rejected by a closed queue (teardown) are answered here.
+    fn deliver(&self, dst: NodeId, env: Envelope, can_block: bool) {
+        match &self.ingress {
+            Ingress::Threads(inboxes) => {
+                let _ = inboxes[dst].send(env);
+            }
+            Ingress::Sharded { queues, shards } => {
+                let nq = &queues[dst];
+                let res = if can_block {
+                    match nq.q.push_wait(env) {
+                        Ok(waited) => {
+                            if waited {
+                                self.bp_waits.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(())
+                        }
+                        Err(env) => Err(env),
+                    }
+                } else {
+                    nq.q.push(env)
+                };
+                match res {
+                    Ok(()) => {
+                        if nq.claim_schedule() {
+                            shards.schedule(dst);
+                        }
+                    }
+                    Err(env) => answer_stranded(env),
+                }
+            }
+        }
     }
 
     fn wire_arrival(&self, src: NodeId, dst: NodeId, depart: u64, bytes: u64) -> u64 {
@@ -187,8 +252,7 @@ impl NetShared {
         } else {
             // The sender's NIC has finite bandwidth shared by all of
             // the node's concurrent outbound transfers.
-            let sent = self.egress[src].transfer(depart, bytes);
-            sent + self.cost.latency_ns
+            self.egress[src].transfer(depart, bytes) + self.cost.latency_ns
         }
     }
 
@@ -255,6 +319,7 @@ impl NetShared {
         depart: u64,
         reply: Option<Sender<ReplyMsg>>,
         wake_tag: Option<u64>,
+        can_block: bool,
     ) -> u64 {
         if self.stopped.load(Ordering::Acquire) {
             if let Some(tx) = reply {
@@ -269,17 +334,13 @@ impl NetShared {
         let Some(fs) = &self.faults else {
             // Sends to stopped fabrics are ignored: a handler may
             // legitimately fire a post while the run is tearing down
-            // (the drain in `Network::drop` answers any reply channel).
+            // (the teardown drain answers any reply channel).
             let req_id = self.next_req_id.fetch_add(1, Ordering::Relaxed) + 1;
-            let _ = self.inboxes[dst].send(Envelope::User {
-                src,
-                kind,
-                payload,
-                arrive_ns,
-                reply,
-                req_id,
-                deadline_ns: 0,
-            });
+            self.deliver(
+                dst,
+                Envelope::User { src, kind, payload, arrive_ns, reply, req_id, deadline_ns: 0 },
+                can_block,
+            );
             return req_id;
         };
         let deadline_ns = depart + self.timeout_ns();
@@ -295,7 +356,7 @@ impl NetShared {
             } else {
                 RequestError::Timeout { deadline_ns }
             };
-            self.fail_delivery(dst, reply, wake_tag, err, deadline_ns);
+            self.fail_delivery(dst, reply, wake_tag, err, deadline_ns, can_block);
             return 0;
         }
         let d = fs.next_decision(src, dst, kind);
@@ -303,7 +364,7 @@ impl NetShared {
             self.stats.add("faults_dropped", 1);
             sim::trace::instant(depart, src, "fault", "drop", kind as u64);
             let err = RequestError::Timeout { deadline_ns };
-            self.fail_delivery(dst, reply, wake_tag, err, deadline_ns);
+            self.fail_delivery(dst, reply, wake_tag, err, deadline_ns, can_block);
             return 0;
         }
         let arrive_ns = arrive_ns + d.extra_delay_ns;
@@ -312,23 +373,20 @@ impl NetShared {
             sim::trace::instant(depart, src, "fault", "delay", d.extra_delay_ns);
         }
         let req_id = self.next_req_id.fetch_add(1, Ordering::Relaxed) + 1;
-        let _ = self.inboxes[dst].send(Envelope::User {
-            src,
-            kind,
-            payload,
-            arrive_ns,
-            reply,
-            req_id,
-            deadline_ns,
-        });
+        self.deliver(
+            dst,
+            Envelope::User { src, kind, payload, arrive_ns, reply, req_id, deadline_ns },
+            can_block,
+        );
         if d.dup {
             self.stats.add("faults_dup", 1);
             sim::trace::instant(depart, src, "fault", "dup", kind as u64);
-            let _ = self.inboxes[dst].send(Envelope::Dup { kind, req_id, arrive_ns });
+            self.deliver(dst, Envelope::Dup { kind, req_id, arrive_ns }, can_block);
         }
         req_id
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn fail_delivery(
         &self,
         dst: NodeId,
@@ -336,13 +394,14 @@ impl NetShared {
         wake_tag: Option<u64>,
         err: RequestError,
         deadline_ns: u64,
+        can_block: bool,
     ) {
         let ready_ns = match &err {
             RequestError::NodeDown { at_ns, .. } => *at_ns,
             _ => deadline_ns,
         };
         if let Some(tx) = reply {
-            let _ = self.inboxes[dst].send(Envelope::Fail { reply: tx, err, ready_ns });
+            self.deliver(dst, Envelope::Fail { reply: tx, err, ready_ns }, can_block);
         } else if let Some(tag) = wake_tag {
             self.stats.add("tombstones", 1);
             self.mailboxes[dst].deposit_lost(tag, deadline_ns);
@@ -360,11 +419,36 @@ impl NetShared {
         depart: u64,
         wake_tag: Option<u64>,
     ) {
-        self.stats.add("posts", 1);
-        self.stats.add("bytes", wire_bytes);
-        let _ = self.send_user(src, dst, kind, payload, wire_bytes, depart, None, wake_tag);
+        self.stats.at(STAT_POSTS).incr();
+        self.stats.at(STAT_BYTES).add(wire_bytes);
+        // Handler context: never block on backpressure (the draining
+        // worker may be us).
+        let _ = self.send_user(src, dst, kind, payload, wire_bytes, depart, None, wake_tag, false);
     }
 }
+
+/// Answer an envelope that can no longer be delivered (closed queue or
+/// teardown drain): in-flight requests get a typed `FabricStopped`
+/// error instead of a wedged waiter; one-way traffic is dropped.
+fn answer_stranded(env: Envelope) {
+    match env {
+        Envelope::User { reply: Some(tx), arrive_ns, .. } => {
+            let _ = tx.send(ReplyMsg::Err { err: RequestError::FabricStopped, ready_ns: arrive_ns });
+        }
+        Envelope::Fail { reply, err, ready_ns } => {
+            let _ = reply.send(ReplyMsg::Err { err, ready_ns });
+        }
+        _ => {}
+    }
+}
+
+/// Indices of the counters bumped on the delivery fast path: those are
+/// an indexed atomic add, not a name scan (checked against
+/// [`NET_STAT_NAMES`] when the fabric is built).
+const STAT_REQUESTS: usize = 0;
+const STAT_POSTS: usize = 1;
+const STAT_BYTES: usize = 2;
+const STAT_DELIVERED: usize = 3;
 
 /// Names of the fabric-wide counters (see [`Network::stats`]). The
 /// fault/retry counters stay at zero unless a fault plan is installed.
@@ -372,6 +456,7 @@ pub const NET_STAT_NAMES: &[&str] = &[
     "requests",
     "posts",
     "bytes",
+    "delivered",
     "retries",
     "timeouts",
     "nodedown",
@@ -391,13 +476,29 @@ pub struct NetworkBuilder {
     unified_saving_ns: u64,
     faults: Option<FaultPlan>,
     resilience: Option<Resilience>,
+    engine: EngineMode,
 }
 
 impl NetworkBuilder {
     /// A fabric of `nodes` endpoints over the given link.
     pub fn new(nodes: usize, cost: LinkCost) -> Self {
         assert!(nodes > 0, "need at least one node");
-        Self { nodes, cost, unified_saving_ns: 0, faults: None, resilience: None }
+        Self {
+            nodes,
+            cost,
+            unified_saving_ns: 0,
+            faults: None,
+            resilience: None,
+            engine: EngineMode::default(),
+        }
+    }
+
+    /// Select the delivery engine (default: [`EngineMode::Sharded`]
+    /// auto-sized). Virtual-time results are identical across engines;
+    /// only wall-clock throughput differs.
+    pub fn engine(mut self, mode: EngineMode) -> Self {
+        self.engine = mode;
+        self
     }
 
     /// Activate HAMSTER's unified messaging layer: each message saves
@@ -423,20 +524,35 @@ impl NetworkBuilder {
         self
     }
 
-    /// Start the fabric: spawns one communication-daemon thread per node.
+    /// Start the fabric: spawns the delivery engine's threads — the
+    /// shard worker pool by default, or one communication-daemon thread
+    /// per node under [`EngineMode::ThreadPerNode`].
     pub fn build(self) -> Network {
+        debug_assert_eq!(NET_STAT_NAMES[STAT_REQUESTS], "requests");
+        debug_assert_eq!(NET_STAT_NAMES[STAT_POSTS], "posts");
+        debug_assert_eq!(NET_STAT_NAMES[STAT_BYTES], "bytes");
+        debug_assert_eq!(NET_STAT_NAMES[STAT_DELIVERED], "delivered");
         let floor_send = self.cost.send_overhead_ns / 10;
         let floor_recv = self.cost.recv_overhead_ns / 10;
         let send_eff_ns = self.cost.send_overhead_ns.saturating_sub(self.unified_saving_ns).max(floor_send);
         let recv_eff_ns = self.cost.recv_overhead_ns.saturating_sub(self.unified_saving_ns).max(floor_recv);
 
-        let mut inboxes = Vec::with_capacity(self.nodes);
-        let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(self.nodes);
-        for _ in 0..self.nodes {
-            let (tx, rx) = unbounded();
-            inboxes.push(tx);
-            receivers.push(rx);
-        }
+        let workers = self.engine.resolved_workers(self.nodes);
+        let mut receivers: Vec<Receiver<Envelope>> = Vec::new();
+        let ingress = if workers == 0 {
+            let mut inboxes = Vec::with_capacity(self.nodes);
+            for _ in 0..self.nodes {
+                let (tx, rx) = unbounded();
+                inboxes.push(tx);
+                receivers.push(rx);
+            }
+            Ingress::Threads(inboxes)
+        } else {
+            Ingress::Sharded {
+                queues: (0..self.nodes).map(|_| NodeQueue::new()).collect(),
+                shards: sim::sched::Shards::new(workers),
+            }
+        };
         let resilience = self.resilience.or(self.faults.as_ref().map(|_| Resilience::default()));
         let faults = self.faults.map(|plan| FaultState {
             plan,
@@ -444,7 +560,7 @@ impl NetworkBuilder {
             dedup: (0..self.nodes).map(|_| Mutex::new(DedupWindow::default())).collect(),
         });
         let shared = Arc::new(NetShared {
-            inboxes,
+            ingress,
             servers: (0..self.nodes)
                 .map(|_| Bus::with_bandwidth(1_000_000_000))
                 .collect(),
@@ -461,22 +577,31 @@ impl NetworkBuilder {
             faults,
             resilience,
             stopped: AtomicBool::new(false),
+            bp_waits: AtomicU64::new(0),
             next_req_id: AtomicU64::new(0),
             deferred: Mutex::new(HashMap::new()),
         });
 
         let drains = receivers.clone();
-        let daemons = receivers
-            .into_iter()
-            .enumerate()
-            .map(|(node, rx)| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("commd-{node}"))
-                    .spawn(move || daemon_loop(node, rx, shared))
-                    .expect("spawn communication daemon")
+        let daemons = if workers == 0 {
+            receivers
+                .into_iter()
+                .enumerate()
+                .map(|(node, rx)| {
+                    let shared = shared.clone();
+                    std::thread::Builder::new()
+                        .name(format!("commd-{node}"))
+                        .spawn(move || daemon_loop(node, rx, shared))
+                        .expect("spawn communication daemon")
+                })
+                .collect()
+        } else {
+            let Ingress::Sharded { shards, .. } = &shared.ingress else { unreachable!() };
+            let worker_shared = shared.clone();
+            sim::sched::spawn_workers(shards, "net-worker", move |node| {
+                drive_node(&worker_shared, node)
             })
-            .collect();
+        };
 
         Network { shared, daemons, drains }
     }
@@ -529,143 +654,198 @@ fn send_reply(
     let _ = tx.send(ReplyMsg::Ok { payload, wire_bytes, ready_ns });
 }
 
-fn daemon_loop(node: NodeId, rx: Receiver<Envelope>, shared: Arc<NetShared>) {
-    for env in rx.iter() {
-        match env {
-            Envelope::Stop => break,
-            Envelope::Dup { kind, req_id, arrive_ns } => {
-                // The transport pays receive overhead for the copy,
-                // then recognizes the request id and discards it: this
-                // is the de-duplication boundary duplicated deliveries
-                // die at.
-                shared.servers[node].transfer(arrive_ns, shared.recv_eff_ns);
-                let known = shared
-                    .faults
-                    .as_ref()
-                    .is_some_and(|f| f.dedup[node].lock().contains(req_id));
-                debug_assert!(known, "duplicate delivered before its original");
-                shared.stats.add("dedup_hits", 1);
-                sim::trace::instant(arrive_ns, node, "fault", "dedup", kind as u64);
+/// Execute one delivered envelope on `node`: charge virtual service
+/// time, dispatch through the node's router, and route the reply. Both
+/// delivery engines funnel through here, which is what keeps their
+/// virtual-time behaviour identical.
+fn process_envelope(shared: &NetShared, node: NodeId, env: Envelope) {
+    shared.stats.at(STAT_DELIVERED).incr();
+    match env {
+        Envelope::Stop => {}
+        Envelope::Dup { kind, req_id, arrive_ns } => {
+            // The transport pays receive overhead for the copy,
+            // then recognizes the request id and discards it: this
+            // is the de-duplication boundary duplicated deliveries
+            // die at.
+            shared.servers[node].transfer(arrive_ns, shared.recv_eff_ns);
+            let known = shared
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.dedup[node].lock().contains(req_id));
+            debug_assert!(known, "duplicate delivered before its original");
+            shared.stats.add("dedup_hits", 1);
+            sim::trace::instant(arrive_ns, node, "fault", "dedup", kind as u64);
+        }
+        Envelope::Fail { reply, err, ready_ns } => {
+            // Forward the precomputed failure to the requester; no
+            // service charge — the loss consumed no receive cycles.
+            let _ = reply.send(ReplyMsg::Err { err, ready_ns });
+        }
+        Envelope::User { src, kind, payload, arrive_ns, reply, req_id, deadline_ns } => {
+            if req_id != 0 {
+                if let Some(fs) = &shared.faults {
+                    fs.dedup[node].lock().insert(req_id);
+                }
             }
-            Envelope::Fail { reply, err, ready_ns } => {
-                // Forward the precomputed failure to the requester; no
-                // service charge — the loss consumed no receive cycles.
-                let _ = reply.send(ReplyMsg::Err { err, ready_ns });
+            let service = shared.recv_eff_ns + shared.cost.handler_ns;
+            let end0 = shared.servers[node].transfer(arrive_ns, service);
+            let ctx = HandlerCtx { net: shared, node, now: end0 };
+            let out = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                shared.routers[node].dispatch(&ctx, src, kind, payload)
+            })) {
+                Ok(Ok(out)) => out,
+                Ok(Err(e)) => {
+                    // Unroutable kind or typed dispatch failure: NACK
+                    // the requester (or log, for one-way traffic)
+                    // instead of dying.
+                    shared.stats.add("handler_failures", 1);
+                    eprintln!("node {node}: {e} (from node {src})");
+                    if let Some(tx) = reply {
+                        let err = RequestError::HandlerFailed { kind, reason: e.to_string() };
+                        let _ = tx.send(ReplyMsg::Err { err, ready_ns: end0 });
+                    }
+                    return;
+                }
+                Err(e) => {
+                    // A protocol-handler panic is a bug in the layer
+                    // above; surface it loudly and fail the requester
+                    // with a typed (non-retryable) error instead of
+                    // silently wedging the whole fabric.
+                    let msg = e
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| e.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic>".into());
+                    shared.stats.add("handler_failures", 1);
+                    eprintln!(
+                        "node {node}: handler for kind {kind:#x} (from node {src}) \
+                         panicked: {msg}"
+                    );
+                    if let Some(tx) = reply {
+                        let err = RequestError::HandlerFailed { kind, reason: msg };
+                        let _ = tx.send(ReplyMsg::Err { err, ready_ns: end0 });
+                    }
+                    return;
+                }
+            };
+            let served = if out.extra_ns > 0 {
+                shared.servers[node].transfer(end0, out.extra_ns)
+            } else {
+                end0
+            };
+            let end = served.max(out.not_before_ns);
+            if sim::trace::enabled() {
+                // corr = the delivery id stamped by `send_user`, the
+                // same id the requester's `net/request` span carries:
+                // the analyzer joins the two to rebuild send→serve
+                // edges of the happens-before graph.
+                sim::trace::span_corr(
+                    arrive_ns,
+                    served - arrive_ns,
+                    node,
+                    "net",
+                    "handler",
+                    kind as u64,
+                    req_id,
+                );
+                if end > served {
+                    // The protocol handler imposed a release floor
+                    // (e.g. a lock grant not valid before the
+                    // holder's release time): the reply stalls here.
+                    sim::trace::span_corr(served, end - served, node, "net", "not_before", end, req_id);
+                }
             }
-            Envelope::User { src, kind, payload, arrive_ns, reply, req_id, deadline_ns } => {
-                if req_id != 0 {
-                    if let Some(fs) = &shared.faults {
-                        fs.dedup[node].lock().insert(req_id);
-                    }
+            if let Some(key) = out.defer_key {
+                // The handler took ownership of the reply: park the
+                // channel; a later invocation discharges it via
+                // `complete_deferred`. A re-request from the same
+                // node (its first attempt's reply was lost) simply
+                // replaces the abandoned channel.
+                let tx = reply.unwrap_or_else(|| {
+                    panic!("one-way message kind {kind:#x} deferred a reply")
+                });
+                shared.deferred.lock().insert(
+                    (node, key, src),
+                    DeferredReply { tx, kind, ready_ns: end, deadline_ns },
+                );
+                return;
+            }
+            match (reply, out.reply) {
+                (Some(tx), Some((payload, wire_bytes))) => {
+                    send_reply(shared, node, src, kind, tx, payload, wire_bytes, end, deadline_ns);
                 }
-                let service = shared.recv_eff_ns + shared.cost.handler_ns;
-                let end0 = shared.servers[node].transfer(arrive_ns, service);
-                let ctx = HandlerCtx { net: &shared, node, now: end0 };
-                let out = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    shared.routers[node].dispatch(&ctx, src, kind, payload)
-                })) {
-                    Ok(Ok(out)) => out,
-                    Ok(Err(e)) => {
-                        // Unroutable kind: NACK the requester (or log,
-                        // for one-way traffic) instead of dying.
-                        shared.stats.add("handler_failures", 1);
-                        eprintln!("commd-{node}: {e} (from node {src})");
-                        if let Some(tx) = reply {
-                            let err = RequestError::HandlerFailed {
-                                kind,
-                                reason: "no handler registered".into(),
-                            };
-                            let _ = tx.send(ReplyMsg::Err { err, ready_ns: end0 });
-                        }
-                        continue;
-                    }
-                    Err(e) => {
-                        // A protocol-handler panic is a bug in the layer
-                        // above; surface it loudly and fail the requester
-                        // with a typed (non-retryable) error instead of
-                        // silently wedging the whole fabric.
-                        let msg = e
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| e.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "<non-string panic>".into());
-                        shared.stats.add("handler_failures", 1);
-                        eprintln!(
-                            "commd-{node}: handler for kind {kind:#x} (from node {src}) \
-                             panicked: {msg}"
-                        );
-                        if let Some(tx) = reply {
-                            let err = RequestError::HandlerFailed { kind, reason: msg };
-                            let _ = tx.send(ReplyMsg::Err { err, ready_ns: end0 });
-                        }
-                        continue;
-                    }
-                };
-                let served = if out.extra_ns > 0 {
-                    shared.servers[node].transfer(end0, out.extra_ns)
-                } else {
-                    end0
-                };
-                let end = served.max(out.not_before_ns);
-                if sim::trace::enabled() {
-                    // corr = the delivery id stamped by `send_user`, the
-                    // same id the requester's `net/request` span carries:
-                    // the analyzer joins the two to rebuild send→serve
-                    // edges of the happens-before graph.
-                    sim::trace::span_corr(
-                        arrive_ns,
-                        served - arrive_ns,
-                        node,
-                        "net",
-                        "handler",
-                        kind as u64,
-                        req_id,
+                (Some(tx), None) => {
+                    // In resilient mode, protocol messages that are
+                    // one-way on a reliable fabric travel as
+                    // requests so delivery is confirmable: the
+                    // transport acks them without handler help.
+                    assert!(
+                        shared.resilience.is_some(),
+                        "synchronous request handled by non-replying handler"
                     );
-                    if end > served {
-                        // The protocol handler imposed a release floor
-                        // (e.g. a lock grant not valid before the
-                        // holder's release time): the reply stalls here.
-                        sim::trace::span_corr(served, end - served, node, "net", "not_before", end, req_id);
-                    }
+                    send_reply(shared, node, src, kind, tx, Box::new(()), 8, end, deadline_ns);
                 }
-                if let Some(key) = out.defer_key {
-                    // The handler took ownership of the reply: park the
-                    // channel; a later invocation discharges it via
-                    // `complete_deferred`. A re-request from the same
-                    // node (its first attempt's reply was lost) simply
-                    // replaces the abandoned channel.
-                    let tx = reply.unwrap_or_else(|| {
-                        panic!("one-way message kind {kind:#x} deferred a reply")
-                    });
-                    shared.deferred.lock().insert(
-                        (node, key, src),
-                        DeferredReply { tx, kind, ready_ns: end, deadline_ns },
-                    );
-                    continue;
+                (None, Some(_)) => {
+                    panic!("one-way message kind {kind:#x} produced a reply")
                 }
-                match (reply, out.reply) {
-                    (Some(tx), Some((payload, wire_bytes))) => {
-                        send_reply(&shared, node, src, kind, tx, payload, wire_bytes, end, deadline_ns);
-                    }
-                    (Some(tx), None) => {
-                        // In resilient mode, protocol messages that are
-                        // one-way on a reliable fabric travel as
-                        // requests so delivery is confirmable: the
-                        // transport acks them without handler help.
-                        assert!(
-                            shared.resilience.is_some(),
-                            "synchronous request handled by non-replying handler"
-                        );
-                        send_reply(&shared, node, src, kind, tx, Box::new(()), 8, end, deadline_ns);
-                    }
-                    (None, Some(_)) => {
-                        panic!("one-way message kind {kind:#x} produced a reply")
-                    }
-                    (None, None) => {}
-                }
+                (None, None) => {}
             }
         }
     }
+}
+
+/// Legacy engine: one communication daemon blocking on its node's inbox.
+fn daemon_loop(node: NodeId, rx: Receiver<Envelope>, shared: Arc<NetShared>) {
+    for env in rx.iter() {
+        if matches!(env, Envelope::Stop) {
+            break;
+        }
+        process_envelope(&shared, node, env);
+    }
+}
+
+/// Sharded engine: drain and process one batch from `node`'s run queue.
+/// Returns true when the node must stay on its shard's ready ring
+/// (batch was full or a push raced the retire).
+fn drive_node(shared: &NetShared, node: NodeId) -> bool {
+    let Ingress::Sharded { queues, .. } = &shared.ingress else {
+        unreachable!("drive_node on a thread-per-node fabric")
+    };
+    let nq = &queues[node];
+    // One drain buffer per worker thread, reused across node visits: a
+    // fresh ENGINE_BATCH-capacity Vec per visit is an allocator round
+    // trip on every single event at queue depth 1.
+    thread_local! {
+        static BATCH: std::cell::RefCell<Vec<Envelope>> =
+            std::cell::RefCell::new(Vec::with_capacity(ENGINE_BATCH));
+    }
+    BATCH.with_borrow_mut(|batch| {
+        batch.clear();
+        nq.q.drain_into(ENGINE_BATCH, batch);
+        if batch.is_empty() {
+            return nq.retire();
+        }
+        // Batched virtual-time delivery: process the batch in virtual
+        // arrival order. The sort is stable, so same-instant envelopes
+        // (a delivery and its fault-injected duplicate) keep enqueue
+        // order.
+        if batch.len() > 1 {
+            batch.sort_by_key(|env| match env {
+                Envelope::User { arrive_ns, .. } | Envelope::Dup { arrive_ns, .. } => *arrive_ns,
+                Envelope::Fail { ready_ns, .. } => *ready_ns,
+                Envelope::Stop => 0,
+            });
+        }
+        let full = batch.len() == ENGINE_BATCH;
+        for env in batch.drain(..) {
+            process_envelope(shared, node, env);
+        }
+        // A full batch means the queue likely has more: stay scheduled.
+        // A partial batch emptied the queue — retire *now* instead of
+        // paying a guaranteed-empty ring revisit per batch (at queue
+        // depth 1 that revisit would double the scheduler overhead).
+        full || nq.retire()
+    })
 }
 
 /// A running fabric. Dropping it stops the communication daemons.
@@ -727,34 +907,62 @@ impl Network {
             router.register(kind, make(node));
         }
     }
+
+    /// Register a fallible handler for `kind` on every node (see
+    /// [`Router::register_try`]): dispatch failures NACK the requester
+    /// with a typed error instead of panicking the delivery engine.
+    pub fn register_all_try<F>(&self, kind: u32, make: impl Fn(NodeId) -> F)
+    where
+        F: Fn(&HandlerCtx<'_>, NodeId, Payload) -> Result<Outcome, crate::error::DispatchError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        for (node, router) in self.shared.routers.iter().enumerate() {
+            router.register_try(kind, make(node));
+        }
+    }
+
+    /// How many times an application thread blocked on a full node
+    /// queue (sharded-engine backpressure). Always 0 under
+    /// [`EngineMode::ThreadPerNode`]. Real-time dependent — excluded
+    /// from the deterministic [`NET_STAT_NAMES`] counters on purpose.
+    pub fn backpressure_waits(&self) -> u64 {
+        self.shared.bp_waits.load(Ordering::Relaxed)
+    }
 }
 
 impl Drop for Network {
     fn drop(&mut self) {
         // New sends observe the flag and fail fast with FabricStopped.
         self.shared.stopped.store(true, Ordering::Release);
-        for tx in &self.shared.inboxes {
-            let _ = tx.send(Envelope::Stop);
+        match &self.shared.ingress {
+            Ingress::Threads(inboxes) => {
+                for tx in inboxes {
+                    let _ = tx.send(Envelope::Stop);
+                }
+            }
+            Ingress::Sharded { shards, .. } => {
+                // Workers drain their ready rings fully before exiting,
+                // so every scheduled batch still gets processed.
+                shards.stop();
+            }
         }
         for d in self.daemons.drain(..) {
             let _ = d.join();
         }
-        // Everything enqueued after Stop (sends that raced the flag) is
-        // drained atomically; in-flight requests among it get a typed
-        // FabricStopped error instead of a wedged or panicking waiter.
+        // Everything enqueued after the stop (sends that raced the
+        // flag) is drained atomically; in-flight requests among it get
+        // a typed FabricStopped error instead of a wedged waiter.
         for rx in self.drains.drain(..) {
             for env in rx.close_and_drain() {
-                match env {
-                    Envelope::User { reply: Some(tx), arrive_ns, .. } => {
-                        let _ = tx.send(ReplyMsg::Err {
-                            err: RequestError::FabricStopped,
-                            ready_ns: arrive_ns,
-                        });
-                    }
-                    Envelope::Fail { reply, err, ready_ns } => {
-                        let _ = reply.send(ReplyMsg::Err { err, ready_ns });
-                    }
-                    _ => {}
+                answer_stranded(env);
+            }
+        }
+        if let Ingress::Sharded { queues, .. } = &self.shared.ingress {
+            for nq in queues {
+                for env in nq.q.close() {
+                    answer_stranded(env);
                 }
             }
         }
@@ -868,14 +1076,22 @@ impl NodePort {
         value: T,
         wire_bytes: u64,
     ) -> Result<Payload, RequestError> {
-        self.shared.stats.add("requests", 1);
-        self.shared.stats.add("bytes", wire_bytes);
+        self.shared.stats.at(STAT_REQUESTS).incr();
+        self.shared.stats.at(STAT_BYTES).add(wire_bytes);
         let t0 = self.clock.now();
         let depart = self.clock.advance(self.shared.send_eff_ns);
         let (tx, rx) = unbounded();
-        let req_id = self
-            .shared
-            .send_user(self.node, dst, kind, Box::new(value), wire_bytes, depart, Some(tx), None);
+        let req_id = self.shared.send_user(
+            self.node,
+            dst,
+            kind,
+            Box::new(value),
+            wire_bytes,
+            depart,
+            Some(tx),
+            None,
+            true,
+        );
         let res = match rx.recv() {
             Ok(ReplyMsg::Ok { payload, wire_bytes, ready_ns }) => {
                 let back = self.shared.wire_arrival(dst, self.node, ready_ns, wire_bytes);
@@ -994,12 +1210,21 @@ impl NodePort {
         let n_msgs = msgs.len() as u64;
         let mut pending = Vec::with_capacity(msgs.len());
         for (dst, kind, value, wire_bytes) in msgs {
-            self.shared.stats.add("requests", 1);
-            self.shared.stats.add("bytes", wire_bytes);
+            self.shared.stats.at(STAT_REQUESTS).incr();
+            self.shared.stats.at(STAT_BYTES).add(wire_bytes);
             let depart = self.clock.advance(self.shared.send_eff_ns);
             let (tx, rx) = unbounded();
-            self.shared
-                .send_user(self.node, dst, kind, Box::new(value), wire_bytes, depart, Some(tx), None);
+            self.shared.send_user(
+                self.node,
+                dst,
+                kind,
+                Box::new(value),
+                wire_bytes,
+                depart,
+                Some(tx),
+                None,
+                true,
+            );
             pending.push((dst, kind, rx));
         }
         let mut out = Vec::with_capacity(pending.len());
@@ -1038,8 +1263,8 @@ impl NodePort {
         let n_msgs = msgs.len() as u64;
         let mut pending = Vec::with_capacity(msgs.len());
         for (dst, kind, value, wire_bytes) in &msgs {
-            self.shared.stats.add("requests", 1);
-            self.shared.stats.add("bytes", *wire_bytes);
+            self.shared.stats.at(STAT_REQUESTS).incr();
+            self.shared.stats.at(STAT_BYTES).add(*wire_bytes);
             let depart = self.clock.advance(self.shared.send_eff_ns);
             let (tx, rx) = unbounded();
             self.shared.send_user(
@@ -1051,6 +1276,7 @@ impl NodePort {
                 depart,
                 Some(tx),
                 None,
+                true,
             );
             pending.push(rx);
         }
@@ -1112,12 +1338,20 @@ impl NodePort {
         wire_bytes: u64,
         wake_tag: Option<u64>,
     ) {
-        self.shared.stats.add("posts", 1);
-        self.shared.stats.add("bytes", wire_bytes);
+        self.shared.stats.at(STAT_POSTS).incr();
+        self.shared.stats.at(STAT_BYTES).add(wire_bytes);
         let depart = self.clock.advance(self.shared.send_eff_ns);
-        let req_id = self
-            .shared
-            .send_user(self.node, dst, kind, Box::new(value), wire_bytes, depart, None, wake_tag);
+        let req_id = self.shared.send_user(
+            self.node,
+            dst,
+            kind,
+            Box::new(value),
+            wire_bytes,
+            depart,
+            None,
+            wake_tag,
+            true,
+        );
         sim::trace::instant_corr(depart, self.node, "net", "post", kind as u64, req_id);
     }
 

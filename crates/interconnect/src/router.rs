@@ -4,6 +4,31 @@ use crate::error::DispatchError;
 use crate::message::{Handler, HandlerCtx, NodeId, Outcome, Payload};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Fibonacci-multiply hasher for the router's `u32` kind keys. Kinds
+/// are small hand-picked constants — a full SipHash per dispatch is
+/// wasted work on the fabric's hottest path.
+#[derive(Default)]
+pub(crate) struct KindHasher(u64);
+
+impl Hasher for KindHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (v as u64 ^ self.0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type KindMap<V> = HashMap<u32, V, BuildHasherDefault<KindHasher>>;
 
 /// Maps message kinds to protocol handlers on one node.
 ///
@@ -15,7 +40,7 @@ use std::collections::HashMap;
 /// forwarding handlers lazily.
 #[derive(Default)]
 pub struct Router {
-    handlers: RwLock<HashMap<u32, Handler>>,
+    handlers: RwLock<KindMap<Handler>>,
 }
 
 impl Router {
@@ -24,20 +49,34 @@ impl Router {
         Self::default()
     }
 
-    /// Register `handler` for message `kind`. Panics if the kind is taken:
-    /// protocol kind spaces are statically partitioned (see the `kinds`
-    /// constants in each protocol crate), so a clash is a bug.
+    /// Register an infallible `handler` for message `kind`. Panics if
+    /// the kind is taken: protocol kind spaces are statically
+    /// partitioned (see the `kinds` constants in each protocol crate),
+    /// so a clash is a bug.
     pub fn register<F>(&self, kind: u32, handler: F)
     where
         F: Fn(&HandlerCtx<'_>, NodeId, Payload) -> Outcome + Send + Sync + 'static,
+    {
+        self.register_try(kind, move |ctx, src, p| Ok(handler(ctx, src, p)));
+    }
+
+    /// Register a fallible handler: dispatch-level failures (a payload
+    /// of the wrong type, via [`crate::try_downcast`]) surface as a
+    /// typed NACK to the requester instead of a handler panic.
+    pub fn register_try<F>(&self, kind: u32, handler: F)
+    where
+        F: Fn(&HandlerCtx<'_>, NodeId, Payload) -> Result<Outcome, DispatchError>
+            + Send
+            + Sync
+            + 'static,
     {
         let prev = self.handlers.write().insert(kind, Box::new(handler));
         assert!(prev.is_none(), "handler kind {kind:#x} registered twice");
     }
 
-    /// Dispatch a message. An unknown kind is reported as a
-    /// [`DispatchError`] so the communication daemon can NACK the
-    /// requester instead of dying with it.
+    /// Dispatch a message. An unknown kind — or a handler-reported
+    /// dispatch failure — is returned as a [`DispatchError`] so the
+    /// delivery engine can NACK the requester instead of dying with it.
     pub fn dispatch(
         &self,
         ctx: &HandlerCtx<'_>,
@@ -46,8 +85,8 @@ impl Router {
         payload: Payload,
     ) -> Result<Outcome, DispatchError> {
         let guard = self.handlers.read();
-        let h = guard.get(&kind).ok_or(DispatchError { kind })?;
-        Ok(h(ctx, src, payload))
+        let h = guard.get(&kind).ok_or(DispatchError::NoHandler { kind })?;
+        h(ctx, src, payload)
     }
 
     /// Whether a handler is registered for `kind`.
@@ -74,5 +113,15 @@ mod tests {
         let r = Router::new();
         r.register(7, |_, _, _| Outcome::done());
         r.register(7, |_, _, _| Outcome::done());
+    }
+
+    #[test]
+    fn register_try_and_infallible_share_the_kind_space() {
+        let r = Router::new();
+        r.register(1, |_, _, _| Outcome::done());
+        r.register_try(2, |_, _, p| {
+            crate::try_downcast::<u32>(p).map(|v| Outcome::reply(v * 2, 8))
+        });
+        assert!(r.knows(1) && r.knows(2));
     }
 }

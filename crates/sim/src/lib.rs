@@ -24,6 +24,7 @@
 pub mod clock;
 pub mod cost;
 pub mod json;
+pub mod sched;
 pub mod server;
 pub mod stats;
 pub mod trace;

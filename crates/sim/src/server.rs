@@ -76,11 +76,43 @@ impl Server {
 #[derive(Debug)]
 pub struct Bus {
     ns_per_byte_x1024: u64,
-    window_ns: u64,
+    /// Bytes one window can carry at full bandwidth (precomputed: the
+    /// saturation test runs on every transfer).
+    capacity: u64,
     /// Node this bus belongs to, for trace attribution.
     node: usize,
-    /// Window index → bytes of demand registered in that window.
-    windows: parking_lot::Mutex<std::collections::HashMap<u64, u64>>,
+    /// Per-window demand accounting (see [`Windows`]).
+    windows: parking_lot::Mutex<Windows>,
+}
+
+/// Demand-accounting window width. A compile-time constant so the
+/// per-transfer window-index divisions lower to multiplications.
+const WINDOW_NS: u64 = 1_000_000;
+
+/// Per-window demand, with the most recently touched window cached
+/// outside the map. Consecutive transfers overwhelmingly land in the
+/// same 1 ms window, so the hot path is a compare and an add — no
+/// hashing, no map probe. Invariant: the hot window's demand is *not*
+/// in `map`; it is flushed in when the hot window moves and pulled back
+/// out when an out-of-order transfer returns to an older window.
+#[derive(Debug, Default)]
+struct Windows {
+    hot_w: u64,
+    hot_demand: u64,
+    map: std::collections::HashMap<u64, u64>,
+}
+
+impl Windows {
+    /// Make `w` the hot window, preserving any demand it accumulated.
+    fn rehot(&mut self, w: u64) {
+        if self.hot_demand > 0 {
+            let old = self.hot_w;
+            let d = self.hot_demand;
+            *self.map.entry(old).or_insert(0) += d;
+        }
+        self.hot_w = w;
+        self.hot_demand = self.map.remove(&w).unwrap_or(0);
+    }
 }
 
 impl Bus {
@@ -90,11 +122,12 @@ impl Bus {
         assert!(bytes_per_sec > 0, "bus bandwidth must be positive");
         // ns per byte = 1e9 / B, stored in 1/1024ths for precision.
         let ns_per_byte_x1024 = (1_000_000_000u128 * 1024 / bytes_per_sec as u128) as u64;
+        let capacity = (WINDOW_NS as u128 * 1024 / ns_per_byte_x1024 as u128) as u64;
         Self {
             ns_per_byte_x1024,
-            window_ns: 1_000_000,
+            capacity,
             node: 0,
-            windows: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            windows: parking_lot::Mutex::new(Windows::default()),
         }
     }
 
@@ -104,36 +137,49 @@ impl Bus {
         self
     }
 
-    /// Bytes one window can carry at full bandwidth.
-    fn window_capacity(&self) -> u64 {
-        (self.window_ns as u128 * 1024 / self.ns_per_byte_x1024 as u128) as u64
-    }
-
     /// Transfer `bytes` starting at `arrive`; returns the completion
     /// time under the current contention.
     pub fn transfer(&self, arrive: u64, bytes: u64) -> u64 {
-        let base = self.duration(bytes);
         if bytes == 0 {
             return arrive;
         }
-        let first = arrive / self.window_ns;
-        let last = (arrive + base.max(1) - 1) / self.window_ns;
-        let span = last - first + 1;
-        let per_window = bytes.div_ceil(span);
-        let capacity = self.window_capacity();
-        let mut total_demand = 0u128;
+        let base = self.duration(bytes);
+        let first = arrive / WINDOW_NS;
+        let end_incl = arrive + base.max(1) - 1;
         let mut g = self.windows.lock();
-        for w in first..=last {
-            let e = g.entry(w).or_insert(0);
-            *e += per_window;
-            total_demand += *e as u128;
-        }
+        let (span, total_demand) = if end_incl < (first + 1) * WINDOW_NS {
+            // Single-window transfer (the overwhelmingly common case
+            // for protocol-sized messages): one compare, one add.
+            if first != g.hot_w {
+                g.rehot(first);
+            }
+            g.hot_demand += bytes;
+            (1u64, g.hot_demand as u128)
+        } else {
+            let last = end_incl / WINDOW_NS;
+            let span = last - first + 1;
+            let per_window = bytes.div_ceil(span);
+            g.rehot(last);
+            let mut td = 0u128;
+            for w in first..last {
+                let e = g.map.entry(w).or_insert(0);
+                *e += per_window;
+                td += *e as u128;
+            }
+            g.hot_demand += per_window;
+            (span, td + g.hot_demand as u128)
+        };
         drop(g);
         // Slowdown factor = average demand over capacity across the
         // spanned windows (≥ 1), in 1/64ths. Averaging keeps the factor
-        // insensitive to window-boundary alignment.
-        let factor_x64 =
-            ((total_demand * 64) / (span as u128 * capacity as u128)).max(64) as u64;
+        // insensitive to window-boundary alignment. A bus below
+        // saturation (the common case) has factor exactly 1 and skips
+        // the wide division entirely.
+        let cap_span = span as u128 * self.capacity as u128;
+        if total_demand <= cap_span {
+            return arrive + base;
+        }
+        let factor_x64 = ((total_demand * 64) / cap_span).max(64) as u64;
         let done = arrive + (base as u128 * factor_x64 as u128 / 64) as u64;
         // Observability: a contended window stretched this transfer
         // beyond its bandwidth-limited duration — a bus-window stall.
@@ -150,7 +196,10 @@ impl Bus {
 
     /// Reset between runs.
     pub fn reset(&self) {
-        self.windows.lock().clear();
+        let mut g = self.windows.lock();
+        g.map.clear();
+        g.hot_w = 0;
+        g.hot_demand = 0;
     }
 }
 

@@ -1,5 +1,6 @@
 //! The home store: master copies of the pages homed on one node.
 
+use interconnect::Page;
 use memwire::{Diff, PageId, PAGE_SIZE};
 use std::collections::HashMap;
 
@@ -11,9 +12,14 @@ use std::collections::HashMap;
 /// thread (local reads/writes) and by its communication daemon (remote
 /// fetches and diff application), hence lives behind a mutex in
 /// [`crate::SwDsm`].
+///
+/// Master copies are [`Page`]s — shared, immutable byte blocks.
+/// Serving a remote fetch ([`HomeStore::snapshot`]) is a reference-count
+/// bump, not a page copy; local mutation copies-on-write only while a
+/// snapshot is actually in flight.
 #[derive(Debug, Default)]
 pub struct HomeStore {
-    pages: HashMap<PageId, Vec<u8>>,
+    pages: HashMap<PageId, Page>,
 }
 
 impl HomeStore {
@@ -22,14 +28,17 @@ impl HomeStore {
         Self::default()
     }
 
-    /// The master copy of `page`, created zero-filled on first touch.
-    pub fn page_mut(&mut self, page: PageId) -> &mut Vec<u8> {
-        self.pages.entry(page).or_insert_with(|| vec![0; PAGE_SIZE])
+    /// Writable view of the master copy of `page`, created zero-filled
+    /// on first touch. Copies on write only if a snapshot of the page is
+    /// still outstanding.
+    pub fn page_mut(&mut self, page: PageId) -> &mut [u8] {
+        self.pages.entry(page).or_insert_with(|| Page::zeroed(PAGE_SIZE)).make_mut()
     }
 
-    /// Copy of the master page (for remote fetch replies).
-    pub fn snapshot(&mut self, page: PageId) -> Vec<u8> {
-        self.page_mut(page).clone()
+    /// Snapshot of the master page (for remote fetch replies). A shared
+    /// handle to the current bytes — zero-copy.
+    pub fn snapshot(&mut self, page: PageId) -> Page {
+        self.pages.entry(page).or_insert_with(|| Page::zeroed(PAGE_SIZE)).clone()
     }
 
     /// Apply a diff to the master copy.
@@ -38,14 +47,14 @@ impl HomeStore {
     }
 
     /// Replace the master copy wholesale (whole-page write-back mode).
-    pub fn replace(&mut self, page: PageId, bytes: Vec<u8>) {
+    pub fn replace(&mut self, page: PageId, bytes: Page) {
         assert_eq!(bytes.len(), PAGE_SIZE);
         self.pages.insert(page, bytes);
     }
 
     /// Read `out.len()` bytes at `offset` within `page`.
     pub fn read(&mut self, page: PageId, offset: usize, out: &mut [u8]) {
-        let p = self.page_mut(page);
+        let p = self.pages.entry(page).or_insert_with(|| Page::zeroed(PAGE_SIZE));
         out.copy_from_slice(&p[offset..offset + out.len()]);
     }
 
@@ -117,6 +126,22 @@ mod tests {
         h.write(pid(4), 0, &[1]);
         let snap = h.snapshot(pid(4));
         h.write(pid(4), 0, &[2]);
-        assert_eq!(snap[0], 1);
+        assert_eq!(snap[0], 1, "copy-on-write must preserve the snapshot");
+        let mut now = [0u8; 1];
+        h.read(pid(4), 0, &mut now);
+        assert_eq!(now, [2]);
+    }
+
+    #[test]
+    fn snapshot_without_writes_shares_storage() {
+        let mut h = HomeStore::new();
+        h.write(pid(5), 0, &[3]);
+        let a = h.snapshot(pid(5));
+        let b = h.snapshot(pid(5));
+        assert_eq!(a, b);
+        assert!(
+            std::ptr::eq(a.as_slice().as_ptr(), b.as_slice().as_ptr()),
+            "snapshots of an unmodified page must share bytes"
+        );
     }
 }

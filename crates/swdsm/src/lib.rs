@@ -34,7 +34,7 @@
 //! use memwire::Distribution;
 //! use swdsm::{DsmConfig, SwDsm};
 //!
-//! let cluster = Cluster::new(FabricConfig::new(2, LinkKind::Ethernet));
+//! let cluster = Cluster::new(FabricConfig::builder().nodes(2).link(LinkKind::Ethernet).build());
 //! let dsm = SwDsm::install(&cluster, DsmConfig::default());
 //! let (_, results) = cluster.run(|ctx| {
 //!     let node = dsm.node(ctx);
@@ -55,6 +55,7 @@ pub mod lockmgr;
 pub mod node;
 pub mod proto;
 
+pub use interconnect::Page;
 pub use memwire::{RegionDir, RegionMeta};
 pub use home::HomeStore;
 pub use node::{BarrierAlgo, DsmConfig, DsmError, DsmNode, SwDsm};

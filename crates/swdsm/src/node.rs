@@ -8,14 +8,14 @@ use crate::kinds;
 use crate::lockmgr::{Acquire, LockMgr};
 use crate::proto::*;
 use cluster::{Cluster, NodeCtx};
-use interconnect::{downcast, Outcome, RequestError};
+use interconnect::{downcast, try_downcast, Outcome, Page, RequestError};
 use memwire::{
     CachedPage, Diff, Distribution, GlobalAddr, Interval, PageId, PageTable, RegionDir,
     RegionMeta, PAGE_SIZE,
 };
 use parking_lot::Mutex;
 use sim::{Histogram, MachineCost, StatSet};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Barrier ids with the top bit set are reserved for internal use
@@ -295,28 +295,33 @@ impl SwDsm {
     fn register_handlers(self: &Arc<Self>, cluster: &Cluster) {
         let net = cluster.network();
 
-        // Page fetch: reply with a snapshot of the master copy.
+        // Page-path handlers register through the fallible API: a
+        // malformed payload NACKs the requester with a typed
+        // DispatchError instead of panicking the delivery engine.
+
+        // Page fetch: reply with a snapshot of the master copy — a
+        // shared Page handle, so no byte copy happens here.
         let dsm = self.clone();
-        net.register_all(kinds::GET_PAGE, move |node| {
+        net.register_all_try(kinds::GET_PAGE, move |node| {
             let dsm = dsm.clone();
             move |_ctx: &interconnect::HandlerCtx<'_>, _src, p| {
-                let req = downcast::<GetPage>(p);
+                let req = try_downcast::<GetPage>(p)?;
                 debug_assert_eq!(dsm.home_of(req.page), node, "fetch sent to non-home");
                 let bytes = dsm.homes[node].lock().snapshot(req.page);
-                Outcome::reply_costing(
+                Ok(Outcome::reply_costing(
                     PageData { bytes },
                     PAGE_SIZE as u64 + 16,
                     dsm.cfg.page_copy_ns,
-                )
+                ))
             }
         });
 
         // Diff application at the home.
         let dsm = self.clone();
-        net.register_all(kinds::APPLY_DIFFS, move |node| {
+        net.register_all_try(kinds::APPLY_DIFFS, move |node| {
             let dsm = dsm.clone();
             move |_ctx: &interconnect::HandlerCtx<'_>, src, p| {
-                let msg = downcast::<ApplyDiffs>(p);
+                let msg = try_downcast::<ApplyDiffs>(p)?;
                 let mut extra = 0;
                 {
                     let mut home = dsm.homes[node].lock();
@@ -330,22 +335,23 @@ impl SwDsm {
                 for (page, _) in &msg.diffs {
                     dsm.track_diff_writer(node, *page, src);
                 }
-                Outcome::reply_costing((), 8, extra)
+                Ok(Outcome::reply_costing((), 8, extra))
             }
         });
 
-        // Whole-page write-back (ablation mode).
+        // Whole-page write-back (ablation mode). Installing the shipped
+        // Page is a reference-count move, not a copy.
         let dsm = self.clone();
-        net.register_all(kinds::PUT_PAGE, move |node| {
+        net.register_all_try(kinds::PUT_PAGE, move |node| {
             let dsm = dsm.clone();
             move |_ctx: &interconnect::HandlerCtx<'_>, _src, p| {
-                let msg = downcast::<PutPages>(p);
+                let msg = try_downcast::<PutPages>(p)?;
                 let extra = msg.pages.len() as u64 * dsm.cfg.page_copy_ns;
                 let mut home = dsm.homes[node].lock();
                 for (page, bytes) in msg.pages {
                     home.replace(page, bytes);
                 }
-                Outcome::reply_costing((), 8, extra)
+                Ok(Outcome::reply_costing((), 8, extra))
             }
         });
 
@@ -866,7 +872,9 @@ impl DsmNode {
             self.ctx.port().request(home, kinds::GET_PAGE, GetPage { page }, 24)
         };
         let data = downcast::<PageData>(reply);
-        self.table.lock().install(page, CachedPage::read_only(data.bytes));
+        // The one copy of the fetch path: the cached copy must be
+        // privately mutable (twinning), so it leaves the shared Page.
+        self.table.lock().install(page, CachedPage::read_only(data.bytes.to_vec()));
         self.trace_span(t0, "page_fault", page.pack());
     }
 
@@ -931,14 +939,20 @@ impl DsmNode {
             return interval;
         }
 
+        // The per-home batches are ordered maps: each message in the
+        // batch pays send overhead sequentially on this node's clock,
+        // so the departure order must not depend on hash iteration.
         if self.dsm.cfg.whole_page_writeback {
-            let mut by_home: HashMap<usize, Vec<(PageId, Vec<u8>)>> = HashMap::new();
+            let mut by_home: BTreeMap<usize, Vec<(PageId, Page)>> = BTreeMap::new();
             {
                 let mut table = self.table.lock();
                 for page in &dirty {
                     let (_twin, cur) = table.downgrade(*page);
                     self.ctx.compute(self.dsm.cfg.page_copy_ns);
-                    by_home.entry(self.dsm.home_of(*page)).or_default().push((*page, cur));
+                    by_home
+                        .entry(self.dsm.home_of(*page))
+                        .or_default()
+                        .push((*page, Page::from(cur)));
                 }
             }
             self.stat("diffs", dirty.len() as u64);
@@ -953,7 +967,7 @@ impl DsmNode {
                 .collect();
             self.send_batch(msgs);
         } else {
-            let mut by_home: HashMap<usize, Vec<(PageId, Diff)>> = HashMap::new();
+            let mut by_home: BTreeMap<usize, Vec<(PageId, Diff)>> = BTreeMap::new();
             {
                 let mut table = self.table.lock();
                 for page in &dirty {
@@ -1023,7 +1037,7 @@ impl DsmNode {
     /// Diff-and-ship any dirty pages among `pages` (pre-invalidation
     /// rescue path; rare under proper synchronization discipline).
     fn flush_dirty_subset(&self, pages: &[PageId]) {
-        let mut by_home: HashMap<usize, Vec<(PageId, Diff)>> = HashMap::new();
+        let mut by_home: BTreeMap<usize, Vec<(PageId, Diff)>> = BTreeMap::new();
         {
             let mut table = self.table.lock();
             for &page in pages {

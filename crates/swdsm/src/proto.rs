@@ -1,5 +1,6 @@
 //! Wire messages of the software-DSM protocol.
 
+use interconnect::Page;
 use memwire::{Diff, Interval, PageId};
 
 /// Request a copy of `page` from its home.
@@ -10,9 +11,13 @@ pub struct GetPage {
 }
 
 /// Reply to [`GetPage`]: the page contents.
+///
+/// Carries a [`Page`] — a shared handle to the home's master bytes, so
+/// building (and fault-injected resending) of the reply never copies
+/// the page body.
 pub struct PageData {
     /// A snapshot of the master copy.
-    pub bytes: Vec<u8>,
+    pub bytes: Page,
 }
 
 /// Ship diffs (all homed at the destination) for application.
@@ -29,11 +34,13 @@ impl ApplyDiffs {
     }
 }
 
-/// Whole pages shipped home (ablation mode).
+/// Whole pages shipped home (ablation mode). Cloning the message for a
+/// resilient retry bumps reference counts instead of copying page
+/// bodies.
 #[derive(Clone)]
 pub struct PutPages {
     /// Full replacement contents, all homed at the destination.
-    pub pages: Vec<(PageId, Vec<u8>)>,
+    pub pages: Vec<(PageId, Page)>,
 }
 
 impl PutPages {
@@ -155,7 +162,7 @@ mod tests {
     #[test]
     fn put_pages_wire_size_counts_full_pages() {
         let msg = PutPages {
-            pages: vec![(PageId { region: 0, index: 0 }, vec![0u8; PAGE_SIZE])],
+            pages: vec![(PageId { region: 0, index: 0 }, Page::zeroed(PAGE_SIZE))],
         };
         assert_eq!(msg.wire_bytes(), 8 + 8 + PAGE_SIZE as u64);
     }

@@ -54,7 +54,7 @@ proptest! {
 
     #[test]
     fn random_single_writer_programs_converge(plan in plan_strategy()) {
-        let cluster = Cluster::new(FabricConfig::new(NODES, LinkKind::Ethernet));
+        let cluster = Cluster::new(FabricConfig::builder().nodes(NODES).link(LinkKind::Ethernet).build());
         let dsm = SwDsm::install(&cluster, DsmConfig::default());
         let expected = reference_image(&plan);
         let plan = std::sync::Arc::new(plan);
@@ -87,7 +87,7 @@ proptest! {
         increments in proptest::collection::vec(1u64..5, NODES..=NODES),
         think_ns in proptest::collection::vec(0u64..50_000, NODES..=NODES),
     ) {
-        let cluster = Cluster::new(FabricConfig::new(NODES, LinkKind::Ethernet));
+        let cluster = Cluster::new(FabricConfig::builder().nodes(NODES).link(LinkKind::Ethernet).build());
         let dsm = SwDsm::install(&cluster, DsmConfig::default());
         let incs = increments.clone();
         let thinks = think_ns.clone();
@@ -112,7 +112,7 @@ proptest! {
     #[test]
     fn whole_page_mode_matches_diff_mode(plan in plan_strategy()) {
         let run = |cfg: DsmConfig| {
-            let cluster = Cluster::new(FabricConfig::new(NODES, LinkKind::Ethernet));
+            let cluster = Cluster::new(FabricConfig::builder().nodes(NODES).link(LinkKind::Ethernet).build());
             let dsm = SwDsm::install(&cluster, cfg);
             let plan = plan.clone();
             let (_, results) = cluster.run(move |ctx| {

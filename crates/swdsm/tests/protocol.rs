@@ -6,13 +6,13 @@ use memwire::Distribution;
 use swdsm::{DsmConfig, SwDsm};
 
 fn cluster(nodes: usize) -> (Cluster, std::sync::Arc<SwDsm>) {
-    let c = Cluster::new(FabricConfig::new(nodes, LinkKind::Ethernet));
+    let c = Cluster::new(FabricConfig::builder().nodes(nodes).link(LinkKind::Ethernet).build());
     let dsm = SwDsm::install(&c, DsmConfig::default());
     (c, dsm)
 }
 
 fn cluster_with(nodes: usize, cfg: DsmConfig) -> (Cluster, std::sync::Arc<SwDsm>) {
-    let c = Cluster::new(FabricConfig::new(nodes, LinkKind::Ethernet));
+    let c = Cluster::new(FabricConfig::builder().nodes(nodes).link(LinkKind::Ethernet).build());
     let dsm = SwDsm::install(&c, cfg);
     (c, dsm)
 }

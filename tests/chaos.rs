@@ -17,12 +17,11 @@ use memwire::Distribution;
 use proptest::prelude::*;
 
 fn fabric(nodes: usize, faults: Option<FaultPlan>) -> FabricConfig {
-    let mut cfg = FabricConfig::new(nodes, LinkKind::Ethernet);
+    let mut b = FabricConfig::builder().nodes(nodes).link(LinkKind::Ethernet);
     if let Some(plan) = faults {
-        cfg.faults = Some(plan);
-        cfg.resilience = Some(Resilience::default());
+        b = b.chaos(plan).resilience(Resilience::default());
     }
-    cfg
+    b.build()
 }
 
 /// Run SOR on the software DSM and return the run report plus the

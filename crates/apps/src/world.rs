@@ -75,8 +75,23 @@ pub fn run_native<T: Send>(
     dsm_cfg: swdsm::DsmConfig,
     f: impl Fn(&NativeWorld) -> T + Send + Sync,
 ) -> (cluster::RunReport, Vec<T>) {
-    let fabric =
-        cluster::FabricConfig::builder().nodes(nodes).link(cluster::LinkKind::Ethernet).build();
+    run_native_sync(nodes, dsm_cfg, cluster::SyncTopology::centralized(), f)
+}
+
+/// [`run_native`] with an explicit synchronization topology (tree vs
+/// central barriers, token-queue locks, digest notices — see
+/// `cluster::SyncTopology`).
+pub fn run_native_sync<T: Send>(
+    nodes: usize,
+    dsm_cfg: swdsm::DsmConfig,
+    sync: cluster::SyncTopology,
+    f: impl Fn(&NativeWorld) -> T + Send + Sync,
+) -> (cluster::RunReport, Vec<T>) {
+    let fabric = cluster::FabricConfig::builder()
+        .nodes(nodes)
+        .link(cluster::LinkKind::Ethernet)
+        .sync(sync)
+        .build();
     let c = cluster::Cluster::new(fabric);
     let dsm = swdsm::SwDsm::install(&c, dsm_cfg);
     c.run(|ctx| f(&NativeWorld::new(dsm.node(ctx))))

@@ -107,8 +107,8 @@ fn main() {
 
     // 6. Barrier algorithm at scale: a barrier-heavy kernel on 8 nodes.
     println!("\n[6] Barrier algorithm (8 nodes, barrier-dominated kernel)");
-    let barrier_kernel = |cfg: DsmConfig| {
-        let (_, rs) = run_native(8, cfg, |w| {
+    let barrier_kernel = |sync: cluster::SyncTopology| {
+        let (_, rs) = apps::world::run_native_sync(8, base, sync, |w| {
             use apps::world::World;
             let a = w.alloc_dist(8 * 4096, memwire::Distribution::Cyclic);
             w.barrier(1);
@@ -121,13 +121,15 @@ fn main() {
         });
         rs.into_iter().max().unwrap() as f64 / 1e9
     };
-    let t_central = barrier_kernel(base);
-    let t_diss = barrier_kernel(DsmConfig {
-        barrier_algo: swdsm::node::BarrierAlgo::Dissemination,
-        ..base
+    let t_central = barrier_kernel(cluster::SyncTopology::centralized());
+    let t_diss = barrier_kernel("dissemination".parse().unwrap());
+    let t_tree = barrier_kernel(cluster::SyncTopology {
+        barrier: cluster::BarrierTopology::Tree { fanout: 4 },
+        ..cluster::SyncTopology::centralized()
     });
     println!(
-        "  40 barriers  central {t_central:>9.4}s   dissemination {t_diss:>9.4}s   ({:+.1}%)",
-        (t_diss - t_central) / t_central * 100.0
+        "  40 barriers  central {t_central:>9.4}s   dissemination {t_diss:>9.4}s ({:+.1}%)   tree:4 {t_tree:>9.4}s ({:+.1}%)",
+        (t_diss - t_central) / t_central * 100.0,
+        (t_tree - t_central) / t_central * 100.0
     );
 }

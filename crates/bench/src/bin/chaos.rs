@@ -6,7 +6,11 @@
 //! * their checksums are bit-identical to the fault-free run,
 //! * the same seed reproduces the identical fault schedule, retry
 //!   counts, and virtual times (asserted by running the chaos
-//!   configuration twice).
+//!   configuration twice),
+//! * both under the centralized sync protocols and under the tree
+//!   barrier with digest waves (the scalable preset minus the token
+//!   queue, which the resilience layer refuses to combine with fault
+//!   injection).
 //!
 //! Emits `BENCH_chaos.json` with runs-to-completion, fault/retry
 //! counters, and the virtual latency the faults added.
@@ -48,12 +52,24 @@ fn chaos_plan(nodes: usize) -> FaultPlan {
     plan
 }
 
-fn fabric(nodes: usize, faults: Option<FaultPlan>) -> FabricConfig {
-    let mut b = FabricConfig::builder().nodes(nodes).link(LinkKind::Ethernet);
+fn fabric(nodes: usize, sync: cluster::SyncTopology, faults: Option<FaultPlan>) -> FabricConfig {
+    let mut b = FabricConfig::builder().nodes(nodes).link(LinkKind::Ethernet).sync(sync);
     if let Some(plan) = faults {
         b = b.chaos(plan).resilience(Resilience::default());
     }
     b.build()
+}
+
+/// The tree-barrier topology chaos also runs under: fanout-4 tree with
+/// digest waves. Locks stay manager-owned — the resilient install
+/// rejects the token queue, whose forwarded grants are not idempotent
+/// under retries.
+fn tree_sync() -> cluster::SyncTopology {
+    cluster::SyncTopology {
+        barrier: cluster::BarrierTopology::Tree { fanout: 4 },
+        locks: cluster::LockTopology::Manager,
+        notices: cluster::NoticeWire::Digest { max_runs: 64 },
+    }
 }
 
 struct ChaosRun {
@@ -65,10 +81,11 @@ struct ChaosRun {
 
 fn run(
     nodes: usize,
+    sync: cluster::SyncTopology,
     faults: Option<FaultPlan>,
     bench: impl Fn(&NativeWorld) -> BenchResult + Send + Sync,
 ) -> ChaosRun {
-    let cluster = Cluster::new(fabric(nodes, faults));
+    let cluster = Cluster::new(fabric(nodes, sync, faults));
     let dsm = swdsm::SwDsm::install(&cluster, swdsm::DsmConfig::default());
     let (report, rs) = cluster.run(|ctx| bench(&NativeWorld::new(dsm.node(ctx))));
     let mut sums: BTreeMap<&'static str, u64> = BTreeMap::new();
@@ -83,14 +100,14 @@ fn run(
 fn workload_row(
     name: &str,
     nodes: usize,
+    sync: cluster::SyncTopology,
+    base: &ChaosRun,
     bench: impl Fn(&NativeWorld) -> BenchResult + Send + Sync,
 ) -> Json {
-    eprintln!("{name}: fault-free baseline...");
-    let base = run(nodes, None, &bench);
     eprintln!("{name}: chaos run (seed {SEED})...");
-    let chaos = run(nodes, Some(chaos_plan(nodes)), &bench);
+    let chaos = run(nodes, sync, Some(chaos_plan(nodes)), &bench);
     eprintln!("{name}: chaos run again (determinism check)...");
-    let again = run(nodes, Some(chaos_plan(nodes)), &bench);
+    let again = run(nodes, sync, Some(chaos_plan(nodes)), &bench);
 
     // Bit-identical numerical results despite drops, dups, delays, and
     // the crash window: the retry/replay machinery is exactly-once.
@@ -124,7 +141,7 @@ fn workload_row(
         .map(|(k, v)| (*k, Json::int(*v)))
         .collect::<Vec<_>>();
     println!(
-        "{name:<6} baseline {:>10.3} ms  chaos {:>10.3} ms  (+{:.2}%)  retries {}  drops {}  dups {}  nodedown {}",
+        "{name:<12} baseline {:>10.3} ms  chaos {:>10.3} ms  (+{:.2}%)  retries {}  drops {}  dups {}  nodedown {}",
         base_ns as f64 / 1e6,
         chaos_ns as f64 / 1e6,
         (chaos_ns as f64 - base_ns as f64) / base_ns as f64 * 100.0,
@@ -164,9 +181,20 @@ fn main() {
         args.nodes
     );
     println!("{:-<100}", "");
+    // One fault-free centralized baseline per workload; every chaos
+    // configuration — either topology — must reproduce its checksum
+    // exactly, so topology equivalence is asserted here too.
+    let sor = |w: &NativeWorld| apps::sor::sor(w, sor_n, sor_iters, true);
+    let lu = |w: &NativeWorld| apps::lu::lu(w, lu_n);
+    eprintln!("SOR: fault-free baseline...");
+    let sor_base = run(args.nodes, cluster::SyncTopology::centralized(), None, sor);
+    eprintln!("LU: fault-free baseline...");
+    let lu_base = run(args.nodes, cluster::SyncTopology::centralized(), None, lu);
     let rows = vec![
-        workload_row("SOR", args.nodes, |w| apps::sor::sor(w, sor_n, sor_iters, true)),
-        workload_row("LU", args.nodes, |w| apps::lu::lu(w, lu_n)),
+        workload_row("SOR/central", args.nodes, cluster::SyncTopology::centralized(), &sor_base, sor),
+        workload_row("SOR/tree", args.nodes, tree_sync(), &sor_base, sor),
+        workload_row("LU/central", args.nodes, cluster::SyncTopology::centralized(), &lu_base, lu),
+        workload_row("LU/tree", args.nodes, tree_sync(), &lu_base, lu),
     ];
     println!("{:-<100}", "");
     println!("all workloads completed with bit-identical checksums; schedules reproduced exactly");

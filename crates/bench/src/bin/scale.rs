@@ -1,0 +1,345 @@
+//! Synchronization scalability sweep: centralized vs scalable
+//! protocols from 16 to 1024 nodes.
+//!
+//! For each sweep point and each topology (`centralized`: central
+//! barrier manager, lock managers, explicit per-writer notices;
+//! `scalable`: fanout-8 aggregation tree, lock-token queue, interval
+//! digests) the binary runs three kernels — SOR, LU, and a rank-ordered
+//! lock ring — and records virtual time, checksums, and the six
+//! synchronization counters (`sync_msgs`, `sync_records`,
+//! `digest_hits`, `digest_misses`, `token_forwards`, `tree_waves`).
+//!
+//! The binary is its own acceptance check:
+//!
+//! * checksums must be bit-identical between the two topologies at
+//!   every sweep point (the protocols may only change *when* data
+//!   moves, never *what* it says);
+//! * the tree barrier's per-episode message count must stay ≤ 12·n
+//!   (it is 2(n−1): one aggregate and one wave per non-root node),
+//!   while the centralized explicit-notice protocol ships ≥ n²/4
+//!   notice records per barrier once every node writes each epoch;
+//! * message growth between consecutive sweep points must stay linear
+//!   (ratio ≤ 1.25 × the node-count ratio — a superlinear regression
+//!   fails the run);
+//! * at 256 nodes a traced SOR run is fed to [`analyzer::analyze`] and
+//!   the scalable topology must keep barrier wait off the critical
+//!   path: its barrier-wait share must be below 25% of the path and
+//!   below the centralized share.
+//!
+//! Artifact: `BENCH_scale.json` — counters and checksums only, byte
+//! identical across runs of the same build. Virtual times are printed
+//! in the table but kept out of the artifact: once hundreds of arrivals
+//! saturate a bus window the slowdown factor depends on the real-time
+//! order demand was registered in, so `sim_time_ns` can wobble by a
+//! fraction of a percent while every counter stays exact (the Ethernet
+//! bus is pinned at 250 MB/s for the same reason as `analyze`, see
+//! OBSERVABILITY.md). `--quick` caps the sweep at 256 nodes for CI.
+
+use apps::world::{NativeWorld, World};
+use apps::BenchResult;
+use bench::Args;
+use cluster::{Cluster, FabricConfig, LinkKind, SyncTopology};
+use memwire::Distribution;
+use std::sync::Arc;
+use swdsm::{DsmConfig, SwDsm};
+
+/// Lock-ring turns are capped so the ring stays tractable at 1024
+/// nodes: the first `RING_TURNS` ranks take one turn each (everyone
+/// still participates in every barrier, which is the scaling surface
+/// under test — the cap only bounds the serial lock handoffs).
+const RING_TURNS: usize = 16;
+
+/// Critical-path budget for barrier wait under the scalable topology
+/// at the traced sweep point.
+const BARRIER_SHARE_LIMIT: f64 = 0.25;
+
+/// Weak-scaling SOR grid: four rows per node, so per-node work stays
+/// constant as the cluster grows and every node writes every epoch
+/// (the all-writers pattern that makes centralized notices quadratic).
+fn sor_size(nodes: usize) -> usize {
+    4 * nodes.max(16)
+}
+
+fn run_sync(
+    nodes: usize,
+    sync: SyncTopology,
+    f: impl Fn(&NativeWorld) -> BenchResult + Send + Sync,
+) -> (cluster::RunReport, Vec<BenchResult>, Arc<SwDsm>) {
+    let mut cost = sim::CostModel::paper_testbed();
+    // Below-saturation bus windows keep the schedule (and artifact)
+    // byte-reproducible; see the rationale in `analyze`.
+    cost.ethernet.bytes_per_sec = 250_000_000;
+    let fabric = FabricConfig::builder()
+        .nodes(nodes)
+        .link(LinkKind::Ethernet)
+        .cost(cost)
+        .sync(sync)
+        .build();
+    let c = Cluster::new(fabric);
+    let dsm = SwDsm::install(&c, DsmConfig::default());
+    let (report, results) = {
+        let dsm = dsm.clone();
+        c.run(move |ctx| f(&NativeWorld::new(dsm.node(ctx))))
+    };
+    (report, results, dsm)
+}
+
+/// Rank-ordered lock ring (same schedule as `analyze`'s, with the turn
+/// cap): deterministic handoffs, one barrier per turn.
+fn lock_ring<W: World>(w: &W) -> BenchResult {
+    let cell = w.alloc_dist(64, Distribution::OnNode(0));
+    w.barrier(1);
+    let t0 = w.now_ns();
+    let turns = w.nprocs().min(RING_TURNS);
+    let mut bar = 10u32;
+    for turn in 0..turns {
+        if w.rank() == turn {
+            w.lock(1);
+            let cur = w.read_f64(cell);
+            w.write_f64(cell, cur + 1.0);
+            w.unlock(1);
+        }
+        w.barrier(bar);
+        bar += 1;
+    }
+    let total_ns = w.now_ns() - t0;
+    let value = w.read_f64(cell);
+    w.barrier(bar);
+    BenchResult {
+        total_ns,
+        phases: Default::default(),
+        checksum: apps::report::checksum_f64(0, value),
+    }
+}
+
+/// Aggregated counters for one (workload, topology, nodes) cell.
+struct Cell {
+    nodes: usize,
+    workload: &'static str,
+    topology: &'static str,
+    sim_time_ns: u64,
+    checksum: u64,
+    /// Barrier episodes (every node participates in each).
+    barriers: u64,
+    sync_msgs: u64,
+    sync_records: u64,
+    digest_hits: u64,
+    digest_misses: u64,
+    token_forwards: u64,
+    tree_waves: u64,
+}
+
+impl Cell {
+    /// Cross-node synchronization messages per barrier episode.
+    fn msgs_per_barrier(&self) -> f64 {
+        self.sync_msgs as f64 / self.barriers.max(1) as f64
+    }
+}
+
+fn measure(
+    nodes: usize,
+    workload: &'static str,
+    topology: &'static str,
+    sync: SyncTopology,
+    f: impl Fn(&NativeWorld) -> BenchResult + Send + Sync,
+) -> Cell {
+    let (report, results, dsm) = run_sync(nodes, sync, f);
+    // Rank-order-sensitive fold: a plain XOR of identical per-rank
+    // checksums would cancel to zero on every even-sized cluster.
+    let checksum = results.iter().fold(0u64, |acc, r| acc.rotate_left(1) ^ r.checksum);
+    let sum = |name: &str| (0..nodes).map(|n| dsm.stats(n).get(name)).sum::<u64>();
+    Cell {
+        nodes,
+        workload,
+        topology,
+        sim_time_ns: report.sim_time_ns,
+        checksum,
+        barriers: sum("barriers") / nodes as u64,
+        sync_msgs: sum("sync_msgs"),
+        sync_records: sum("sync_records"),
+        digest_hits: sum("digest_hits"),
+        digest_misses: sum("digest_misses"),
+        token_forwards: sum("token_forwards"),
+        tree_waves: sum("tree_waves"),
+    }
+}
+
+/// Barrier-wait share of the critical path in a traced SOR run.
+fn barrier_path_share(nodes: usize, sync: SyncTopology) -> f64 {
+    let session = sim::TraceSession::begin();
+    let n = sor_size(nodes);
+    let _ = run_sync(nodes, sync, move |w| apps::sor::sor(w, n, 2, false));
+    let report = analyzer::analyze(&session.finish());
+    let barrier_ns: u64 = report
+        .critical_path
+        .contributors
+        .iter()
+        .filter(|c| c.lane == analyzer::Lane::BarrierWait)
+        .map(|c| c.ns)
+        .sum();
+    barrier_ns as f64 / report.critical_path.total_ns.max(1) as f64
+}
+
+fn main() {
+    let args = Args::parse(0);
+    let sweep: &[usize] = if args.quick { &[16, 64, 256] } else { &[16, 64, 256, 1024] };
+    let topologies =
+        [("centralized", SyncTopology::centralized()), ("scalable", SyncTopology::scalable())];
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    for &nodes in sweep {
+        for (name, sync) in topologies {
+            let sor_n = sor_size(nodes);
+            cells.push(measure(nodes, "sor", name, sync, move |w| {
+                apps::sor::sor(w, sor_n, 2, false)
+            }));
+            cells.push(measure(nodes, "lu", name, sync, |w| apps::lu::lu(w, 96)));
+            cells.push(measure(nodes, "lock_ring", name, sync, lock_ring));
+        }
+    }
+
+    println!(
+        "{:>6} {:<10} {:<12} {:>9} {:>12} {:>12} {:>9} {:>14}",
+        "nodes", "workload", "topology", "barriers", "sync_msgs", "sync_records", "msgs/bar", "sim_ms"
+    );
+    for c in &cells {
+        println!(
+            "{:>6} {:<10} {:<12} {:>9} {:>12} {:>12} {:>9.1} {:>14.2}",
+            c.nodes,
+            c.workload,
+            c.topology,
+            c.barriers,
+            c.sync_msgs,
+            c.sync_records,
+            c.msgs_per_barrier(),
+            c.sim_time_ns as f64 / 1e6,
+        );
+    }
+
+    let find = |nodes: usize, workload: &str, topology: &str| {
+        cells
+            .iter()
+            .find(|c| c.nodes == nodes && c.workload == workload && c.topology == topology)
+            .unwrap()
+    };
+
+    // 1. Checksums must match between topologies everywhere.
+    for &nodes in sweep {
+        for workload in ["sor", "lu", "lock_ring"] {
+            let a = find(nodes, workload, "centralized");
+            let b = find(nodes, workload, "scalable");
+            if a.checksum != b.checksum {
+                failures.push(format!(
+                    "{workload}@{nodes}: checksum diverged (centralized {:#x} vs scalable {:#x})",
+                    a.checksum, b.checksum
+                ));
+            }
+        }
+    }
+
+    // 2. Tree-barrier message volume: ≤ 12·n per episode at every
+    //    point; the centralized explicit notices go quadratic.
+    let &last = sweep.last().unwrap();
+    for &nodes in sweep {
+        let tree = find(nodes, "sor", "scalable");
+        if tree.msgs_per_barrier() > 12.0 * nodes as f64 {
+            failures.push(format!(
+                "sor@{nodes}: scalable barrier costs {:.1} msgs/episode (> 12n = {})",
+                tree.msgs_per_barrier(),
+                12 * nodes
+            ));
+        }
+    }
+    let central = find(last, "sor", "centralized");
+    let central_records = central.sync_records as f64 / central.barriers.max(1) as f64;
+    if central_records < (last * last) as f64 / 4.0 {
+        failures.push(format!(
+            "sor@{last}: centralized notice volume {central_records:.0} records/barrier, \
+             expected ≥ n²/4 = {} (the quadratic baseline the digests replace)",
+            last * last / 4
+        ));
+    }
+
+    // 3. Superlinear-growth gate on the scalable barrier.
+    for pair in sweep.windows(2) {
+        let (a, b) = (find(pair[0], "sor", "scalable"), find(pair[1], "sor", "scalable"));
+        let growth = b.msgs_per_barrier() / a.msgs_per_barrier().max(1.0);
+        let limit = 1.25 * pair[1] as f64 / pair[0] as f64;
+        if growth > limit {
+            failures.push(format!(
+                "sor: scalable msgs/barrier grew {growth:.2}x from {} to {} nodes (limit {limit:.2}x)",
+                pair[0], pair[1]
+            ));
+        }
+    }
+
+    // 4. Critical-path attribution at 256 nodes: the tree must push
+    //    barrier wait off the path.
+    let traced_nodes = 256;
+    let central_share = barrier_path_share(traced_nodes, SyncTopology::centralized());
+    let scalable_share = barrier_path_share(traced_nodes, SyncTopology::scalable());
+    println!(
+        "\ncritical-path barrier-wait share @ {traced_nodes} nodes: \
+         centralized {:.1}%, scalable {:.1}%",
+        central_share * 100.0,
+        scalable_share * 100.0
+    );
+    if scalable_share >= BARRIER_SHARE_LIMIT {
+        failures.push(format!(
+            "scalable barrier wait is {:.1}% of the {traced_nodes}-node critical path \
+             (budget {:.0}%)",
+            scalable_share * 100.0,
+            BARRIER_SHARE_LIMIT * 100.0
+        ));
+    }
+    if scalable_share > central_share {
+        failures.push(format!(
+            "scalable barrier-wait share ({:.1}%) exceeds centralized ({:.1}%) at {traced_nodes} nodes",
+            scalable_share * 100.0,
+            central_share * 100.0
+        ));
+    }
+
+    // Artifact. Counters and checksums only — no virtual times, which
+    // are registration-order dependent at saturated sweep points (see
+    // the module doc): two runs of one build are byte-identical.
+    let mut doc = String::from("{\n  \"schema\": \"hamster-scale-v1\",\n");
+    doc.push_str(&format!(
+        "  \"sweep\": [{}],\n  \"cells\": [\n",
+        sweep.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(", ")
+    ));
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        doc.push_str(&format!(
+            "    {{\"nodes\": {}, \"workload\": \"{}\", \"topology\": \"{}\", \
+             \"checksum\": {}, \"barriers\": {}, \"sync_msgs\": {}, \
+             \"sync_records\": {}, \"digest_hits\": {}, \"digest_misses\": {}, \
+             \"token_forwards\": {}, \"tree_waves\": {}}}{comma}\n",
+            c.nodes,
+            c.workload,
+            c.topology,
+            c.checksum,
+            c.barriers,
+            c.sync_msgs,
+            c.sync_records,
+            c.digest_hits,
+            c.digest_misses,
+            c.token_forwards,
+            c.tree_waves,
+        ));
+    }
+    doc.push_str("  ]\n}\n");
+    std::fs::write("BENCH_scale.json", &doc)
+        .unwrap_or_else(|e| panic!("writing BENCH_scale.json: {e}"));
+    eprintln!("wrote BENCH_scale.json ({} cells)", cells.len());
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all scale gates passed");
+}

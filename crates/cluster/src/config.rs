@@ -1,7 +1,7 @@
 //! Fabric configuration and the textual configuration-file format.
 
-use interconnect::fault::{CrashWindow, FaultPlan, LinkFaults, PartitionWindow, Resilience};
-use interconnect::EngineMode;
+use interconnect::fault::{FaultPlan, Resilience};
+use interconnect::{EngineMode, SyncTopology};
 use sim::{CostModel, LinkCost};
 use std::collections::BTreeMap;
 use std::str::FromStr;
@@ -55,6 +55,11 @@ pub struct FabricConfig {
     /// event-driven scheduler). Virtual-time results are identical
     /// across engines; only wall-clock throughput differs.
     pub engine: EngineMode,
+    /// Synchronization topology for the protocol layers built on this
+    /// fabric (barrier structure, lock handoff, write-notice wire
+    /// encoding). Defaults to [`SyncTopology::centralized`]; large
+    /// node counts want [`SyncTopology::scalable`].
+    pub sync: SyncTopology,
 }
 
 impl FabricConfig {
@@ -70,11 +75,13 @@ impl FabricConfig {
             faults: None,
             resilience: None,
             engine: EngineMode::default(),
+            sync: SyncTopology::default(),
         }
     }
 
-    /// Start a typed builder: the structured replacement for the
-    /// string-keyed `chaos_*` [`ConfigMap`] knobs.
+    /// Start a typed builder covering every fabric knob — node count,
+    /// link, cost model, fault plan, resilience policy, delivery
+    /// engine, and synchronization topology.
     ///
     /// ```
     /// use cluster::{FabricConfig, LinkKind};
@@ -91,99 +98,6 @@ impl FabricConfig {
     /// ```
     pub fn builder() -> FabricConfigBuilder {
         FabricConfigBuilder { cfg: FabricConfig::new(1, LinkKind::Ethernet) }
-    }
-
-    /// Apply the `chaos_*` keys of a [`ConfigMap`] to this fabric:
-    ///
-    /// * `chaos_seed` — seed for every fault decision.
-    /// * `chaos_drop_ppm` / `chaos_dup_ppm` / `chaos_delay_ppm` /
-    ///   `chaos_delay_ns` / `chaos_reorder_ppm` / `chaos_reorder_ns` —
-    ///   the default per-link fault profile.
-    /// * `chaos_link` — per-link overrides, semicolon-separated:
-    ///   `0-1:drop=10000,dup=500,delay=1000@200000,reorder=500@100000`.
-    /// * `chaos_crash` — outages, semicolon-separated: `1@30000000..45000000`.
-    /// * `chaos_partition` — cuts, semicolon-separated: `0,1@30000000..45000000`
-    ///   (the listed group is split from everyone else).
-    /// * `chaos_timeout_ns`, `chaos_retry_max`, `chaos_backoff_ns`,
-    ///   `chaos_backoff_max_ns` — the resilience policy.
-    ///
-    /// A config without any `chaos_*` key leaves the fabric untouched.
-    #[deprecated(
-        since = "0.1.0",
-        note = "string-keyed chaos knobs are a compatibility shim; \
-                use the typed `FabricConfig::builder()` (`.chaos(..)`, \
-                `.resilience(..)`) instead"
-    )]
-    pub fn apply_chaos(&mut self, cfg: &ConfigMap) -> Result<(), String> {
-        if !cfg.keys().any(|k| k.starts_with("chaos_")) {
-            return Ok(());
-        }
-        let mut plan = self.faults.take().unwrap_or_default();
-        if let Some(seed) = cfg.get_as::<u64>("chaos_seed")? {
-            plan.seed = seed;
-        }
-        if let Some(v) = cfg.get_as::<u32>("chaos_drop_ppm")? {
-            plan.default_link.drop_ppm = v;
-        }
-        if let Some(v) = cfg.get_as::<u32>("chaos_dup_ppm")? {
-            plan.default_link.dup_ppm = v;
-        }
-        if let Some(v) = cfg.get_as::<u32>("chaos_delay_ppm")? {
-            plan.default_link.delay_ppm = v;
-        }
-        if let Some(v) = cfg.get_as::<u64>("chaos_delay_ns")? {
-            plan.default_link.delay_ns = v;
-        }
-        if let Some(v) = cfg.get_as::<u32>("chaos_reorder_ppm")? {
-            plan.default_link.reorder_ppm = v;
-        }
-        if let Some(v) = cfg.get_as::<u64>("chaos_reorder_ns")? {
-            plan.default_link.reorder_window_ns = v;
-        }
-        if let Some(s) = cfg.get("chaos_link") {
-            for entry in s.split(';').filter(|e| !e.trim().is_empty()) {
-                plan.per_link.push(parse_link_entry(entry)?);
-            }
-        }
-        if let Some(s) = cfg.get("chaos_crash") {
-            for entry in s.split(';').filter(|e| !e.trim().is_empty()) {
-                let (node, span) = entry
-                    .split_once('@')
-                    .ok_or_else(|| format!("chaos_crash entry {entry:?}: expected node@from..until"))?;
-                let node = parse_num::<usize>("chaos_crash node", node)?;
-                let (from_ns, until_ns) = parse_span("chaos_crash", span)?;
-                plan.crashes.push(CrashWindow { node, from_ns, until_ns });
-            }
-        }
-        if let Some(s) = cfg.get("chaos_partition") {
-            for entry in s.split(';').filter(|e| !e.trim().is_empty()) {
-                let (group, span) = entry.split_once('@').ok_or_else(|| {
-                    format!("chaos_partition entry {entry:?}: expected n,m,..@from..until")
-                })?;
-                let group = group
-                    .split(',')
-                    .map(|n| parse_num::<usize>("chaos_partition node", n))
-                    .collect::<Result<Vec<_>, _>>()?;
-                let (from_ns, until_ns) = parse_span("chaos_partition", span)?;
-                plan.partitions.push(PartitionWindow { group, from_ns, until_ns });
-            }
-        }
-        self.faults = Some(plan);
-        let mut res = self.resilience.take().unwrap_or_default();
-        if let Some(v) = cfg.get_as::<u64>("chaos_timeout_ns")? {
-            res.timeout_ns = v;
-        }
-        if let Some(v) = cfg.get_as::<u32>("chaos_retry_max")? {
-            res.retry.max_attempts = v;
-        }
-        if let Some(v) = cfg.get_as::<u64>("chaos_backoff_ns")? {
-            res.retry.base_backoff_ns = v;
-        }
-        if let Some(v) = cfg.get_as::<u64>("chaos_backoff_max_ns")? {
-            res.retry.max_backoff_ns = v;
-        }
-        self.resilience = Some(res);
-        Ok(())
     }
 
     /// The [`LinkCost`] for this fabric's link.
@@ -207,9 +121,10 @@ impl FabricConfig {
 
 /// Typed builder for a [`FabricConfig`] (see [`FabricConfig::builder`]).
 ///
-/// Every knob the string-keyed `chaos_*` config keys used to set has a
-/// typed setter here; malformed configurations fail at compile time
-/// instead of at parse time.
+/// This is the only way to configure chaos, resilience, and sync
+/// topology (the string-keyed `chaos_*` [`ConfigMap`] shim was
+/// removed); malformed configurations fail at compile time instead of
+/// at parse time.
 #[derive(Debug, Clone)]
 pub struct FabricConfigBuilder {
     cfg: FabricConfig,
@@ -267,67 +182,18 @@ impl FabricConfigBuilder {
         self
     }
 
+    /// Select the synchronization topology for the protocol layers
+    /// (default: [`SyncTopology::centralized`]).
+    pub fn sync(mut self, sync: SyncTopology) -> Self {
+        self.cfg.sync = sync;
+        self
+    }
+
     /// Finish: validates node count.
     pub fn build(self) -> FabricConfig {
         assert!(self.cfg.nodes > 0, "cluster needs at least one node");
         self.cfg
     }
-}
-
-fn parse_num<T: FromStr>(what: &str, s: &str) -> Result<T, String>
-where
-    T::Err: std::fmt::Display,
-{
-    s.trim().parse::<T>().map_err(|e| format!("{what} {s:?}: {e}"))
-}
-
-fn parse_span(what: &str, s: &str) -> Result<(u64, u64), String> {
-    let (from, until) = s
-        .split_once("..")
-        .ok_or_else(|| format!("{what} span {s:?}: expected from..until"))?;
-    let from_ns = parse_num::<u64>(what, from)?;
-    let until_ns = parse_num::<u64>(what, until)?;
-    if until_ns <= from_ns {
-        return Err(format!("{what} span {s:?}: empty or inverted window"));
-    }
-    Ok((from_ns, until_ns))
-}
-
-/// Parse one `chaos_link` entry: `src-dst:k=v,k=v,...` where keys are
-/// `drop`/`dup` (ppm), `delay` and `reorder` (`ppm@ns`).
-fn parse_link_entry(s: &str) -> Result<((usize, usize), LinkFaults), String> {
-    let (link, profile) = s
-        .split_once(':')
-        .ok_or_else(|| format!("chaos_link entry {s:?}: expected src-dst:profile"))?;
-    let (src, dst) = link
-        .split_once('-')
-        .ok_or_else(|| format!("chaos_link link {link:?}: expected src-dst"))?;
-    let src = parse_num::<usize>("chaos_link src", src)?;
-    let dst = parse_num::<usize>("chaos_link dst", dst)?;
-    let mut lf = LinkFaults::default();
-    for kv in profile.split(',').filter(|e| !e.trim().is_empty()) {
-        let (k, v) = kv
-            .split_once('=')
-            .ok_or_else(|| format!("chaos_link profile {kv:?}: expected key=value"))?;
-        match k.trim() {
-            "drop" => lf.drop_ppm = parse_num("chaos_link drop", v)?,
-            "dup" => lf.dup_ppm = parse_num("chaos_link dup", v)?,
-            "delay" | "reorder" => {
-                let (ppm, ns) = v.split_once('@').ok_or_else(|| {
-                    format!("chaos_link {k} value {v:?}: expected ppm@window_ns")
-                })?;
-                if k.trim() == "delay" {
-                    lf.delay_ppm = parse_num("chaos_link delay ppm", ppm)?;
-                    lf.delay_ns = parse_num("chaos_link delay ns", ns)?;
-                } else {
-                    lf.reorder_ppm = parse_num("chaos_link reorder ppm", ppm)?;
-                    lf.reorder_window_ns = parse_num("chaos_link reorder ns", ns)?;
-                }
-            }
-            other => return Err(format!("chaos_link profile key {other:?} unknown")),
-        }
-    }
-    Ok(((src, dst), lf))
 }
 
 /// A parsed `key = value` configuration file.
@@ -485,6 +351,7 @@ mod tests {
 
     #[test]
     fn builder_sets_typed_chaos_and_engine() {
+        use interconnect::fault::LinkFaults;
         let plan = FaultPlan {
             seed: 7,
             default_link: LinkFaults { drop_ppm: 1_000, ..LinkFaults::default() },
@@ -515,59 +382,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn chaos_keys_build_a_fault_plan() {
-        let cfg = ConfigMap::parse(
-            "chaos_seed = 42\n\
-             chaos_drop_ppm = 10000\n\
-             chaos_dup_ppm = 500\n\
-             chaos_delay_ppm = 2000\n\
-             chaos_delay_ns = 150000\n\
-             chaos_link = 0-1:drop=50000,dup=100;2-0:delay=1000@90000,reorder=10@5000\n\
-             chaos_crash = 1@30000000..45000000\n\
-             chaos_partition = 0,1@50000000..60000000\n\
-             chaos_timeout_ns = 1500000\n\
-             chaos_retry_max = 9",
-        )
-        .unwrap();
-        let mut f = FabricConfig::new(4, LinkKind::Ethernet);
-        f.apply_chaos(&cfg).unwrap();
-        let plan = f.faults.as_ref().unwrap();
-        assert_eq!(plan.seed, 42);
-        assert_eq!(plan.default_link.drop_ppm, 10_000);
-        assert_eq!(plan.default_link.dup_ppm, 500);
-        assert_eq!(plan.default_link.delay_ns, 150_000);
-        assert_eq!(plan.link(0, 1).drop_ppm, 50_000);
-        assert_eq!(plan.link(0, 1).dup_ppm, 100);
-        assert_eq!(plan.link(2, 0).delay_ppm, 1_000);
-        assert_eq!(plan.link(2, 0).reorder_window_ns, 5_000);
-        assert_eq!(plan.link(1, 0).drop_ppm, 10_000, "unlisted link uses default");
-        assert!(plan.down_at(1, 31_000_000));
-        assert!(plan.cut_at(0, 2, 55_000_000));
-        let res = f.resilience.unwrap();
-        assert_eq!(res.timeout_ns, 1_500_000);
-        assert_eq!(res.retry.max_attempts, 9);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn chaos_free_config_leaves_fabric_reliable() {
-        let cfg = ConfigMap::parse("nodes = 4\nlink = sci").unwrap();
-        let mut f = FabricConfig::new(4, LinkKind::Sci);
-        f.apply_chaos(&cfg).unwrap();
-        assert!(f.faults.is_none());
-        assert!(f.resilience.is_none());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn chaos_rejects_malformed_windows() {
-        let mut f = FabricConfig::new(2, LinkKind::Ethernet);
-        let bad = ConfigMap::parse("chaos_crash = 1@500..100").unwrap();
-        assert!(f.apply_chaos(&bad).is_err());
-        let bad = ConfigMap::parse("chaos_link = 0:drop=1").unwrap();
-        assert!(f.apply_chaos(&bad).is_err());
-        let bad = ConfigMap::parse("chaos_drop_ppm = lots").unwrap();
-        assert!(f.apply_chaos(&bad).is_err());
+    fn builder_sets_sync_topology() {
+        use interconnect::{BarrierTopology, LockTopology};
+        let cfg = FabricConfig::builder().nodes(4).build();
+        assert_eq!(cfg.sync, SyncTopology::centralized(), "default is centralized");
+        let cfg = FabricConfig::builder().nodes(256).sync(SyncTopology::scalable()).build();
+        assert_eq!(cfg.sync.barrier, BarrierTopology::Tree { fanout: 8 });
+        assert_eq!(cfg.sync.locks, LockTopology::TokenQueue);
     }
 }

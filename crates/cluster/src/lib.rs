@@ -26,7 +26,7 @@ pub mod registry;
 pub mod runner;
 
 pub use config::{ConfigMap, FabricConfig, FabricConfigBuilder, LinkKind};
-pub use interconnect::EngineMode;
+pub use interconnect::{BarrierTopology, EngineMode, LockTopology, NoticeWire, SyncTopology};
 pub use node::NodeCtx;
 pub use registry::{NodeInfo, Registry};
 pub use runner::{Cluster, RunReport};

@@ -4,7 +4,7 @@
 //! configuration file) is changed between experiments; the actual codes
 //! are not modified, and in fact we use the identical binaries."
 
-use cluster::{ConfigMap, EngineMode, FabricConfig, LinkKind};
+use cluster::{ConfigMap, EngineMode, FabricConfig, LinkKind, SyncTopology};
 use hybriddsm::HybridConfig;
 use sim::CostModel;
 use std::str::FromStr;
@@ -55,6 +55,9 @@ pub struct ClusterConfig {
     pub unified_messaging: bool,
     /// The fabric's delivery engine (default: sharded event-driven).
     pub engine: EngineMode,
+    /// Synchronization topology: which barrier, lock, and write-notice
+    /// protocols the platforms run (default: centralized managers).
+    pub sync: SyncTopology,
 }
 
 impl ClusterConfig {
@@ -68,13 +71,16 @@ impl ClusterConfig {
             hybrid: HybridConfig::default(),
             unified_messaging: true,
             engine: EngineMode::default(),
+            sync: SyncTopology::default(),
         }
     }
 
     /// Build from a parsed configuration file. Recognized keys:
     /// `nodes` (usize, required), `platform` (smp|hybrid|swdsm,
     /// required), `unified_messaging` (bool), `engine`
-    /// (`threads` | `sharded` | `sharded:N`).
+    /// (`threads` | `sharded` | `sharded:N`), `sync`
+    /// (`centralized` | `scalable` | `tree` | `tree:K` |
+    /// `dissemination`).
     pub fn from_config_map(map: &ConfigMap) -> Result<Self, String> {
         let nodes = map
             .get_as::<usize>("nodes")?
@@ -91,6 +97,9 @@ impl ClusterConfig {
         }
         if let Some(v) = map.get_as::<EngineMode>("engine")? {
             cfg.engine = v;
+        }
+        if let Some(v) = map.get_as::<SyncTopology>("sync")? {
+            cfg.sync = v;
         }
         Ok(cfg)
     }
@@ -121,6 +130,7 @@ impl ClusterConfig {
             .cost(self.cost)
             .unified_messaging(self.unified_messaging)
             .engine(self.engine)
+            .sync(self.sync)
             .build()
     }
 }
@@ -177,5 +187,17 @@ mod tests {
         let cfg = ClusterConfig::parse("nodes=2\nplatform=swdsm\nengine=sharded:3").unwrap();
         assert_eq!(cfg.engine, EngineMode::Sharded { workers: 3 });
         assert!(ClusterConfig::parse("nodes=2\nplatform=swdsm\nengine=warp").is_err());
+    }
+
+    #[test]
+    fn sync_key_selects_topology() {
+        let cfg = ClusterConfig::parse("nodes=2\nplatform=swdsm").unwrap();
+        assert_eq!(cfg.sync, SyncTopology::centralized());
+        let cfg = ClusterConfig::parse("nodes=2\nplatform=swdsm\nsync=scalable").unwrap();
+        assert_eq!(cfg.sync, SyncTopology::scalable());
+        assert_eq!(cfg.fabric().sync, SyncTopology::scalable());
+        let cfg = ClusterConfig::parse("nodes=2\nplatform=hybrid\nsync=tree:4").unwrap();
+        assert_eq!(cfg.sync.barrier, cluster::BarrierTopology::Tree { fanout: 4 });
+        assert!(ClusterConfig::parse("nodes=2\nplatform=swdsm\nsync=mesh").is_err());
     }
 }

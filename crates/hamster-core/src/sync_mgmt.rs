@@ -4,6 +4,11 @@
 //! the platform engines), plus the building blocks programming models
 //! need: events (one-shot wakeups, the substrate for condition
 //! variables and thread joins) and global atomic read-modify-write.
+//!
+//! Which wire protocols sit under the lock and barrier calls — central
+//! managers, aggregation trees, the lock-token queue — is the platform
+//! engines' business, steered by the fabric's [`cluster::SyncTopology`]
+//! (the `sync` configuration key); this facade is topology-agnostic.
 
 use crate::hamster::NodeCore;
 use crate::runtime::kinds;

@@ -5,10 +5,13 @@
 //! locks and barriers but no write-notice machinery — memory is
 //! physically shared, so synchronization is *only* about ordering. This
 //! module provides that: locks are owned by manager nodes (`lock %
-//! nodes`), barriers by `id % nodes`, all traffic rides the cluster's
-//! configured link.
+//! nodes`); barriers are rooted at `id % nodes` and run either through
+//! that central manager or as an aggregation/release-wave tree,
+//! following the fabric's [`cluster::SyncTopology`] (the ordering-only
+//! mirror of the software DSM's tree barrier — no notices ride the
+//! waves here). All traffic rides the cluster's configured link.
 
-use cluster::{Cluster, NodeCtx};
+use cluster::{BarrierTopology, Cluster, NodeCtx};
 use interconnect::{downcast, mailbox, Outcome};
 use parking_lot::Mutex;
 use sim::Histogram;
@@ -29,6 +32,13 @@ const LOCK_REL: u32 = 0x201;
 const LOCK_GRANT: u32 = 0x202;
 const BAR_ARRIVE: u32 = 0x203;
 const BAR_RELEASE: u32 = 0x204;
+/// A node's own tree-barrier arrival, bounced off its own handler so
+/// arrivals, child aggregates, and waves serialize without extra locks.
+const TREE_UP: u32 = 0x205;
+/// A fully-aggregated subtree reporting to its parent.
+const TREE_AGG: u32 = 0x206;
+/// The release wave travelling from a parent to a child subtree.
+const TREE_WAVE: u32 = 0x207;
 
 #[derive(Default)]
 struct LockSlot {
@@ -82,11 +92,169 @@ struct BarRelease {
     epoch: u64,
 }
 
+#[derive(Clone, Copy)]
+struct TreeAggMsg {
+    id: u32,
+    epoch: u64,
+    child: usize,
+    latest_ns: u64,
+}
+
+#[derive(Clone, Copy)]
+struct TreeWaveMsg {
+    id: u32,
+    epoch: u64,
+    release_ns: u64,
+}
+
+/// This node's place in the barrier tree for one id: the root is
+/// `id % nodes`, heap positions are ranks rotated so the root sits at
+/// position 0, and position `p`'s children occupy `fanout*p + 1 ..=
+/// fanout*p + fanout`.
+struct TreeShape {
+    parent: Option<usize>,
+    children: Vec<usize>,
+}
+
+impl TreeShape {
+    fn new(id: u32, me: usize, nodes: usize, fanout: usize) -> Self {
+        let root = id as usize % nodes;
+        let node_of = |pos: usize| (root + pos) % nodes;
+        let pos = (me + nodes - root) % nodes;
+        let parent = (pos > 0).then(|| node_of((pos - 1) / fanout));
+        let children =
+            (fanout * pos + 1..=fanout * pos + fanout).filter(|&c| c < nodes).map(node_of).collect();
+        Self { parent, children }
+    }
+}
+
+/// What the tree state machine wants done after an event.
+enum TreeStep {
+    /// Not complete yet (or a duplicate wave): nothing to send.
+    Waiting,
+    /// This subtree is fully aggregated: report to the parent.
+    Up { parent: usize, latest_ns: u64 },
+    /// The barrier released at this node: wave to the children and wake
+    /// the local application.
+    Deliver { release_ns: u64 },
+    /// A retried self-arrival for an epoch already released here.
+    Redeliver { release_ns: u64 },
+    /// A retried child aggregate for a released epoch: its wave was
+    /// lost, resend it.
+    ResendWave { child: usize, release_ns: u64 },
+}
+
+#[derive(Default)]
+struct TreeSlot {
+    epoch: u64,
+    self_arrived: bool,
+    /// Direct children whose whole subtree has aggregated (set
+    /// semantics against retried aggregates).
+    children_arrived: Vec<usize>,
+    latest_ns: u64,
+}
+
+impl TreeSlot {
+    fn is_fresh(&self) -> bool {
+        !self.self_arrived && self.children_arrived.is_empty()
+    }
+}
+
+/// Per-node tree-barrier participant state (one slot per barrier id,
+/// plus a one-epoch-back release cache for replaying lost edges).
+#[derive(Default)]
+struct TreeNodeState {
+    slots: HashMap<u32, TreeSlot>,
+    released: HashMap<u32, (u64, u64)>,
+}
+
+impl TreeNodeState {
+    fn slot(&mut self, id: u32, epoch: u64) -> &mut TreeSlot {
+        let slot = self.slots.entry(id).or_default();
+        if slot.is_fresh() {
+            slot.epoch = epoch;
+        }
+        assert_eq!(slot.epoch, epoch, "tree barrier {id}: epoch skew");
+        slot
+    }
+
+    /// Completion check: released epochs consume the slot and enter the
+    /// replay cache; a complete non-root resends its aggregate
+    /// idempotently on every (re)arrival.
+    fn check(&mut self, shape: &TreeShape, id: u32) -> TreeStep {
+        let slot = self.slots.get(&id).unwrap();
+        if !slot.self_arrived || slot.children_arrived.len() != shape.children.len() {
+            return TreeStep::Waiting;
+        }
+        match shape.parent {
+            Some(parent) => TreeStep::Up { parent, latest_ns: slot.latest_ns },
+            None => {
+                let slot = self.slots.remove(&id).unwrap();
+                self.released.insert(id, (slot.epoch, slot.latest_ns));
+                TreeStep::Deliver { release_ns: slot.latest_ns }
+            }
+        }
+    }
+
+    fn self_arrive(&mut self, shape: &TreeShape, id: u32, epoch: u64, now: u64) -> TreeStep {
+        if let Some(&(rel_epoch, release_ns)) = self.released.get(&id) {
+            if rel_epoch == epoch {
+                return TreeStep::Redeliver { release_ns };
+            }
+        }
+        let slot = self.slot(id, epoch);
+        slot.self_arrived = true;
+        slot.latest_ns = slot.latest_ns.max(now);
+        self.check(shape, id)
+    }
+
+    fn child_arrive(
+        &mut self,
+        shape: &TreeShape,
+        id: u32,
+        epoch: u64,
+        child: usize,
+        latest_ns: u64,
+    ) -> TreeStep {
+        if let Some(&(rel_epoch, release_ns)) = self.released.get(&id) {
+            if rel_epoch == epoch {
+                return TreeStep::ResendWave { child, release_ns };
+            }
+        }
+        let slot = self.slot(id, epoch);
+        if slot.children_arrived.contains(&child) {
+            // Retried aggregate while the wave is still pending: the
+            // upward edge is client-retried by this node's own
+            // application thread, so nothing needs resending — the
+            // retry's reply obligation replaces the child's stale park.
+            return TreeStep::Waiting;
+        }
+        slot.children_arrived.push(child);
+        slot.latest_ns = slot.latest_ns.max(latest_ns);
+        self.check(shape, id)
+    }
+
+    fn wave(&mut self, id: u32, epoch: u64, release_ns: u64) -> TreeStep {
+        if self.released.get(&id) == Some(&(epoch, release_ns)) {
+            return TreeStep::Waiting; // duplicate wave
+        }
+        self.slots.remove(&id);
+        self.released.insert(id, (epoch, release_ns));
+        TreeStep::Deliver { release_ns }
+    }
+}
+
 /// Cluster-shared synchronization state.
 pub struct SyncCore {
     nodes: usize,
     base: u32,
+    /// Barrier topology from the fabric config (locks stay
+    /// manager-owned here: the token queue is a consistency-protocol
+    /// optimization and hardware-coherent platforms don't carry one).
+    barrier_topo: BarrierTopology,
+    fanout: usize,
     mgrs: Vec<Arc<Mutex<MgrState>>>,
+    trees: Vec<Arc<Mutex<TreeNodeState>>>,
     /// Lock-acquire latency (virtual ns from request to grant-in-hand),
     /// pooled across nodes; feeds the monitoring quantiles.
     lock_hist: Histogram,
@@ -97,10 +265,18 @@ impl SyncCore {
     /// `kind_base` (pass 0 unless two cores share a fabric).
     pub fn install(cluster: &Cluster, kind_base: u32) -> Arc<SyncCore> {
         let nodes = cluster.config().nodes;
+        let barrier_topo = cluster.config().sync.barrier;
+        let fanout = match barrier_topo {
+            BarrierTopology::Tree { fanout } => fanout,
+            _ => 2,
+        };
         let core = Arc::new(SyncCore {
             nodes,
             base: kind_base,
+            barrier_topo,
+            fanout,
             mgrs: (0..nodes).map(|_| Arc::new(Mutex::new(MgrState::default()))).collect(),
+            trees: (0..nodes).map(|_| Arc::new(Mutex::new(TreeNodeState::default()))).collect(),
             lock_hist: Histogram::new(),
         });
         let net = cluster.network();
@@ -319,7 +495,180 @@ impl SyncCore {
             }
         });
 
+        // Tree barrier (ordering-only mirror of the software DSM's). On
+        // a plain fabric a node's own arrival bounces off its own
+        // handler so arrivals, child aggregates, and waves all mutate
+        // the per-node state from one serialized context. On resilient
+        // fabrics only TREE_AGG crosses the wire, as a retried *request*
+        // from the child's application thread whose (deferred) reply is
+        // that child's release wave — fire-and-forget tree edges cannot
+        // heal, because a parked reply has no client-side deadline (see
+        // the swdsm tree barrier for the full rationale).
+        let c = core.clone();
+        net.register_all(kind_base + TREE_UP, move |node| {
+            let c = c.clone();
+            let mb = cluster.network().mailbox(node);
+            move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                debug_assert!(!ctx.resilient(), "resilient tree arrivals stay on the app thread");
+                let arr = downcast::<BarArrive>(p);
+                let shape = TreeShape::new(arr.id, node, c.nodes, c.fanout);
+                let step = c.trees[node].lock().self_arrive(&shape, arr.id, arr.epoch, ctx.now);
+                let tag = mailbox::tag(c.base + BAR_RELEASE, arr.id);
+                match step {
+                    TreeStep::Waiting => {}
+                    TreeStep::Up { parent, latest_ns } => {
+                        let msg =
+                            TreeAggMsg { id: arr.id, epoch: arr.epoch, child: node, latest_ns };
+                        ctx.post(parent, c.base + TREE_AGG, msg, 32);
+                    }
+                    TreeStep::Deliver { release_ns } => {
+                        // Only the root completes from its own arrival
+                        // without an incoming wave; the deposit is
+                        // stamped with the release instant, not
+                        // ctx.now, which is a real-time race.
+                        c.tree_release(ctx, &shape, arr.id, arr.epoch, release_ns, Some(node));
+                        mb.deposit(tag, Box::new(arr.epoch), release_ns);
+                    }
+                    TreeStep::Redeliver { release_ns } => {
+                        let _ = release_ns;
+                        mb.deposit(tag, Box::new(arr.epoch), ctx.now);
+                    }
+                    TreeStep::ResendWave { .. } => {
+                        unreachable!("self-arrival never resends a child wave")
+                    }
+                }
+                Outcome::done()
+            }
+        });
+
+        let c = core.clone();
+        net.register_all(kind_base + TREE_AGG, move |node| {
+            let c = c.clone();
+            let mb = cluster.network().mailbox(node);
+            move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                let msg = downcast::<TreeAggMsg>(p);
+                let (id, epoch, child) = (msg.id, msg.epoch, msg.child);
+                let shape = TreeShape::new(id, node, c.nodes, c.fanout);
+                let step =
+                    c.trees[node].lock().child_arrive(&shape, id, epoch, child, msg.latest_ns);
+                if ctx.resilient() {
+                    // Pull model: the reply to this request is the
+                    // child's release wave, parked until this node's
+                    // release point (driven by the application thread
+                    // in tree_barrier).
+                    let wkey = mailbox::tag(c.base + TREE_WAVE, id);
+                    return match step {
+                        TreeStep::Waiting => Outcome::defer(wkey),
+                        step @ (TreeStep::Up { .. } | TreeStep::Deliver { .. }) => {
+                            // This aggregate completed the local
+                            // subtree: hand the step to the blocked
+                            // application thread over the local
+                            // mailbox (no wire, cannot be lost). The
+                            // deposit is stamped with the join instant
+                            // (max arrival stamp), not ctx.now — which
+                            // aggregate the engine processes last is a
+                            // real-time race, and its service end must
+                            // not leak into virtual time.
+                            let when = match &step {
+                                TreeStep::Up { latest_ns, .. } => *latest_ns,
+                                TreeStep::Deliver { release_ns } => *release_ns,
+                                _ => unreachable!(),
+                            };
+                            let skey = mailbox::tag(c.base + TREE_AGG, id);
+                            mb.deposit(skey, Box::new(step), when);
+                            Outcome::defer(wkey)
+                        }
+                        TreeStep::ResendWave { child: cc, release_ns } => {
+                            // Retried aggregate for a released epoch:
+                            // the original wave reply was lost.
+                            debug_assert_eq!(cc, child);
+                            let wave = TreeWaveMsg { id, epoch, release_ns };
+                            Outcome::reply_not_before(wave, 24, release_ns)
+                        }
+                        TreeStep::Redeliver { .. } => {
+                            unreachable!("child aggregates never redeliver locally")
+                        }
+                    };
+                }
+                match step {
+                    TreeStep::Waiting => {}
+                    TreeStep::Up { parent, latest_ns } => {
+                        let up = TreeAggMsg { id, epoch, child: node, latest_ns };
+                        ctx.post(parent, c.base + TREE_AGG, up, 32);
+                    }
+                    TreeStep::Deliver { release_ns } => {
+                        // Root completion off the final child aggregate:
+                        // wave down, then wake the root's own thread at
+                        // the release instant — not ctx.now, which is a
+                        // real-time race.
+                        c.tree_release(ctx, &shape, id, epoch, release_ns, Some(node));
+                        let tag = mailbox::tag(c.base + BAR_RELEASE, id);
+                        mb.deposit(tag, Box::new(epoch), release_ns);
+                    }
+                    TreeStep::ResendWave { child, release_ns } => {
+                        let wave = TreeWaveMsg { id, epoch, release_ns };
+                        ctx.post_at(child, c.base + TREE_WAVE, wave, 24, release_ns);
+                    }
+                    TreeStep::Redeliver { .. } => {
+                        unreachable!("child aggregates never redeliver locally")
+                    }
+                }
+                Outcome::done()
+            }
+        });
+
+        let c = core.clone();
+        net.register_all(kind_base + TREE_WAVE, move |node| {
+            let c = c.clone();
+            let mb = cluster.network().mailbox(node);
+            move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                debug_assert!(!ctx.resilient(), "resilient waves ride TREE_AGG replies");
+                let msg = downcast::<TreeWaveMsg>(p);
+                let step = c.trees[node].lock().wave(msg.id, msg.epoch, msg.release_ns);
+                match step {
+                    TreeStep::Waiting => {} // duplicate wave, already released
+                    TreeStep::Deliver { release_ns } => {
+                        let shape = TreeShape::new(msg.id, node, c.nodes, c.fanout);
+                        c.tree_release(ctx, &shape, msg.id, msg.epoch, release_ns, None);
+                        let tag = mailbox::tag(c.base + BAR_RELEASE, msg.id);
+                        mb.deposit(tag, Box::new(msg.epoch), ctx.now);
+                    }
+                    _ => unreachable!("a wave either delivers or is a duplicate"),
+                }
+                Outcome::done()
+            }
+        });
+
         core
+    }
+
+    /// The release reached a node's position in the barrier tree:
+    /// forward the wave to every child subtree (departing at the joined
+    /// release time). `trace_root` is the node id when the caller is
+    /// the tree root — only the root traces the release instant.
+    fn tree_release(
+        &self,
+        ctx: &interconnect::HandlerCtx<'_>,
+        shape: &TreeShape,
+        id: u32,
+        epoch: u64,
+        release_ns: u64,
+        trace_root: Option<usize>,
+    ) {
+        if let Some(node) = trace_root {
+            sim::trace::instant_corr(
+                release_ns,
+                node,
+                "hybriddsm",
+                "barrier_release",
+                id as u64,
+                epoch,
+            );
+        }
+        for &child in &shape.children {
+            let wave = TreeWaveMsg { id, epoch, release_ns };
+            ctx.post_at(child, self.base + TREE_WAVE, wave, 24, release_ns);
+        }
     }
 
     /// Bind a per-node handle.
@@ -459,9 +808,33 @@ impl SyncNode {
     /// Wait at global barrier `id`. The epoch commits only once the
     /// release is in hand, so a retried barrier re-arrives under the
     /// same epoch (deduplicated or replayed by the manager).
+    ///
+    /// The fabric's [`cluster::SyncTopology`] picks the protocol: a
+    /// tree topology runs the aggregation/release-wave tree rooted at
+    /// `id % nodes`; anything else (including dissemination, which only
+    /// pays off when notices ride the rounds) uses the central manager.
     pub fn barrier(&self, id: u32) {
         let t0 = self.ctx.clock().now();
         let epoch = self.epochs.lock().get(&id).copied().unwrap_or(0) + 1;
+        if let BarrierTopology::Tree { .. } = self.core.barrier_topo {
+            self.tree_barrier(id, epoch);
+        } else {
+            self.central_barrier(id, epoch);
+        }
+        self.epochs.lock().insert(id, epoch);
+        let now = self.ctx.clock().now();
+        sim::trace::span_corr(
+            t0,
+            now.saturating_sub(t0),
+            self.ctx.rank(),
+            "hybriddsm",
+            "barrier",
+            id as u64,
+            epoch,
+        );
+    }
+
+    fn central_barrier(&self, id: u32, epoch: u64) {
         let mgr = id as usize % self.core.nodes;
         let tag = mailbox::tag(self.core.base + BAR_RELEASE, id);
         if !self.resilient() {
@@ -491,17 +864,91 @@ impl SyncNode {
                 ),
             }
         }
-        self.epochs.lock().insert(id, epoch);
+    }
+
+    /// Tree-barrier arrival. On a plain fabric this is a `TREE_UP`
+    /// message to this node's own handler, which serializes it against
+    /// aggregates and waves, and the release epoch comes back through
+    /// the mailbox. On a resilient fabric the state machine is driven
+    /// from this application thread instead (pull model, mirroring the
+    /// swdsm tree barrier): the subtree aggregate travels as a retried
+    /// `TREE_AGG` request whose deferred reply is this node's release
+    /// wave, and the children's parked replies are discharged here once
+    /// the wave is in hand — every loss-exposed edge is a client-retried
+    /// request, so any lost message heals.
+    fn tree_barrier(&self, id: u32, epoch: u64) {
+        let me = self.ctx.rank();
+        if !self.resilient() {
+            let arr = BarArrive { id, epoch };
+            let tag = mailbox::tag(self.core.base + BAR_RELEASE, id);
+            self.ctx.port().post(me, self.core.base + TREE_UP, arr, 24);
+            let got = downcast::<u64>(self.ctx.port().wait_mailbox(tag));
+            assert_eq!(got, epoch, "tree barrier {id}: epoch mismatch");
+            return;
+        }
+        let shape = TreeShape::new(id, me, self.core.nodes, self.core.fanout);
         let now = self.ctx.clock().now();
-        sim::trace::span_corr(
-            t0,
-            now.saturating_sub(t0),
-            self.ctx.rank(),
-            "hybriddsm",
-            "barrier",
-            id as u64,
-            epoch,
-        );
+        let step = self.core.trees[me].lock().self_arrive(&shape, id, epoch, now);
+        // The completing step always travels through the local mailbox,
+        // even when this thread's own arrival completed the subtree: if
+        // the two completion orders (own-last vs aggregate-last, a
+        // real-time race) took different paths here, only one of them
+        // would pay the mailbox wake-up and virtual time would stop
+        // being reproducible.
+        let skey = mailbox::tag(self.core.base + TREE_AGG, id);
+        match step {
+            TreeStep::Waiting => {}
+            step @ (TreeStep::Up { .. } | TreeStep::Deliver { .. }) => {
+                let when = match &step {
+                    TreeStep::Up { latest_ns, .. } => *latest_ns,
+                    TreeStep::Deliver { release_ns } => *release_ns,
+                    _ => unreachable!(),
+                };
+                self.ctx.port().mailbox().deposit(skey, Box::new(step), when);
+            }
+            _ => unreachable!("tree barrier {id}: own arrival produced an impossible step"),
+        }
+        let step = downcast::<TreeStep>(self.ctx.port().wait_mailbox(skey));
+        let release_ns = match step {
+            TreeStep::Up { parent, latest_ns } => {
+                let msg = TreeAggMsg { id, epoch, child: me, latest_ns };
+                let rep = self
+                    .ctx
+                    .port()
+                    .request_retrying(parent, self.core.base + TREE_AGG, msg, 32)
+                    .unwrap_or_else(|e| {
+                        panic!("sync node {me}: unrecoverable fault at tree barrier {id}: {e}")
+                    });
+                let wave = downcast::<TreeWaveMsg>(rep);
+                assert_eq!(wave.epoch, epoch, "tree barrier {id}: epoch mismatch");
+                match self.core.trees[me].lock().wave(id, epoch, wave.release_ns) {
+                    TreeStep::Deliver { release_ns } => release_ns,
+                    _ => unreachable!("tree barrier {id}: wave did not deliver"),
+                }
+            }
+            TreeStep::Deliver { release_ns } => release_ns,
+            _ => unreachable!("tree barrier {id}: own arrival neither delivered nor went up"),
+        };
+        // Pin the clock to the deterministic join of arrival stamps so
+        // the root (whose release is computed locally, not received off
+        // the wire) leaves the barrier at the same virtual time on
+        // every run.
+        self.ctx.clock().advance_to(release_ns);
+        if shape.parent.is_none() {
+            sim::trace::instant_corr(
+                release_ns,
+                me,
+                "hybriddsm",
+                "barrier_release",
+                id as u64,
+                epoch,
+            );
+        }
+        let wkey = mailbox::tag(self.core.base + TREE_WAVE, id);
+        for &child in &shape.children {
+            let wave = TreeWaveMsg { id, epoch, release_ns };
+            self.ctx.port().complete_deferred(wkey, child, wave, 24, release_ns);
+        }
     }
 }
 
@@ -570,6 +1017,50 @@ mod tests {
             sa.acquire(2);
             sa.release(2);
         });
+    }
+
+    #[test]
+    fn tree_barrier_joins_clocks_across_shapes() {
+        for (nodes, spec) in [(2usize, "tree:2"), (5, "tree:2"), (9, "tree:3"), (8, "scalable")] {
+            let sync: cluster::SyncTopology = spec.parse().unwrap();
+            let cluster = Cluster::new(
+                FabricConfig::builder().nodes(nodes).link(LinkKind::Sci).sync(sync).build(),
+            );
+            let core = SyncCore::install(&cluster, 0);
+            let slowest = (nodes as u64 - 1) * 1_000_000;
+            let (report, _) = cluster.run(|ctx| {
+                let sync = core.node(&ctx);
+                ctx.compute(ctx.rank() as u64 * 1_000_000);
+                for _ in 0..3 {
+                    sync.barrier(1);
+                }
+                assert!(ctx.clock().now() >= slowest, "{spec} x{nodes}");
+            });
+            assert!(report.sim_time_ns >= slowest, "{spec} x{nodes}");
+        }
+    }
+
+    #[test]
+    fn tree_and_central_barriers_coexist_with_locks() {
+        let sync: cluster::SyncTopology = "tree:2".parse().unwrap();
+        let cluster =
+            Cluster::new(FabricConfig::builder().nodes(4).link(LinkKind::Sci).sync(sync).build());
+        let core = SyncCore::install(&cluster, 0);
+        let (_, entries) = cluster.run(|ctx| {
+            let sync = core.node(&ctx);
+            sync.barrier(1);
+            sync.acquire(7);
+            let t = ctx.clock().now();
+            ctx.compute(500_000);
+            sync.release(7);
+            sync.barrier(2);
+            t
+        });
+        let mut sorted = entries.clone();
+        sorted.sort();
+        for w in sorted.windows(2) {
+            assert!(w[1] >= w[0] + 500_000, "critical sections overlap: {entries:?}");
+        }
     }
 
     #[test]

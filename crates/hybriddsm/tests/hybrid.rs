@@ -287,3 +287,50 @@ fn writer_waits_for_reader_batch() {
     });
     assert_eq!(results, vec![1, 1, 1]);
 }
+
+#[test]
+fn tree_barrier_heals_lost_release_waves() {
+    // Mirror of the swdsm heal test for the hybrid tree barrier: with
+    // the root's downlinks and one uplink lossy, lost aggregates and
+    // waves must heal through client retries of the TREE_AGG exchange.
+    // Barrier ids here start at 1, so the tree roots at node 1 (1 % 4)
+    // and its lossy edges are (1, 2), (1, 3) down and (2, 1) up.
+    use interconnect::fault::{FaultPlan, LinkFaults, RetryPolicy};
+    let lossy = LinkFaults { drop_ppm: 300_000, ..LinkFaults::default() };
+    let mut plan = FaultPlan::seeded(11);
+    plan.per_link = vec![((1, 2), lossy), ((1, 3), lossy), ((2, 1), lossy)];
+    let sync = cluster::SyncTopology {
+        barrier: cluster::BarrierTopology::Tree { fanout: 2 },
+        locks: cluster::LockTopology::Manager,
+        notices: cluster::NoticeWire::Explicit,
+    };
+    let c = Cluster::new(
+        FabricConfig::builder()
+            .nodes(4)
+            .link(LinkKind::Ethernet)
+            .sync(sync)
+            .chaos(plan)
+            .resilience(interconnect::Resilience {
+                retry: RetryPolicy { max_attempts: 24, ..RetryPolicy::default() },
+                ..interconnect::Resilience::default()
+            })
+            .build(),
+    );
+    let dsm = HybridDsm::install(&c, HybridConfig::default());
+    let (report, vals) = c.run(|ctx| {
+        let node = dsm.node(ctx);
+        let a = node.alloc(4 * 8, Distribution::OnNode(0));
+        node.barrier(1);
+        for round in 0..6u64 {
+            node.write_u64(a.add(node.rank() as u32 * 8), round * 100 + node.rank() as u64);
+            node.barrier(1);
+        }
+        (0..4u32).map(|r| node.read_u64(a.add(r * 8))).collect::<Vec<_>>()
+    });
+    for (rank, vs) in vals.iter().enumerate() {
+        assert_eq!(vs, &[500, 501, 502, 503], "rank {rank} read a stale grid");
+    }
+    let stat = |k: &str| report.net_stats.get(k).copied().unwrap_or(0);
+    assert!(stat("faults_dropped") > 0, "the plan never dropped anything");
+    assert!(stat("retries") > 0, "lost tree traffic was never retried");
+}

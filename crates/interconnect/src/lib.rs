@@ -36,6 +36,7 @@ pub mod mailbox;
 pub mod message;
 pub mod network;
 pub mod router;
+pub mod topology;
 
 pub use engine::EngineMode;
 pub use error::{DispatchError, RequestError};
@@ -44,3 +45,4 @@ pub use mailbox::Mailbox;
 pub use message::{downcast, try_downcast, HandlerCtx, NodeId, Outcome, Page, Payload};
 pub use network::{Network, NetworkBuilder, NodePort};
 pub use router::Router;
+pub use topology::{BarrierTopology, LockTopology, NoticeWire, SyncTopology};

@@ -23,7 +23,7 @@ use crate::message::{HandlerCtx, NodeId, Outcome, Payload};
 
 use crate::router::Router;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use sim::{Bus, Histogram, LinkCost, StatSet, VirtualClock};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -186,6 +186,10 @@ pub struct NetShared {
     /// the same requester replaces its entry (the abandoned channel is
     /// harmless); teardown fails whatever is left with `FabricStopped`.
     deferred: Mutex<HashMap<(NodeId, u64, NodeId), DeferredReply>>,
+    /// Signalled whenever a reply obligation is parked in `deferred`:
+    /// an application thread racing ahead of the engine's park
+    /// registration waits here ([`NetShared::complete_deferred_wait`]).
+    deferred_cv: Condvar,
 }
 
 /// A parked reply obligation: everything `send_reply` needs, captured
@@ -283,6 +287,47 @@ impl NetShared {
             .unwrap_or_else(|| {
                 panic!("node {node}: no deferred reply parked under key {key:#x} for node {who}")
             });
+        let ready_ns = parked.ready_ns.max(not_before_ns);
+        send_reply(
+            self,
+            node,
+            who,
+            parked.kind,
+            parked.tx,
+            payload,
+            wire_bytes,
+            ready_ns,
+            parked.deadline_ns,
+        );
+    }
+
+    /// Like [`NetShared::complete_deferred`], but blocks until the park
+    /// exists instead of panicking. Application threads race the engine
+    /// here: a handler may wake the app thread (mailbox deposit, state
+    /// machine update) *before* returning the [`Outcome::defer`] that
+    /// registers the park, so the discharge can legitimately arrive a
+    /// few instructions early. Stops waiting if the fabric shuts down.
+    pub(crate) fn complete_deferred_wait(
+        &self,
+        node: NodeId,
+        key: u64,
+        who: NodeId,
+        payload: Payload,
+        wire_bytes: u64,
+        not_before_ns: u64,
+    ) {
+        let parked = {
+            let mut map = self.deferred.lock();
+            loop {
+                if let Some(p) = map.remove(&(node, key, who)) {
+                    break p;
+                }
+                if self.stopped.load(Ordering::Acquire) {
+                    return;
+                }
+                self.deferred_cv.wait(&mut map);
+            }
+        };
         let ready_ns = parked.ready_ns.max(not_before_ns);
         send_reply(
             self,
@@ -580,6 +625,7 @@ impl NetworkBuilder {
             bp_waits: AtomicU64::new(0),
             next_req_id: AtomicU64::new(0),
             deferred: Mutex::new(HashMap::new()),
+            deferred_cv: Condvar::new(),
         });
 
         let drains = receivers.clone();
@@ -768,6 +814,7 @@ fn process_envelope(shared: &NetShared, node: NodeId, env: Envelope) {
                     (node, key, src),
                     DeferredReply { tx, kind, ready_ns: end, deadline_ns },
                 );
+                shared.deferred_cv.notify_all();
                 return;
             }
             match (reply, out.reply) {
@@ -936,6 +983,9 @@ impl Drop for Network {
     fn drop(&mut self) {
         // New sends observe the flag and fail fast with FabricStopped.
         self.shared.stopped.store(true, Ordering::Release);
+        // Wake any app thread blocked waiting for a park that will
+        // never be registered now.
+        self.shared.deferred_cv.notify_all();
         match &self.shared.ingress {
             Ingress::Threads(inboxes) => {
                 for tx in inboxes {
@@ -1018,6 +1068,31 @@ impl NodePort {
     /// resilient message shapes.
     pub fn resilience(&self) -> Option<Resilience> {
         self.shared.resilience
+    }
+
+    /// Answer a request one of this node's handlers parked with
+    /// [`crate::Outcome::defer`] under `key` by requester `who`, from
+    /// application context. The reply departs no earlier than
+    /// `not_before_ns` (and never before the deferred request's own
+    /// service completion). Blocks until the park exists: the handler
+    /// that wakes this thread runs *before* the engine registers its
+    /// [`crate::Outcome::defer`], so an early discharge waits the few
+    /// instructions until the park lands rather than misfiring.
+    ///
+    /// This is the application-thread twin of
+    /// [`crate::HandlerCtx::complete_deferred`]: protocols whose
+    /// release point is driven by a blocking exchange on the
+    /// application thread (e.g. a tree barrier pulling its wave from
+    /// the parent) discharge their children's parked replies here.
+    pub fn complete_deferred<T: std::any::Any + Send>(
+        &self,
+        key: u64,
+        who: NodeId,
+        value: T,
+        wire_bytes: u64,
+        not_before_ns: u64,
+    ) {
+        self.shared.complete_deferred_wait(self.node, key, who, Box::new(value), wire_bytes, not_before_ns);
     }
 
     /// Block on the mailbox and advance the clock to the wake-up's

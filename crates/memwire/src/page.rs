@@ -92,6 +92,14 @@ impl PageTable {
         self.pages.remove(&id).is_some()
     }
 
+    /// Ids of every cached page, sorted (deterministic iteration for
+    /// digest-candidate scans).
+    pub fn cached_pages(&self) -> Vec<PageId> {
+        let mut v: Vec<PageId> = self.pages.keys().copied().collect();
+        v.sort();
+        v
+    }
+
     /// Ids of all pages currently writable (i.e. dirty this interval).
     pub fn writable_pages(&self) -> Vec<PageId> {
         let mut v: Vec<PageId> = self

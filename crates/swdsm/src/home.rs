@@ -17,9 +17,15 @@ use std::collections::HashMap;
 /// Serving a remote fetch ([`HomeStore::snapshot`]) is a reference-count
 /// bump, not a page copy; local mutation copies-on-write only while a
 /// snapshot is actually in flight.
+/// Each page also carries a *modification counter* ([`HomeStore::version`]),
+/// bumped on every mutating operation. Fetch replies cache the counter
+/// alongside the copy; the digest-validation round compares cached
+/// counters against current ones to distinguish genuinely stale copies
+/// from Bloom false positives.
 #[derive(Debug, Default)]
 pub struct HomeStore {
     pages: HashMap<PageId, Page>,
+    versions: HashMap<PageId, u64>,
 }
 
 impl HomeStore {
@@ -30,8 +36,10 @@ impl HomeStore {
 
     /// Writable view of the master copy of `page`, created zero-filled
     /// on first touch. Copies on write only if a snapshot of the page is
-    /// still outstanding.
+    /// still outstanding. Bumps the page's modification counter (every
+    /// caller mutates).
     pub fn page_mut(&mut self, page: PageId) -> &mut [u8] {
+        *self.versions.entry(page).or_insert(0) += 1;
         self.pages.entry(page).or_insert_with(|| Page::zeroed(PAGE_SIZE)).make_mut()
     }
 
@@ -49,7 +57,13 @@ impl HomeStore {
     /// Replace the master copy wholesale (whole-page write-back mode).
     pub fn replace(&mut self, page: PageId, bytes: Page) {
         assert_eq!(bytes.len(), PAGE_SIZE);
+        *self.versions.entry(page).or_insert(0) += 1;
         self.pages.insert(page, bytes);
+    }
+
+    /// The page's modification counter (0 if never written).
+    pub fn version(&self, page: PageId) -> u64 {
+        self.versions.get(&page).copied().unwrap_or(0)
     }
 
     /// Read `out.len()` bytes at `offset` within `page`.
@@ -130,6 +144,25 @@ mod tests {
         let mut now = [0u8; 1];
         h.read(pid(4), 0, &mut now);
         assert_eq!(now, [2]);
+    }
+
+    #[test]
+    fn versions_bump_on_writes_not_reads() {
+        let mut h = HomeStore::new();
+        assert_eq!(h.version(pid(6)), 0);
+        let mut out = [0u8; 1];
+        h.read(pid(6), 0, &mut out);
+        let _ = h.snapshot(pid(6));
+        assert_eq!(h.version(pid(6)), 0, "reads and snapshots must not bump");
+        h.write(pid(6), 0, &[1]);
+        assert_eq!(h.version(pid(6)), 1);
+        let twin = vec![0u8; PAGE_SIZE];
+        let mut cur = twin.clone();
+        cur[0] = 2;
+        h.apply_diff(pid(6), &Diff::between(&twin, &cur));
+        assert_eq!(h.version(pid(6)), 2);
+        h.replace(pid(6), Page::zeroed(PAGE_SIZE));
+        assert_eq!(h.version(pid(6)), 3);
     }
 
     #[test]

@@ -25,3 +25,38 @@ pub const PUT_PAGE: u32 = 0x107;
 pub const DISS_BASE: u32 = 0x140;
 /// Exclusive upper bound of the dissemination kind range (32 rounds).
 pub const DISS_END: u32 = 0x160;
+/// Tree barrier: a node's own arrival, sent to its *own* handler so all
+/// tree state transitions are handler-serialized (request on resilient
+/// fabrics, one-way post otherwise).
+pub const TREE_UP: u32 = 0x161;
+/// Tree barrier: a child posts its subtree's aggregated intervals to
+/// its parent (one-way).
+pub const TREE_AGG: u32 = 0x162;
+/// Tree barrier: a parent posts the release wave (the complement of the
+/// receiving subtree's intervals) down to a child (one-way).
+pub const TREE_WAVE: u32 = 0x163;
+/// Lock-token queue: the application starts an acquire by messaging its
+/// *own* handler (serializes the holder slot against in-flight
+/// successor notifications).
+pub const TOK_ACQ_LOCAL: u32 = 0x164;
+/// Lock-token queue: enqueue at the lock's manager (one-way).
+pub const TOK_ACQ: u32 = 0x165;
+/// Lock-token queue: the token (with its notices) passes to the next
+/// holder — from the previous holder directly, or from the manager.
+pub const TOK_PASS: u32 = 0x166;
+/// Lock-token queue: the manager names the new queue tail's predecessor
+/// its successor (one-way to the predecessor).
+pub const TOK_SET_SUCC: u32 = 0x167;
+/// Lock-token queue: the application releases by messaging its own
+/// handler, which forwards or returns the token.
+pub const TOK_REL: u32 = 0x168;
+/// Lock-token queue: a holder with no known successor returns the token
+/// to the manager (one-way).
+pub const TOK_RETURN: u32 = 0x169;
+/// Lock-token queue: a node that received a successor notification for
+/// a tenure it already ended tells the manager to forward the (parked
+/// or in-flight) token to that successor.
+pub const TOK_CLAIM: u32 = 0x16A;
+/// Digest fallback round: check cached page versions against the home
+/// (request → version vector).
+pub const VALIDATE: u32 = 0x16B;

@@ -1,13 +1,13 @@
 //! The per-node DSM engine: access functions, interval flushing,
 //! synchronization, and the cluster-shared protocol state.
 
-use crate::barriermgr::{BarrierMgr, BarrierStep};
+use crate::barriermgr::{BarrierMgr, BarrierStep, TreeBarrier, TreeStep};
 
 use crate::home::HomeStore;
 use crate::kinds;
-use crate::lockmgr::{Acquire, LockMgr};
+use crate::lockmgr::{Acquire, LockMgr, TokHolderStep, TokMgrStep};
 use crate::proto::*;
-use cluster::{Cluster, NodeCtx};
+use cluster::{BarrierTopology, Cluster, LockTopology, NodeCtx, NoticeWire, SyncTopology};
 use interconnect::{downcast, try_downcast, Outcome, Page, RequestError};
 use memwire::{
     CachedPage, Diff, Distribution, GlobalAddr, Interval, PageId, PageTable, RegionDir,
@@ -91,22 +91,6 @@ pub struct DsmConfig {
     pub home_migration: bool,
     /// Consecutive same-writer diffs before a page migrates.
     pub migration_threshold: u32,
-    /// Barrier algorithm: the centralized manager (default, JiaJia's
-    /// scheme) or a dissemination barrier (log2(n) pairwise rounds —
-    /// no manager hotspot, but no quiescent point for home migration,
-    /// so migration stays off under dissemination).
-    pub barrier_algo: BarrierAlgo,
-}
-
-/// Selectable barrier algorithms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum BarrierAlgo {
-    /// Arrivals gather at `id % nodes`; the manager broadcasts releases.
-    #[default]
-    Central,
-    /// log2(n) rounds of pairwise exchanges, each carrying the senders'
-    /// accumulated write notices.
-    Dissemination,
 }
 
 impl Default for DsmConfig {
@@ -123,21 +107,26 @@ impl Default for DsmConfig {
             cache_pages: 0,
             home_migration: false,
             migration_threshold: 2,
-            barrier_algo: BarrierAlgo::default(),
         }
     }
 }
 
 /// Cluster-shared state of the software DSM: home stores, lock and
-/// barrier managers, the region directory, and per-node statistics.
+/// barrier state for whichever [`SyncTopology`] the fabric selected
+/// (central managers, token-queue holders, tree-barrier slots), the
+/// region directory, and per-node statistics.
 pub struct SwDsm {
     cfg: DsmConfig,
+    /// Synchronization topology, taken from the fabric config at
+    /// install time (see `FabricConfig::builder().sync(..)`).
+    sync: SyncTopology,
     nodes: usize,
     machine: MachineCost,
     dir: RegionDir,
     homes: Vec<Mutex<HomeStore>>,
     lockmgrs: Vec<Arc<Mutex<LockMgr>>>,
     barriermgrs: Vec<Mutex<BarrierMgr>>,
+    treebarriers: Vec<Mutex<TreeBarrier>>,
     stats: Vec<StatSet>,
     /// Pages whose home moved away from their distribution-derived node
     /// (the migration directory; real JiaJia piggybacks it on barriers).
@@ -176,6 +165,12 @@ pub const STAT_NAMES: &[&str] = &[
     "reads",
     "writes",
     "retries",
+    "sync_msgs",
+    "sync_records",
+    "digest_hits",
+    "digest_misses",
+    "token_forwards",
+    "tree_waves",
 ];
 
 impl SwDsm {
@@ -183,20 +178,49 @@ impl SwDsm {
     /// on every node. Call once, before [`Cluster::run`].
     pub fn install(cluster: &Cluster, cfg: DsmConfig) -> Arc<SwDsm> {
         let nodes = cluster.config().nodes;
+        let sync = cluster.config().sync;
+        let resilient = cluster.config().resilience.is_some();
         assert!(
-            cluster.config().resilience.is_none()
-                || cfg.barrier_algo == BarrierAlgo::Central,
+            !resilient || sync.barrier != BarrierTopology::Dissemination,
             "dissemination barriers have no retry protocol: \
-             use BarrierAlgo::Central on a fabric with a resilience policy"
+             use a Central or Tree barrier on a fabric with a resilience policy"
         );
+        assert!(
+            !resilient || sync.locks == LockTopology::Manager,
+            "the lock-token queue has no retry protocol: \
+             use LockTopology::Manager on a fabric with a resilience policy"
+        );
+        let digest = !matches!(sync.notices, NoticeWire::Explicit);
+        assert!(
+            !digest || sync.barrier != BarrierTopology::Dissemination,
+            "write-notice digests do not ride dissemination rounds: \
+             use a Central or Tree barrier with NoticeWire::Digest"
+        );
+        assert!(
+            !digest || !cfg.home_migration,
+            "home migration resets page version counters at the new home, \
+             which would defeat digest validation: disable one of the two"
+        );
+        let fanout = match sync.barrier {
+            BarrierTopology::Tree { fanout } => fanout,
+            _ => 2,
+        };
+        let digest_runs = match sync.notices {
+            NoticeWire::Explicit => None,
+            NoticeWire::Digest { max_runs } => Some(max_runs),
+        };
         let dsm = Arc::new(SwDsm {
             cfg,
+            sync,
             nodes,
             machine: cluster.config().cost.machine,
             dir: RegionDir::new(),
             homes: (0..nodes).map(|_| Mutex::new(HomeStore::new())).collect(),
             lockmgrs: (0..nodes).map(|_| Arc::new(Mutex::new(LockMgr::new()))).collect(),
             barriermgrs: (0..nodes).map(|_| Mutex::new(BarrierMgr::new())).collect(),
+            treebarriers: (0..nodes)
+                .map(|me| Mutex::new(TreeBarrier::new(me, nodes, fanout, digest_runs)))
+                .collect(),
             stats: (0..nodes).map(|_| StatSet::new(STAT_NAMES)).collect(),
             home_override: parking_lot::RwLock::new(HashMap::new()),
             migration: (0..nodes).map(|_| Mutex::new(MigrationTrack::default())).collect(),
@@ -215,6 +239,93 @@ impl SwDsm {
     /// The protocol configuration.
     pub fn config(&self) -> &DsmConfig {
         &self.cfg
+    }
+
+    /// The synchronization topology the DSM was installed with.
+    pub fn sync(&self) -> SyncTopology {
+        self.sync
+    }
+
+    /// The digest run cutoff, when write notices travel as digests.
+    fn digest_runs(&self) -> Option<usize> {
+        match self.sync.notices {
+            NoticeWire::Explicit => None,
+            NoticeWire::Digest { max_runs } => Some(max_runs),
+        }
+    }
+
+    /// Count one cross-node synchronization-protocol message carrying
+    /// `records` notice records (self-sends are free and not counted).
+    fn count_sync(&self, node: usize, dst: usize, records: u64) {
+        if node != dst {
+            self.stats[node].add("sync_msgs", 1);
+            self.stats[node].add("sync_records", records);
+        }
+    }
+
+    /// Record that barrier `id` released `epoch` at `node` and, the
+    /// first time that epoch is seen, clear the redundant lock-notice
+    /// history (a barrier makes all prior writes visible everywhere).
+    /// Replayed releases (same epoch again) must not clear notices that
+    /// accumulated after the original release. Returns whether the
+    /// release was fresh.
+    fn note_release(&self, node: usize, id: u32, epoch: u64) -> bool {
+        let fresh = {
+            let mut seen = self.release_seen[node].lock();
+            let e = seen.entry(id).or_insert(0);
+            if epoch > *e {
+                *e = epoch;
+                true
+            } else {
+                false
+            }
+        };
+        if fresh {
+            self.lockmgrs[node].lock().clear_notices();
+        }
+        fresh
+    }
+
+    /// The notice set a central-barrier release carries to `receiver`:
+    /// the full per-writer directory under explicit notices (receivers
+    /// skip their own entry), or the digest of everyone *else's*
+    /// intervals — digests drop writer identity, so the manager must
+    /// exclude the receiver's own writes before encoding.
+    fn release_for(&self, intervals: &[(usize, Interval)], receiver: usize) -> NoticeSet {
+        match self.digest_runs() {
+            None => NoticeSet::Explicit(intervals.to_vec()),
+            Some(runs) => NoticeSet::encode(
+                intervals.iter().filter(|(w, _)| *w != receiver).cloned().collect(),
+                Some(runs),
+            ),
+        }
+    }
+
+    /// Emit the token-pass for `lock` from `from` to `to` (direct
+    /// holder→successor forward, or a manager grant). The grant instant
+    /// uses the same `(grantee, lock)` correlation id as the central
+    /// manager's, so the analyzer chains token handoffs identically.
+    fn send_token_pass(
+        &self,
+        ctx: &interconnect::HandlerCtx<'_>,
+        from: usize,
+        lock: u32,
+        to: usize,
+        notices: Vec<(usize, Interval)>,
+    ) {
+        let corr = ((to as u64 + 1) << 32) | (lock as u64 + 1);
+        sim::trace::instant_corr(ctx.now, from, "swdsm", "lock_grant", lock as u64, corr);
+        let records = notices.iter().map(|(_, iv)| iv.notices.len() as u64).sum();
+        let msg = TokPass { lock, notices };
+        let bytes = msg.wire_bytes();
+        self.count_sync(from, to, records);
+        ctx.post_tagged(
+            to,
+            kinds::TOK_PASS,
+            msg,
+            bytes,
+            interconnect::mailbox::tag(kinds::LOCK_GRANT, lock),
+        );
     }
 
     /// Lock-acquire latency histogram (shared storage: the returned
@@ -307,10 +418,13 @@ impl SwDsm {
             move |_ctx: &interconnect::HandlerCtx<'_>, _src, p| {
                 let req = try_downcast::<GetPage>(p)?;
                 debug_assert_eq!(dsm.home_of(req.page), node, "fetch sent to non-home");
-                let bytes = dsm.homes[node].lock().snapshot(req.page);
+                let (bytes, version) = {
+                    let mut home = dsm.homes[node].lock();
+                    (home.snapshot(req.page), home.version(req.page))
+                };
                 Ok(Outcome::reply_costing(
-                    PageData { bytes },
-                    PAGE_SIZE as u64 + 16,
+                    PageData { bytes, version },
+                    PAGE_SIZE as u64 + 24,
                     dsm.cfg.page_copy_ns,
                 ))
             }
@@ -455,8 +569,6 @@ impl SwDsm {
                         // corr = epoch ties the release to the matching
                         // client-side barrier spans.
                         sim::trace::instant_corr(release_ns, node, "swdsm", "barrier_release", arr.id as u64, epoch);
-                        let rel = BarrierRelease { id: arr.id, epoch, intervals };
-                        let bytes = rel.wire_bytes() + moved * 16;
                         if ctx.resilient() {
                             // Pure request/reply rendezvous: every earlier
                             // arrival parked its reply channel; the release
@@ -464,18 +576,30 @@ impl SwDsm {
                             // takes the release as its own reply. No
                             // broadcast exists for a retried arrival to
                             // race, so the schedule is reproducible.
-                            for &(who, _) in &rel.intervals {
+                            for &(who, _) in &intervals {
                                 if who != arr.who {
-                                    ctx.complete_deferred(tag, who, rel.clone(), bytes, release_ns);
+                                    let notices = dsm.release_for(&intervals, who);
+                                    dsm.count_sync(node, who, notices.records());
+                                    let rel = BarrierRelease { id: arr.id, epoch, notices };
+                                    let bytes = rel.wire_bytes() + moved * 16;
+                                    ctx.complete_deferred(tag, who, rel, bytes, release_ns);
                                 }
                             }
+                            let notices = dsm.release_for(&intervals, arr.who);
+                            dsm.count_sync(node, arr.who, notices.records());
+                            let rel = BarrierRelease { id: arr.id, epoch, notices };
+                            let bytes = rel.wire_bytes() + moved * 16;
                             return Outcome::reply_not_before(rel, bytes, release_ns);
                         }
                         for dst in 0..dsm.nodes {
+                            let notices = dsm.release_for(&intervals, dst);
+                            dsm.count_sync(node, dst, notices.records());
+                            let rel = BarrierRelease { id: arr.id, epoch, notices };
+                            let bytes = rel.wire_bytes() + moved * 16;
                             ctx.post_tagged_at(
                                 dst,
                                 kinds::BARRIER_RELEASE,
-                                rel.clone(),
+                                rel,
                                 bytes,
                                 tag,
                                 release_ns,
@@ -486,7 +610,9 @@ impl SwDsm {
                         // A retried arrival for an epoch that already
                         // released: the arriver's release reply was lost.
                         // Answer with the cached release.
-                        let rel = BarrierRelease { id: arr.id, epoch, intervals };
+                        let notices = dsm.release_for(&intervals, arr.who);
+                        dsm.count_sync(node, arr.who, notices.records());
+                        let rel = BarrierRelease { id: arr.id, epoch, notices };
                         let bytes = rel.wire_bytes();
                         return Outcome::reply_not_before(rel, bytes, release_ns);
                     }
@@ -523,28 +649,416 @@ impl SwDsm {
             let mailbox = net.mailbox(node);
             move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
                 let rel = downcast::<BarrierRelease>(p);
-                // A barrier makes all prior writes visible everywhere;
-                // notice history on locks managed here is now redundant.
-                // Replayed releases (same epoch again) must not clear
-                // notices that accumulated after the original broadcast.
-                let fresh = {
-                    let mut seen = dsm.release_seen[node].lock();
-                    let e = seen.entry(rel.id).or_insert(0);
-                    if rel.epoch > *e {
-                        *e = rel.epoch;
-                        true
-                    } else {
-                        false
-                    }
-                };
-                if fresh {
-                    dsm.lockmgrs[node].lock().clear_notices();
-                }
+                dsm.note_release(node, rel.id, rel.epoch);
                 let tag = interconnect::mailbox::tag(kinds::BARRIER_RELEASE, rel.id);
                 mailbox.deposit(tag, Box::new(rel), ctx.now);
                 Outcome::done()
             }
         });
+
+        // ---- tree barrier ------------------------------------------------
+        //
+        // All three kinds drive the same per-node TreeBarrier state
+        // machine. On a plain fabric the application's own arrival
+        // travels as a TREE_UP message to the node itself, aggregates
+        // and waves are one-way posts, and the release lands in the
+        // mailbox. On a resilient fabric only TREE_AGG is used, as a
+        // retried *request* from the child's application thread whose
+        // (deferred) reply is that child's release wave — fire-and-
+        // forget tree edges cannot heal, because a parked reply has no
+        // client-side deadline (see [`DsmNode::tree_barrier`]).
+
+        // A node's own arrival (plain fabrics only).
+        let dsm = self.clone();
+        net.register_all(kinds::TREE_UP, move |node| {
+            let dsm = dsm.clone();
+            let mailbox = net.mailbox(node);
+            move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                debug_assert!(!ctx.resilient(), "resilient tree arrivals stay on the app thread");
+                let arr = downcast::<BarrierArrive>(p);
+                let step = dsm.treebarriers[node].lock().self_arrive(
+                    arr.id,
+                    arr.epoch,
+                    arr.interval,
+                    ctx.now,
+                );
+                let tag = interconnect::mailbox::tag(kinds::BARRIER_RELEASE, arr.id);
+                match step {
+                    TreeStep::Waiting => {}
+                    TreeStep::Up { parent, latest_ns, agg } => {
+                        dsm.send_tree_agg(ctx, node, arr.id, arr.epoch, parent, latest_ns, agg);
+                    }
+                    TreeStep::Deliver { release_ns, own, child_waves } => {
+                        // Only the root completes from its own arrival
+                        // without an incoming wave. The deposit is
+                        // stamped with the release instant, not
+                        // ctx.now: which input completes the slot is a
+                        // real-time race that must not leak into
+                        // virtual time.
+                        let rel = dsm.tree_release(
+                            ctx, node, arr.id, arr.epoch, release_ns, own, child_waves, true,
+                        );
+                        mailbox.deposit(tag, Box::new(rel), release_ns);
+                    }
+                    TreeStep::Redeliver { release_ns, own } => {
+                        let _ = release_ns;
+                        let rel = BarrierRelease { id: arr.id, epoch: arr.epoch, notices: own };
+                        mailbox.deposit(tag, Box::new(rel), ctx.now);
+                    }
+                    TreeStep::ResendWave { .. } => {
+                        unreachable!("self-arrival never resends a child wave")
+                    }
+                }
+                Outcome::done()
+            }
+        });
+
+        // A child's subtree aggregate.
+        let dsm = self.clone();
+        net.register_all(kinds::TREE_AGG, move |node| {
+            let dsm = dsm.clone();
+            let mailbox = net.mailbox(node);
+            move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                let msg = downcast::<TreeAgg>(p);
+                let (id, epoch, child) = (msg.id, msg.epoch, msg.child);
+                let step = dsm.treebarriers[node].lock().child_arrive(
+                    msg.id,
+                    msg.epoch,
+                    msg.child,
+                    msg.latest_ns,
+                    msg.agg,
+                );
+                if ctx.resilient() {
+                    // Pull model: the reply to this request is the
+                    // child's release wave, parked until this node's
+                    // release point (driven by the application thread
+                    // in tree_barrier).
+                    let wkey = interconnect::mailbox::tag(kinds::TREE_WAVE, id);
+                    return match step {
+                        TreeStep::Waiting => Outcome::defer(wkey),
+                        step @ (TreeStep::Up { .. } | TreeStep::Deliver { .. }) => {
+                            // This aggregate completed the local
+                            // subtree: hand the step to the blocked
+                            // application thread over the local
+                            // mailbox (no wire, cannot be lost). The
+                            // deposit is stamped with the join instant
+                            // (max arrival stamp), not ctx.now — which
+                            // aggregate the engine processes last is a
+                            // real-time race, and its service end must
+                            // not leak into virtual time.
+                            let when = match &step {
+                                TreeStep::Up { latest_ns, .. } => *latest_ns,
+                                TreeStep::Deliver { release_ns, .. } => *release_ns,
+                                _ => unreachable!(),
+                            };
+                            let skey = interconnect::mailbox::tag(kinds::TREE_AGG, id);
+                            mailbox.deposit(skey, Box::new(step), when);
+                            Outcome::defer(wkey)
+                        }
+                        TreeStep::ResendWave { child: c, release_ns, wave } => {
+                            // Retried aggregate for a released epoch:
+                            // the original wave reply was lost.
+                            debug_assert_eq!(c, child);
+                            dsm.stats[node].add("tree_waves", 1);
+                            dsm.count_sync(node, child, wave.records());
+                            let rep = TreeWave { id, epoch, release_ns, wave };
+                            let bytes = rep.wire_bytes();
+                            Outcome::reply_not_before(rep, bytes, release_ns)
+                        }
+                        TreeStep::Redeliver { .. } => {
+                            unreachable!("child aggregates never redeliver locally")
+                        }
+                    };
+                }
+                match step {
+                    TreeStep::Waiting => {}
+                    TreeStep::Up { parent, latest_ns, agg } => {
+                        dsm.send_tree_agg(ctx, node, msg.id, msg.epoch, parent, latest_ns, agg);
+                    }
+                    TreeStep::Deliver { release_ns, own, child_waves } => {
+                        // Root completion off the final child aggregate:
+                        // release, then wake the root's own application
+                        // thread (awaiting the mailbox) at the release
+                        // instant — not ctx.now, which depends on the
+                        // real-time order the engine drained arrivals.
+                        let rel = dsm.tree_release(
+                            ctx, node, msg.id, msg.epoch, release_ns, own, child_waves, true,
+                        );
+                        let tag = interconnect::mailbox::tag(kinds::BARRIER_RELEASE, msg.id);
+                        mailbox.deposit(tag, Box::new(rel), release_ns);
+                    }
+                    TreeStep::Redeliver { .. } => {
+                        unreachable!("child aggregates never redeliver locally")
+                    }
+                    TreeStep::ResendWave { child, release_ns, wave } => {
+                        dsm.send_tree_wave(ctx, node, msg.id, msg.epoch, release_ns, child, wave, 0);
+                    }
+                }
+                Outcome::done()
+            }
+        });
+
+        // The parent's release wave (plain fabrics only; resilient
+        // waves ride TREE_AGG replies).
+        let dsm = self.clone();
+        net.register_all(kinds::TREE_WAVE, move |node| {
+            let dsm = dsm.clone();
+            let mailbox = net.mailbox(node);
+            move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                debug_assert!(!ctx.resilient(), "resilient waves ride TREE_AGG replies");
+                let msg = downcast::<TreeWave>(p);
+                let step = dsm.treebarriers[node].lock().wave(
+                    msg.id,
+                    msg.epoch,
+                    msg.release_ns,
+                    msg.wave,
+                );
+                match step {
+                    TreeStep::Waiting => {} // duplicate wave, already released
+                    TreeStep::Deliver { release_ns, own, child_waves } => {
+                        let rel = dsm.tree_release(
+                            ctx, node, msg.id, msg.epoch, release_ns, own, child_waves, false,
+                        );
+                        let tag = interconnect::mailbox::tag(kinds::BARRIER_RELEASE, msg.id);
+                        mailbox.deposit(tag, Box::new(rel), ctx.now);
+                    }
+                    other => unreachable!("wave produced {other:?}"),
+                }
+                Outcome::done()
+            }
+        });
+
+        // ---- lock-token queue --------------------------------------------
+
+        // The application's acquire, bounced off its own handler so the
+        // holder slot is only ever touched handler-side.
+        let dsm = self.clone();
+        net.register_all(kinds::TOK_ACQ_LOCAL, move |node| {
+            let dsm = dsm.clone();
+            move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                let req = downcast::<TokAcquireLocal>(p);
+                let seq = dsm.lockmgrs[node].lock().tok_begin_acquire(req.lock);
+                let mgr = req.lock as usize % dsm.nodes;
+                dsm.count_sync(node, mgr, 0);
+                ctx.post(mgr, kinds::TOK_ACQ, TokAcquire { lock: req.lock, who: node, seq }, 24);
+                Outcome::done()
+            }
+        });
+
+        // Enqueue at the manager: pass the parked token, or chain the
+        // new tail behind the previous one.
+        let dsm = self.clone();
+        net.register_all(kinds::TOK_ACQ, move |node| {
+            let dsm = dsm.clone();
+            move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                let req = downcast::<TokAcquire>(p);
+                match dsm.lockmgrs[node].lock().tok_acquire(req.lock, req.who, req.seq) {
+                    TokMgrStep::Pass { to, notices } => {
+                        dsm.send_token_pass(ctx, node, req.lock, to, notices);
+                    }
+                    TokMgrStep::SetSucc { prev, for_seq, succ } => {
+                        dsm.stats[succ].add("lock_queued", 1);
+                        dsm.count_sync(node, prev, 0);
+                        ctx.post(
+                            prev,
+                            kinds::TOK_SET_SUCC,
+                            TokSetSucc { lock: req.lock, succ, for_seq },
+                            24,
+                        );
+                    }
+                }
+                Outcome::done()
+            }
+        });
+
+        // The token arrives: hand its notices to the waiting
+        // application through the same mailbox tag central grants use.
+        let dsm = self.clone();
+        net.register_all(kinds::TOK_PASS, move |node| {
+            let dsm = dsm.clone();
+            let mailbox = net.mailbox(node);
+            move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                let msg = downcast::<TokPass>(p);
+                let notices = dsm.lockmgrs[node].lock().tok_pass_received(msg.lock, msg.notices);
+                let tag = interconnect::mailbox::tag(kinds::LOCK_GRANT, msg.lock);
+                mailbox.deposit(tag, Box::new(LockGrant { lock: msg.lock, notices }), ctx.now);
+                Outcome::done()
+            }
+        });
+
+        // The manager names a successor; a tenure that already ended
+        // claims the (returned or in-flight) token back from the manager.
+        let dsm = self.clone();
+        net.register_all(kinds::TOK_SET_SUCC, move |node| {
+            let dsm = dsm.clone();
+            move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                let msg = downcast::<TokSetSucc>(p);
+                if let Some(step) =
+                    dsm.lockmgrs[node].lock().tok_set_succ(msg.lock, msg.succ, msg.for_seq)
+                {
+                    match step {
+                        TokHolderStep::Claim { succ } => {
+                            let mgr = msg.lock as usize % dsm.nodes;
+                            dsm.count_sync(node, mgr, 0);
+                            ctx.post(mgr, kinds::TOK_CLAIM, TokClaim { lock: msg.lock, succ }, 16);
+                        }
+                        other => unreachable!("set_succ produced {other:?}"),
+                    }
+                }
+                Outcome::done()
+            }
+        });
+
+        // The application's release, bounced off its own handler:
+        // forward the token straight to the successor, or return it.
+        let dsm = self.clone();
+        net.register_all(kinds::TOK_REL, move |node| {
+            let dsm = dsm.clone();
+            move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                let msg = downcast::<TokRelease>(p);
+                match dsm.lockmgrs[node].lock().tok_release(msg.lock, node, msg.interval.clone()) {
+                    TokHolderStep::Forward { to, notices } => {
+                        dsm.stats[node].add("token_forwards", 1);
+                        dsm.send_token_pass(ctx, node, msg.lock, to, notices);
+                    }
+                    TokHolderStep::Return { seq, notices } => {
+                        let mgr = msg.lock as usize % dsm.nodes;
+                        let records = notices.iter().map(|(_, iv)| iv.notices.len() as u64).sum();
+                        let ret = TokReturn { lock: msg.lock, who: node, seq, notices };
+                        let bytes = ret.wire_bytes();
+                        dsm.count_sync(node, mgr, records);
+                        ctx.post(mgr, kinds::TOK_RETURN, ret, bytes);
+                    }
+                    other => unreachable!("release produced {other:?}"),
+                }
+                Outcome::done()
+            }
+        });
+
+        // A token comes back to the manager with no successor known.
+        let dsm = self.clone();
+        net.register_all(kinds::TOK_RETURN, move |node| {
+            let dsm = dsm.clone();
+            move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                let msg = downcast::<TokReturn>(p);
+                if let Some(step) =
+                    dsm.lockmgrs[node].lock().tok_return(msg.lock, msg.who, msg.seq, msg.notices)
+                {
+                    match step {
+                        TokMgrStep::Pass { to, notices } => {
+                            dsm.send_token_pass(ctx, node, msg.lock, to, notices);
+                        }
+                        other => unreachable!("return produced {other:?}"),
+                    }
+                }
+                Outcome::done()
+            }
+        });
+
+        // A stale-notified node routes the token onward via the manager.
+        let dsm = self.clone();
+        net.register_all(kinds::TOK_CLAIM, move |node| {
+            let dsm = dsm.clone();
+            move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                let msg = downcast::<TokClaim>(p);
+                if let Some(step) = dsm.lockmgrs[node].lock().tok_claim(msg.lock, msg.succ) {
+                    match step {
+                        TokMgrStep::Pass { to, notices } => {
+                            dsm.send_token_pass(ctx, node, msg.lock, to, notices);
+                        }
+                        other => unreachable!("claim produced {other:?}"),
+                    }
+                }
+                Outcome::done()
+            }
+        });
+
+        // Digest fallback: report home page versions so Bloom positives
+        // can be told apart from genuinely stale copies.
+        let dsm = self.clone();
+        net.register_all_try(kinds::VALIDATE, move |node| {
+            let dsm = dsm.clone();
+            move |_ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                let req = try_downcast::<ValidateReq>(p)?;
+                let home = dsm.homes[node].lock();
+                let versions = req.pages.iter().map(|&pg| home.version(pg)).collect::<Vec<_>>();
+                let bytes = 8 + 8 * versions.len() as u64;
+                Ok(Outcome::reply(ValidateRep { versions }, bytes))
+            }
+        });
+    }
+
+    /// Post one subtree aggregate up the barrier tree.
+    #[allow(clippy::too_many_arguments)]
+    fn send_tree_agg(
+        &self,
+        ctx: &interconnect::HandlerCtx<'_>,
+        node: usize,
+        id: u32,
+        epoch: u64,
+        parent: usize,
+        latest_ns: u64,
+        agg: Vec<(usize, Interval)>,
+    ) {
+        let records = agg.iter().map(|(_, iv)| iv.notices.len() as u64).sum();
+        let msg = TreeAgg { id, epoch, child: node, latest_ns, agg };
+        let bytes = msg.wire_bytes();
+        self.count_sync(node, parent, records);
+        ctx.post(parent, kinds::TREE_AGG, msg, bytes);
+    }
+
+    /// Post one release wave down to `child`, departing at `release_ns`
+    /// (plus `extra_bytes` of piggybacked migration directory).
+    #[allow(clippy::too_many_arguments)]
+    fn send_tree_wave(
+        &self,
+        ctx: &interconnect::HandlerCtx<'_>,
+        node: usize,
+        id: u32,
+        epoch: u64,
+        release_ns: u64,
+        child: usize,
+        wave: NoticeSet,
+        extra_bytes: u64,
+    ) {
+        self.stats[node].add("tree_waves", 1);
+        self.count_sync(node, child, wave.records());
+        let msg = TreeWave { id, epoch, release_ns, wave };
+        let bytes = msg.wire_bytes() + extra_bytes;
+        ctx.post_at(child, kinds::TREE_WAVE, msg, bytes, release_ns);
+    }
+
+    /// A release reached `node`'s position in the barrier tree: run the
+    /// root's quiescent-point work (`root` is true only there), clear
+    /// redundant lock notices, send every child its wave, and build the
+    /// release the local application applies.
+    #[allow(clippy::too_many_arguments)]
+    fn tree_release(
+        &self,
+        ctx: &interconnect::HandlerCtx<'_>,
+        node: usize,
+        id: u32,
+        epoch: u64,
+        release_ns: u64,
+        own: NoticeSet,
+        child_waves: Vec<(usize, NoticeSet)>,
+        root: bool,
+    ) -> BarrierRelease {
+        let mut extra_bytes = 0;
+        if root {
+            // Quiescent point: every node is blocked in this barrier
+            // (the root completes only after all subtrees aggregated),
+            // so pending home migrations apply now; the directory
+            // entries ride the waves.
+            let moved = self.apply_migrations();
+            extra_bytes = moved * 16;
+            sim::trace::instant_corr(release_ns, node, "swdsm", "barrier_release", id as u64, epoch);
+        }
+        self.note_release(node, id, epoch);
+        for (child, wave) in child_waves {
+            self.send_tree_wave(ctx, node, id, epoch, release_ns, child, wave, extra_bytes);
+        }
+        BarrierRelease { id, epoch, notices: own }
     }
 
     /// Bind a per-node engine. One per node thread.
@@ -554,6 +1068,7 @@ impl SwDsm {
             rank: ctx.rank(),
             ctx,
             table: Mutex::new(PageTable::new()),
+            cache_versions: Mutex::new(HashMap::new()),
             local_mods: Mutex::new(BTreeSet::new()),
             epoch_mods: Mutex::new(Interval::default()),
             next_region: Mutex::new(NextRegions { collective: 1, local: 0 }),
@@ -581,6 +1096,10 @@ pub struct DsmNode {
     rank: usize,
     ctx: NodeCtx,
     table: Mutex<PageTable>,
+    /// Home modification counter of each cached page at fetch time; the
+    /// digest-validation round compares these against the homes'
+    /// current counters.
+    cache_versions: Mutex<HashMap<PageId, u64>>,
     /// Home-local pages written in the current interval.
     local_mods: Mutex<BTreeSet<PageId>>,
     /// Union of this node's intervals since the last barrier. A barrier
@@ -875,6 +1394,7 @@ impl DsmNode {
         // The one copy of the fetch path: the cached copy must be
         // privately mutable (twinning), so it leaves the shared Page.
         self.table.lock().install(page, CachedPage::read_only(data.bytes.to_vec()));
+        self.cache_versions.lock().insert(page, data.version);
         self.trace_span(t0, "page_fault", page.pack());
     }
 
@@ -1034,6 +1554,119 @@ impl DsmNode {
         }
     }
 
+    /// Apply a released notice set in whichever encoding it arrived.
+    fn apply_release(&self, notices: NoticeSet) {
+        match notices {
+            NoticeSet::Explicit(v) => self.apply_notices(&v),
+            NoticeSet::Digest(ds) => self.apply_digests(&ds),
+        }
+    }
+
+    /// Apply digest-encoded notices: run-length digests invalidate their
+    /// exact page sets directly; Bloom digests gather every cached page
+    /// the filter may contain and validate them against the homes'
+    /// modification counters (`kinds::VALIDATE`) — copies whose home
+    /// moved on are stale and invalidated (`digest_hits`), false
+    /// positives are kept (`digest_misses`). Digests never carry this
+    /// node's own writes (self-exclusion is structural in both the tree
+    /// waves and the central complements), so every confirmed hit is
+    /// another node's write.
+    fn apply_digests(&self, digests: &[NoticeDigest]) {
+        let mut exact: Vec<PageId> = Vec::new();
+        let mut candidates: Vec<PageId> = Vec::new();
+        {
+            let table = self.table.lock();
+            for d in digests {
+                match d.pages() {
+                    Some(pages) => {
+                        for page in pages {
+                            if table.get(page).is_some() {
+                                exact.push(page);
+                            }
+                        }
+                    }
+                    None => {
+                        for page in table.cached_pages() {
+                            if d.may_contain(page) {
+                                candidates.push(page);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        exact.sort();
+        exact.dedup();
+        candidates.sort();
+        candidates.dedup();
+        candidates.retain(|p| !exact.contains(p));
+
+        // Validate Bloom candidates home-by-home. The cached version was
+        // recorded at fetch time; any later mutation at the home (another
+        // writer's diff, or even this node's own flushed diff) bumps the
+        // counter, so version equality proves the cached bytes are still
+        // the master bytes.
+        let mut stale: Vec<PageId> = Vec::new();
+        let mut clean = 0u64;
+        if !candidates.is_empty() {
+            let cached: HashMap<PageId, u64> = {
+                let v = self.cache_versions.lock();
+                candidates.iter().map(|p| (*p, v.get(p).copied().unwrap_or(0))).collect()
+            };
+            let mut by_home: BTreeMap<usize, Vec<PageId>> = BTreeMap::new();
+            for &page in &candidates {
+                by_home.entry(self.dsm.home_of(page)).or_default().push(page);
+            }
+            for (home, pages) in by_home {
+                let req = ValidateReq { pages: pages.clone() };
+                let bytes = 8 + 8 * pages.len() as u64;
+                self.dsm.count_sync(self.rank, home, pages.len() as u64);
+                let reply = if self.resilient() {
+                    self.ctx
+                        .port()
+                        .request_retrying(home, kinds::VALIDATE, req, bytes)
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "swdsm node {}: unrecoverable fault validating digests: {e}",
+                                self.rank
+                            )
+                        })
+                } else {
+                    self.ctx.port().request(home, kinds::VALIDATE, req, bytes)
+                };
+                let rep = downcast::<ValidateRep>(reply);
+                for (page, version) in pages.into_iter().zip(rep.versions) {
+                    if version > cached[&page] {
+                        stale.push(page);
+                    } else {
+                        clean += 1;
+                    }
+                }
+            }
+        }
+        self.stat("digest_hits", (exact.len() + stale.len()) as u64);
+        self.stat("digest_misses", clean);
+
+        let mut doomed = exact;
+        doomed.extend(stale);
+        if doomed.is_empty() {
+            return;
+        }
+        doomed.sort();
+        self.flush_dirty_subset(&doomed);
+        let mut table = self.table.lock();
+        let mut dropped = 0u64;
+        for page in doomed {
+            if table.invalidate(page) {
+                self.stat("invalidations", 1);
+                dropped += 1;
+            }
+        }
+        if dropped > 0 {
+            sim::trace::instant(self.ctx.clock().now(), self.rank, "swdsm", "write_notice", dropped);
+        }
+    }
+
     /// Diff-and-ship any dirty pages among `pages` (pre-invalidation
     /// rescue path; rare under proper synchronization discipline).
     fn flush_dirty_subset(&self, pages: &[PageId]) {
@@ -1115,7 +1748,16 @@ impl DsmNode {
         let t0 = self.ctx.clock().now();
         self.stat("lock_acquires", 1);
         let mgr = lock as usize % self.dsm.nodes;
-        let notices = if self.resilient() {
+        let notices = if self.dsm.sync.locks == LockTopology::TokenQueue {
+            // MCS-style token queue (shared mode serializes as
+            // exclusive): kick the local handler, which enqueues at the
+            // manager; the token arrives as a LOCK_GRANT deposit.
+            let tag = interconnect::mailbox::tag(kinds::LOCK_GRANT, lock);
+            self.ctx.port().post(self.rank, kinds::TOK_ACQ_LOCAL, TokAcquireLocal { lock }, 8);
+            let grant = downcast::<LockGrant>(self.ctx.port().wait_mailbox(tag));
+            assert_eq!(grant.lock, lock);
+            grant.notices
+        } else if self.resilient() {
             self.acquire_notices_resilient(lock, mode, mgr)?
         } else {
             let reply = self.ctx.port().request(mgr, kinds::LOCK_REQ, LockReq { lock, mode }, 16);
@@ -1200,6 +1842,17 @@ impl DsmNode {
     pub fn try_release(&self, lock: u32) -> Result<(), DsmError> {
         let interval = self.flush_interval();
         self.epoch_mods.lock().merge(&interval);
+        if self.dsm.sync.locks == LockTopology::TokenQueue {
+            // Merge this interval into the token and forward or return
+            // it — all handler-side, so the release is asynchronous
+            // like the central manager's one-way post.
+            let msg = TokRelease { lock, interval };
+            let bytes = 16 + msg.interval.wire_bytes();
+            self.ctx.port().post(self.rank, kinds::TOK_REL, msg, bytes);
+            let corr = ((self.rank as u64 + 1) << 32) | (lock as u64 + 1);
+            sim::trace::instant_corr(self.ctx.clock().now(), self.rank, "swdsm", "lock_release", lock as u64, corr);
+            return Ok(());
+        }
         let mgr = lock as usize % self.dsm.nodes;
         let rel = LockRel { lock, releaser: self.rank, interval };
         let bytes = 16 + rel.interval.wire_bytes();
@@ -1225,52 +1878,53 @@ impl DsmNode {
     }
 
     /// [`DsmNode::barrier`] with unrecoverable fabric faults surfaced as
-    /// a [`DsmError`] instead of a panic. The barrier epoch commits only
-    /// after the release is in hand, so a retried barrier re-arrives
-    /// under the same epoch (which the manager deduplicates or replays).
+    /// a [`DsmError`] instead of a panic. Dispatches on the configured
+    /// [`BarrierTopology`]. The barrier epoch commits only after the
+    /// release is in hand, so a retried arrival re-arrives under the
+    /// same epoch — deduplicated or replayed by the central manager or
+    /// by the tree parent, whichever the topology routes it to.
     pub fn try_barrier(&self, id: u32) -> Result<(), DsmError> {
         let t0 = self.ctx.clock().now();
         self.stat("barriers", 1);
         let mut interval = std::mem::take(&mut *self.epoch_mods.lock());
         interval.merge(&self.flush_interval());
         let epoch = self.epochs.lock().get(&id).copied().unwrap_or(0) + 1;
-        match self.dsm.cfg.barrier_algo {
-            BarrierAlgo::Central => {
-                let intervals = self.central_barrier_intervals(id, epoch, interval)?;
-                self.apply_notices(&intervals);
+        let notices = match self.dsm.sync.barrier {
+            BarrierTopology::Central => self.central_barrier(id, epoch, interval)?,
+            BarrierTopology::Tree { .. } => self.tree_barrier(id, epoch, interval)?,
+            BarrierTopology::Dissemination => {
+                NoticeSet::Explicit(self.barrier_dissemination(id, epoch, interval))
             }
-            BarrierAlgo::Dissemination => {
-                let notices = self.barrier_dissemination(id, epoch, interval);
-                self.apply_notices(&notices);
-            }
-        }
+        };
+        self.apply_release(notices);
         self.epochs.lock().insert(id, epoch);
         self.trace_span_corr(t0, "barrier", id as u64, epoch);
         Ok(())
     }
 
     /// Run the centralized barrier protocol and return the released
-    /// intervals. On a resilient fabric the barrier is a single
+    /// notice set. On a resilient fabric the barrier is a single
     /// request/reply exchange: the manager parks every arrival's reply
     /// channel and answers all of them with the release, so a retried
     /// arrival (its reply was lost) is always causally behind the event
     /// that answers it — dedup'd while the epoch is pending, replayed
     /// from the release cache afterwards.
-    fn central_barrier_intervals(
+    fn central_barrier(
         &self,
         id: u32,
         epoch: u64,
         interval: Interval,
-    ) -> Result<Vec<(usize, Interval)>, DsmError> {
+    ) -> Result<NoticeSet, DsmError> {
         let mgr = id as usize % self.dsm.nodes;
         let arr = BarrierArrive { id, epoch, who: self.rank, interval };
         let bytes = 24 + arr.interval.wire_bytes();
+        self.dsm.count_sync(self.rank, mgr, arr.interval.notices.len() as u64);
         if !self.resilient() {
             let tag = interconnect::mailbox::tag(kinds::BARRIER_RELEASE, id);
             self.ctx.port().post(mgr, kinds::BARRIER_ARRIVE, arr, bytes);
             let rel = downcast::<BarrierRelease>(self.ctx.port().wait_mailbox(tag));
             assert_eq!(rel.epoch, epoch, "barrier {id}: epoch mismatch");
-            return Ok(rel.intervals);
+            return Ok(rel.notices);
         }
         let rel = self
             .ctx
@@ -1279,7 +1933,110 @@ impl DsmNode {
             .map_err(|err| DsmError { op: "barrier", id, err })?;
         let rel = downcast::<BarrierRelease>(rel);
         assert_eq!(rel.epoch, epoch, "barrier {id}: epoch mismatch");
-        Ok(rel.intervals)
+        Ok(rel.notices)
+    }
+
+    /// Run the tree barrier and return the released notice set.
+    ///
+    /// On a plain fabric the node's own arrival travels as a `TREE_UP`
+    /// message to its own handler, which serializes it against child
+    /// aggregates and waves; aggregates and release waves are one-way
+    /// posts and the release lands in the mailbox.
+    ///
+    /// A resilient fabric uses a pull model instead: the fabric can
+    /// only heal losses on request/reply edges (a reply parked by a
+    /// handler has no client-side deadline, so a fire-and-forget wave
+    /// that is dropped would strand its whole subtree). Every
+    /// loss-exposed tree edge is therefore a retried request from an
+    /// application thread: once the local subtree is complete, the
+    /// thread pushes the aggregate to the parent with a retried
+    /// `TREE_AGG` request and receives its release wave as the
+    /// (deferred) reply, then answers every parked child with its
+    /// complement wave. Completion is always a local action at a node
+    /// whose own wave is already in hand, so by induction from the
+    /// root every parked reply is eventually discharged; lost requests
+    /// and lost replies time out at the sender, and the retry finds
+    /// the released epoch replayed from the parent's cache.
+    fn tree_barrier(&self, id: u32, epoch: u64, interval: Interval) -> Result<NoticeSet, DsmError> {
+        if !self.resilient() {
+            let arr = BarrierArrive { id, epoch, who: self.rank, interval };
+            let bytes = 24 + arr.interval.wire_bytes();
+            let tag = interconnect::mailbox::tag(kinds::BARRIER_RELEASE, id);
+            self.ctx.port().post(self.rank, kinds::TREE_UP, arr, bytes);
+            let rel = downcast::<BarrierRelease>(self.ctx.port().wait_mailbox(tag));
+            assert_eq!(rel.epoch, epoch, "tree barrier {id}: epoch mismatch");
+            return Ok(rel.notices);
+        }
+        let me = self.rank;
+        let now = self.ctx.clock().now();
+        let step = self.dsm.treebarriers[me].lock().self_arrive(id, epoch, interval, now);
+        // The completing step always travels through the local mailbox,
+        // even when this thread's own arrival completed the subtree: if
+        // the two completion orders (own-last vs aggregate-last, a
+        // real-time race) took different paths here, only one of them
+        // would pay the mailbox wake-up and virtual time would stop
+        // being reproducible.
+        let skey = interconnect::mailbox::tag(kinds::TREE_AGG, id);
+        match step {
+            TreeStep::Waiting => {
+                // Children outstanding: the TREE_AGG handler deposits
+                // the completion step when the last one lands.
+            }
+            step @ (TreeStep::Up { .. } | TreeStep::Deliver { .. }) => {
+                let when = match &step {
+                    TreeStep::Up { latest_ns, .. } => *latest_ns,
+                    TreeStep::Deliver { release_ns, .. } => *release_ns,
+                    _ => unreachable!(),
+                };
+                self.ctx.port().mailbox().deposit(skey, Box::new(step), when);
+            }
+            other => unreachable!("own tree arrival produced {other:?}"),
+        }
+        let step = downcast::<TreeStep>(self.ctx.port().wait_mailbox(skey));
+        let deliver = match step {
+            TreeStep::Up { parent, latest_ns, agg } => {
+                let records = agg.iter().map(|(_, iv)| iv.notices.len() as u64).sum();
+                let msg = TreeAgg { id, epoch, child: me, latest_ns, agg };
+                let bytes = msg.wire_bytes();
+                self.dsm.count_sync(me, parent, records);
+                let rep = self
+                    .ctx
+                    .port()
+                    .request_retrying(parent, kinds::TREE_AGG, msg, bytes)
+                    .map_err(|err| DsmError { op: "barrier", id, err })?;
+                let wave = downcast::<TreeWave>(rep);
+                assert_eq!(wave.epoch, epoch, "tree barrier {id}: epoch mismatch");
+                self.dsm.treebarriers[me].lock().wave(id, epoch, wave.release_ns, wave.wave)
+            }
+            step @ TreeStep::Deliver { .. } => step,
+            other => unreachable!("own tree arrival produced {other:?}"),
+        };
+        let TreeStep::Deliver { release_ns, own, child_waves } = deliver else {
+            unreachable!("tree barrier {id}: epoch {epoch} wave did not deliver")
+        };
+        // The release instant is the deterministic join of arrival
+        // stamps; pin the clock there so the root (whose release is
+        // computed locally, not received off the wire) leaves the
+        // barrier at the same virtual time on every run.
+        self.ctx.clock().advance_to(release_ns);
+        // Release point: root quiescent work, then answer every parked
+        // child with its complement wave.
+        let mut extra_bytes = 0;
+        if me == id as usize % self.dsm.nodes {
+            let moved = self.dsm.apply_migrations();
+            extra_bytes = moved * 16;
+            sim::trace::instant_corr(release_ns, me, "swdsm", "barrier_release", id as u64, epoch);
+        }
+        self.dsm.note_release(me, id, epoch);
+        let wkey = interconnect::mailbox::tag(kinds::TREE_WAVE, id);
+        for (child, wave) in child_waves {
+            self.stat("tree_waves", 1);
+            self.dsm.count_sync(me, child, wave.records());
+            let rep = TreeWave { id, epoch, release_ns, wave };
+            let bytes = rep.wire_bytes() + extra_bytes;
+            self.ctx.port().complete_deferred(wkey, child, rep, bytes, release_ns);
+        }
+        Ok(own)
     }
 
     /// Dissemination barrier: after round r every node knows the
@@ -1301,6 +2058,8 @@ impl DsmNode {
             let msg =
                 DissMsg { id, epoch, round, knowledge: knowledge.clone() };
             let bytes = msg.wire_bytes();
+            let records = msg.knowledge.iter().map(|(_, iv)| iv.notices.len() as u64).sum();
+            self.dsm.count_sync(self.rank, to, records);
             // Dissemination rounds are not retried (no manager to make
             // them idempotent); the tagged post at least converts a lost
             // round into a structured panic instead of a hang.

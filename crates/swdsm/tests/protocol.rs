@@ -17,6 +17,14 @@ fn cluster_with(nodes: usize, cfg: DsmConfig) -> (Cluster, std::sync::Arc<SwDsm>
     (c, dsm)
 }
 
+fn cluster_sync(nodes: usize, sync: cluster::SyncTopology) -> (Cluster, std::sync::Arc<SwDsm>) {
+    let c = Cluster::new(
+        FabricConfig::builder().nodes(nodes).link(LinkKind::Ethernet).sync(sync).build(),
+    );
+    let dsm = SwDsm::install(&c, DsmConfig::default());
+    (c, dsm)
+}
+
 #[test]
 fn barrier_makes_writes_visible() {
     let (c, dsm) = cluster(4);
@@ -441,10 +449,9 @@ fn migration_keeps_results_correct_under_alternating_writers() {
 
 #[test]
 fn dissemination_barrier_is_correct() {
-    use swdsm::node::BarrierAlgo;
-    let cfg = DsmConfig { barrier_algo: BarrierAlgo::Dissemination, ..Default::default() };
+    let sync: cluster::SyncTopology = "dissemination".parse().unwrap();
     for nodes in [2usize, 3, 4, 5] {
-        let (c, dsm) = cluster_with(nodes, cfg);
+        let (c, dsm) = cluster_sync(nodes, sync);
         let (_, results) = c.run(|ctx| {
             let node = dsm.node(ctx);
             let a = node.alloc(nodes * 4096, Distribution::Cyclic);
@@ -466,9 +473,7 @@ fn dissemination_barrier_is_correct() {
 
 #[test]
 fn dissemination_barrier_carries_lock_notices_too() {
-    use swdsm::node::BarrierAlgo;
-    let cfg = DsmConfig { barrier_algo: BarrierAlgo::Dissemination, ..Default::default() };
-    let (c, dsm) = cluster_with(3, cfg);
+    let (c, dsm) = cluster_sync(3, "dissemination".parse().unwrap());
     let (_, results) = c.run(|ctx| {
         let node = dsm.node(ctx);
         let a = node.alloc(4096, Distribution::OnNode(0));
@@ -603,4 +608,214 @@ fn exit_flushes_final_interval() {
             assert_eq!(node.read_u64(a), 31);
         }
     });
+}
+
+#[test]
+fn tree_barrier_is_correct_across_shapes() {
+    // Every fanout/size combination must behave exactly like the
+    // central barrier: all writes visible after the wave.
+    for (nodes, spec) in
+        [(2usize, "tree:2"), (5, "tree:2"), (7, "tree:3"), (9, "tree"), (16, "tree:4")]
+    {
+        let (c, dsm) = cluster_sync(nodes, spec.parse().unwrap());
+        let (_, results) = c.run(|ctx| {
+            let node = dsm.node(ctx);
+            let a = node.alloc(nodes * 4096, Distribution::Cyclic);
+            node.barrier(1);
+            for round in 0..3u64 {
+                node.write_u64(a.add(node.rank() as u32 * 4096), round + 1);
+                node.barrier(2);
+                let sum: u64 =
+                    (0..nodes).map(|n| node.read_u64(a.add(n as u32 * 4096))).sum();
+                assert_eq!(sum, (round + 1) * nodes as u64, "{spec} x{nodes} round {round}");
+                node.barrier(3);
+            }
+            node.read_u64(a)
+        });
+        assert_eq!(results, vec![3; nodes], "{spec} x{nodes}");
+    }
+}
+
+#[test]
+fn tree_barrier_message_volume_is_linear() {
+    // One tree barrier costs exactly 2(n-1) cross-node messages:
+    // n-1 aggregations up plus n-1 release waves down.
+    for nodes in [4usize, 8, 13] {
+        let (c, dsm) = cluster_sync(nodes, "tree:2".parse().unwrap());
+        let (_, _) = c.run(|ctx| {
+            let node = dsm.node(ctx);
+            node.barrier(1);
+        });
+        let msgs: u64 = (0..nodes).map(|n| dsm.stats(n).get("sync_msgs")).sum();
+        assert_eq!(msgs, 2 * (nodes as u64 - 1), "{nodes} nodes");
+        let waves: u64 = (0..nodes).map(|n| dsm.stats(n).get("tree_waves")).sum();
+        assert_eq!(waves, nodes as u64 - 1);
+    }
+}
+
+#[test]
+fn token_queue_lock_counter_is_exact() {
+    const PER_NODE: u64 = 8;
+    let sync = cluster::SyncTopology {
+        locks: cluster::LockTopology::TokenQueue,
+        ..cluster::SyncTopology::centralized()
+    };
+    for nodes in [2usize, 3, 5] {
+        let (c, dsm) = cluster_sync(nodes, sync);
+        let (_, results) = c.run(|ctx| {
+            let node = dsm.node(ctx);
+            let a = node.alloc(4096, Distribution::Block);
+            node.barrier(1);
+            for _ in 0..PER_NODE {
+                node.acquire(9);
+                let v = node.read_u64(a);
+                node.write_u64(a, v + 1);
+                node.release(9);
+            }
+            node.barrier(2);
+            node.read_u64(a)
+        });
+        assert_eq!(results, vec![nodes as u64 * PER_NODE; nodes], "{nodes} nodes");
+    }
+}
+
+#[test]
+fn token_queue_passes_directly_between_contenders() {
+    // Under contention the token must travel releaser -> successor
+    // without a manager round trip: token_forwards > 0.
+    let sync = cluster::SyncTopology {
+        locks: cluster::LockTopology::TokenQueue,
+        ..cluster::SyncTopology::centralized()
+    };
+    let (c, dsm) = cluster_sync(4, sync);
+    let (_, entries) = c.run(|ctx| {
+        let node = dsm.node(ctx);
+        node.barrier(1);
+        node.acquire(5);
+        let t = node.ctx().clock().now();
+        node.ctx().compute(1_000_000);
+        node.release(5);
+        node.barrier(2);
+        t
+    });
+    let mut sorted = entries.clone();
+    sorted.sort();
+    for w in sorted.windows(2) {
+        assert!(w[1] >= w[0] + 1_000_000, "critical sections overlap: {entries:?}");
+    }
+    let forwards: u64 = (0..4).map(|n| dsm.stats(n).get("token_forwards")).sum();
+    assert!(forwards >= 1, "contended release must forward the token, got {forwards}");
+}
+
+#[test]
+fn digest_notices_invalidate_stale_copies() {
+    let sync = cluster::SyncTopology {
+        notices: cluster::NoticeWire::Digest { max_runs: 64 },
+        ..cluster::SyncTopology::centralized()
+    };
+    let (c, dsm) = cluster_sync(2, sync);
+    let (_, results) = c.run(|ctx| {
+        let node = dsm.node(ctx);
+        let a = node.alloc(4096, Distribution::OnNode(0));
+        node.barrier(1);
+        if node.rank() == 1 {
+            let first = node.read_u64(a);
+            node.barrier(2);
+            node.barrier(3);
+            let second = node.read_u64(a);
+            (first, second)
+        } else {
+            node.barrier(2);
+            node.write_u64(a, 5);
+            node.barrier(3);
+            (0, 0)
+        }
+    });
+    assert_eq!(results[1], (0, 5));
+    assert!(dsm.stats(1).get("digest_hits") >= 1);
+}
+
+#[test]
+fn scalable_preset_matches_centralized_results() {
+    // The full scalable stack (tree barrier + token locks + digests)
+    // must compute bit-identical results to the centralized protocols.
+    let run = |sync: cluster::SyncTopology| {
+        let (c, dsm) = cluster_sync(5, sync);
+        let (_, results) = c.run(|ctx| {
+            let node = dsm.node(ctx);
+            let a = node.alloc(5 * 4096, Distribution::Cyclic);
+            let counter = node.alloc(4096, Distribution::OnNode(0));
+            node.barrier(1);
+            for round in 0..4u64 {
+                node.write_u64(a.add(node.rank() as u32 * 4096), round * 10 + node.rank() as u64);
+                node.acquire(3);
+                let v = node.read_u64(counter);
+                node.write_u64(counter, v + 1);
+                node.release(3);
+                node.barrier(2);
+            }
+            let grid: u64 = (0..5).map(|n| node.read_u64(a.add(n * 4096))).sum();
+            (grid, node.read_u64(counter))
+        });
+        results
+    };
+    let central = run(cluster::SyncTopology::centralized());
+    let scalable = run(cluster::SyncTopology::scalable());
+    assert_eq!(central, scalable);
+    assert_eq!(central[0].1, 20);
+}
+
+#[test]
+fn tree_barrier_heals_lost_release_waves() {
+    // A release wave lost mid-tree-barrier must heal: the child's
+    // resilient TREE_AGG request times out, the retry re-drives the
+    // tree state machine, and the parent replays its cached wave.
+    // Barrier 8 on 4 nodes roots the tree at node 0 (8 % 4); with
+    // fanout 2 its children are nodes 1 and 2, so dropping traffic on
+    // the root's downlinks loses waves specifically (the uplink
+    // 1 -> 0 loses aggregates too, for good measure). 30% loss on the
+    // doubly-lossy 1 <-> 0 edge means ~half the exchanges need at
+    // least one retry; the widened retry budget keeps exhaustion (a
+    // deliberate fatal) out of reach.
+    use interconnect::fault::{FaultPlan, LinkFaults};
+    let lossy = LinkFaults { drop_ppm: 300_000, ..LinkFaults::default() };
+    let mut plan = FaultPlan::seeded(7);
+    plan.per_link = vec![((0, 1), lossy), ((0, 2), lossy), ((1, 0), lossy)];
+    let sync = cluster::SyncTopology {
+        barrier: cluster::BarrierTopology::Tree { fanout: 2 },
+        locks: cluster::LockTopology::Manager,
+        notices: cluster::NoticeWire::Digest { max_runs: 64 },
+    };
+    let c = Cluster::new(
+        FabricConfig::builder()
+            .nodes(4)
+            .link(LinkKind::Ethernet)
+            .sync(sync)
+            .chaos(plan)
+            .resilience(interconnect::Resilience {
+                retry: interconnect::fault::RetryPolicy {
+                    max_attempts: 24,
+                    ..interconnect::fault::RetryPolicy::default()
+                },
+                ..interconnect::Resilience::default()
+            })
+            .build(),
+    );
+    let dsm = SwDsm::install(&c, DsmConfig::default());
+    let (report, vals) = c.run(|ctx| {
+        let node = dsm.node(ctx);
+        let a = node.alloc(4 * 8, Distribution::OnNode(0));
+        node.barrier(8);
+        for round in 0..6u64 {
+            node.write_u64(a.add(node.rank() as u32 * 8), round * 100 + node.rank() as u64);
+            node.barrier(8);
+        }
+        (0..4u32).map(|r| node.read_u64(a.add(r * 8))).collect::<Vec<_>>()
+    });
+    for (rank, vs) in vals.iter().enumerate() {
+        assert_eq!(vs, &[500, 501, 502, 503], "rank {rank} read a stale grid");
+    }
+    let stat = |k: &str| report.net_stats.get(k).copied().unwrap_or(0);
+    assert!(stat("faults_dropped") > 0, "the plan never dropped anything");
+    assert!(stat("retries") > 0, "lost tree traffic was never retried");
 }

@@ -19,6 +19,8 @@ fn locks(events: &[TraceEvent]) -> Vec<LockStats> {
         acquires: u64,
         wait_ns: u64,
         hist: Histogram,
+        /// Per node: acquire counts (for the dominant-acquirer field).
+        per_node: BTreeMap<usize, u64>,
         /// Per node: acquire-span end times (time-ascending).
         ends: BTreeMap<usize, Vec<u64>>,
         /// Per node: release instants (time-ascending).
@@ -36,6 +38,7 @@ fn locks(events: &[TraceEvent]) -> Vec<LockStats> {
             acquires: 0,
             wait_ns: 0,
             hist: Histogram::new(),
+            per_node: BTreeMap::new(),
             ends: BTreeMap::new(),
             rels: BTreeMap::new(),
             grants: Vec::new(),
@@ -48,6 +51,7 @@ fn locks(events: &[TraceEvent]) -> Vec<LockStats> {
                 a.acquires += 1;
                 a.wait_ns += e.dur_ns;
                 a.hist.record(e.dur_ns);
+                *a.per_node.entry(e.node).or_default() += 1;
                 a.ends.entry(e.node).or_default().push(e.t_ns + e.dur_ns);
             }
             "lock_release" => {
@@ -87,6 +91,7 @@ fn locks(events: &[TraceEvent]) -> Vec<LockStats> {
                 .windows(2)
                 .filter(|w| w[0].1 != w[1].1)
                 .count() as u64;
+            let (top_acquirer, top_acquirer_acquires) = dominant(&a.per_node);
             LockStats {
                 module,
                 lock,
@@ -97,9 +102,24 @@ fn locks(events: &[TraceEvent]) -> Vec<LockStats> {
                 hold_ns,
                 grants: a.grants.len() as u64,
                 handoffs,
+                top_acquirer,
+                top_acquirer_acquires,
             }
         })
         .collect()
+}
+
+/// The dominant entry of a per-node counter map: `(node, count)` of the
+/// largest count, ties to the lowest rank (ascending iteration plus a
+/// strict comparison). `(0, 0)` for an empty map.
+fn dominant(per_node: &BTreeMap<usize, u64>) -> (u64, u64) {
+    let mut top = (0u64, 0u64);
+    for (&node, &count) in per_node {
+        if count > top.1 {
+            top = (node as u64, count);
+        }
+    }
+    top
 }
 
 fn pages(events: &[TraceEvent]) -> Vec<PageStats> {
@@ -107,7 +127,7 @@ fn pages(events: &[TraceEvent]) -> Vec<PageStats> {
     struct Acc {
         faults: u64,
         fault_ns: u64,
-        writers: std::collections::BTreeSet<usize>,
+        writes: BTreeMap<usize, u64>,
     }
     let mut acc: BTreeMap<u64, Acc> = BTreeMap::new();
     for e in events.iter().filter(|e| e.module == "swdsm") {
@@ -118,17 +138,23 @@ fn pages(events: &[TraceEvent]) -> Vec<PageStats> {
                 a.fault_ns += e.dur_ns;
             }
             "write_fault" | "write_local" => {
-                acc.entry(e.arg).or_default().writers.insert(e.node);
+                *acc.entry(e.arg).or_default().writes.entry(e.node).or_default() += 1;
             }
             _ => {}
         }
     }
     acc.into_iter()
-        .map(|(page, a)| PageStats {
-            page,
-            faults: a.faults,
-            fault_ns: a.fault_ns,
-            writers: a.writers.len() as u64,
+        .map(|(page, a)| {
+            let (top_writer, top_writer_writes) = dominant(&a.writes);
+            PageStats {
+                page,
+                faults: a.faults,
+                fault_ns: a.fault_ns,
+                writers: a.writes.len() as u64,
+                writes: a.writes.values().sum(),
+                top_writer,
+                top_writer_writes,
+            }
         })
         .collect()
 }
@@ -245,6 +271,32 @@ mod tests {
         let p = pages(&evs);
         assert_eq!(p.len(), 1);
         assert_eq!((p[0].page, p[0].faults, p[0].fault_ns, p[0].writers), (5, 2, 180, 2));
+        assert_eq!((p[0].writes, p[0].top_writer, p[0].top_writer_writes), (2, 0, 1));
+    }
+
+    #[test]
+    fn dominant_writer_counts_writes_and_breaks_ties_low() {
+        let evs = vec![
+            ev(0, 0, 2, "swdsm", "write_fault", 5, 1),
+            ev(10, 0, 2, "swdsm", "write_local", 5, 1),
+            ev(20, 0, 0, "swdsm", "write_fault", 5, 1),
+            ev(30, 0, 1, "swdsm", "write_fault", 5, 1),
+            ev(40, 0, 1, "swdsm", "write_fault", 5, 1),
+        ];
+        let p = pages(&evs);
+        // Nodes 1 and 2 tie at two writes each: the lowest rank wins.
+        assert_eq!((p[0].writes, p[0].top_writer, p[0].top_writer_writes), (5, 1, 2));
+    }
+
+    #[test]
+    fn dominant_acquirer_tracked_per_lock() {
+        let evs = vec![
+            ev(0, 10, 1, "swdsm", "lock_acquire", 3, 4),
+            ev(20, 10, 1, "swdsm", "lock_acquire", 3, 4),
+            ev(40, 10, 0, "swdsm", "lock_acquire", 3, 4),
+        ];
+        let l = locks(&evs);
+        assert_eq!((l[0].acquires, l[0].top_acquirer, l[0].top_acquirer_acquires), (3, 1, 2));
     }
 
     #[test]

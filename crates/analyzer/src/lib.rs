@@ -146,6 +146,11 @@ pub struct LockStats {
     /// Grants whose grantee differs from the previous grantee (the
     /// lock moved between nodes).
     pub handoffs: u64,
+    /// The node with the most acquires (ties go to the lowest rank).
+    /// Meaningful only when `acquires > 0`.
+    pub top_acquirer: u64,
+    /// The dominant acquirer's share of `acquires`.
+    pub top_acquirer_acquires: u64,
 }
 
 /// Per-page fault and sharing statistics (software DSM only).
@@ -159,6 +164,14 @@ pub struct PageStats {
     pub fault_ns: u64,
     /// Distinct nodes that wrote the page during the trace.
     pub writers: u64,
+    /// Total traced writes (`write_fault` + `write_local` events).
+    pub writes: u64,
+    /// The node with the most traced writes — the page's dominant
+    /// writer, the tuner's re-homing target (ties go to the lowest
+    /// rank). Meaningful only when `writes > 0`.
+    pub top_writer: u64,
+    /// The dominant writer's share of `writes`.
+    pub top_writer_writes: u64,
 }
 
 /// One flagged false-sharing site: a page written by two or more nodes

@@ -81,7 +81,7 @@ impl Report {
                 s,
                 "    {{\"module\": \"{}\", \"lock\": {}, \"acquires\": {}, \"wait_ns\": {}, \
                  \"wait\": {}, \"holds\": {}, \"hold_ns\": {}, \"grants\": {}, \
-                 \"handoffs\": {}}}{comma}",
+                 \"handoffs\": {}, \"top_acquirer\": {}, \"top_acquirer_acquires\": {}}}{comma}",
                 l.module,
                 l.lock,
                 l.acquires,
@@ -90,7 +90,9 @@ impl Report {
                 l.holds,
                 l.hold_ns,
                 l.grants,
-                l.handoffs
+                l.handoffs,
+                l.top_acquirer,
+                l.top_acquirer_acquires
             );
         }
         let _ = writeln!(s, "  ],");
@@ -100,8 +102,10 @@ impl Report {
             let comma = if i + 1 < self.pages.len() { "," } else { "" };
             let _ = writeln!(
                 s,
-                "    {{\"page\": {}, \"faults\": {}, \"fault_ns\": {}, \"writers\": {}}}{comma}",
-                p.page, p.faults, p.fault_ns, p.writers
+                "    {{\"page\": {}, \"faults\": {}, \"fault_ns\": {}, \"writers\": {}, \
+                 \"writes\": {}, \"top_writer\": {}, \"top_writer_writes\": {}}}{comma}",
+                p.page, p.faults, p.fault_ns, p.writers, p.writes, p.top_writer,
+                p.top_writer_writes
             );
         }
         let _ = writeln!(s, "  ],");
@@ -282,13 +286,25 @@ pub fn validate(json: &str) -> Result<(), String> {
         if l.get("module").and_then(|m| m.as_str()).is_none() {
             return Err(format!("locks[{i}]: missing 'module'"));
         }
-        for k in ["lock", "acquires", "wait_ns", "holds", "hold_ns", "grants", "handoffs"] {
+        for k in [
+            "lock",
+            "acquires",
+            "wait_ns",
+            "holds",
+            "hold_ns",
+            "grants",
+            "handoffs",
+            "top_acquirer",
+            "top_acquirer_acquires",
+        ] {
             expect_num(l, k).map_err(|e| format!("locks[{i}]: {e}"))?;
         }
         expect_quantiles(l, "wait").map_err(|e| format!("locks[{i}]: {e}"))?;
     }
     for (i, p) in expect_array(&v, "pages")?.iter().enumerate() {
-        for k in ["page", "faults", "fault_ns", "writers"] {
+        for k in
+            ["page", "faults", "fault_ns", "writers", "writes", "top_writer", "top_writer_writes"]
+        {
             expect_num(p, k).map_err(|e| format!("pages[{i}]: {e}"))?;
         }
     }

@@ -16,7 +16,7 @@
 use crate::report::{checksum_f64, BenchResult};
 use crate::world::World;
 use hamster_core::PhaseTimer;
-use memwire::{Distribution, GlobalAddr};
+use memwire::{AlignHint, Distribution, GlobalAddr};
 
 /// Cost of updating one grid cell (ns): four dependent FP adds plus a
 /// multiply and five cached loads on the 450 MHz Xeon — an unblocked
@@ -46,11 +46,27 @@ fn relax(top: &[f64], mid: &[f64], bot: &[f64], out: &mut [f64]) {
 
 /// Run SOR on an `n`×`n` grid for `iters` Jacobi sweeps.
 pub fn sor<W: World>(w: &W, n: usize, iters: usize, optimized: bool) -> BenchResult {
+    sor_hinted(w, n, iters, optimized, AlignHint::None)
+}
+
+/// [`sor`] with an explicit layout hint for the shared grid: the row
+/// stride is padded per `hint`, so a tuner can give each row its own
+/// page (breaking the false sharing the packed cyclic layout exhibits)
+/// without touching the kernel. The computed values — and hence the
+/// checksum — are identical under every hint.
+pub fn sor_hinted<W: World>(
+    w: &W,
+    n: usize,
+    iters: usize,
+    optimized: bool,
+    hint: AlignHint,
+) -> BenchResult {
     let dist = if optimized { Distribution::Block } else { Distribution::Cyclic };
-    let bytes = n * n * 8;
+    let stride = hint.padded_stride(n * 8);
+    let bytes = n * stride;
     let cur = w.alloc_dist(bytes, dist);
     let nxt = w.alloc_dist(bytes, dist);
-    let row = |base: GlobalAddr, i: usize| base.add((i * n * 8) as u32);
+    let row = |base: GlobalAddr, i: usize| base.add((i * stride) as u32);
 
     // Phase profiling through the PhaseTimer service (also lands as
     // `phase` spans on the global trace timeline).

@@ -53,7 +53,19 @@ fn chaos_plan(nodes: usize) -> FaultPlan {
 }
 
 fn fabric(nodes: usize, sync: cluster::SyncTopology, faults: Option<FaultPlan>) -> FabricConfig {
-    let mut b = FabricConfig::builder().nodes(nodes).link(LinkKind::Ethernet).sync(sync);
+    // Pin Ethernet at 250 MB/s, below bus-window saturation: the
+    // determinism this binary asserts is only guaranteed while link
+    // windows stay unsaturated (a saturated window's slowdown depends
+    // on real registration order — see OBSERVABILITY.md). At ≥4 nodes
+    // the centralized LU release burst saturates fast-Ethernet windows,
+    // which is exactly the residual wobble ROADMAP item 4 described.
+    let mut cost = sim::CostModel::default();
+    cost.ethernet.bytes_per_sec = 250_000_000;
+    let mut b = FabricConfig::builder()
+        .nodes(nodes)
+        .link(LinkKind::Ethernet)
+        .cost(cost)
+        .sync(sync);
     if let Some(plan) = faults {
         b = b.chaos(plan).resilience(Resilience::default());
     }

@@ -1,0 +1,86 @@
+//! Perf-trajectory gate: compare freshly generated `BENCH_*.json`
+//! artifacts against the committed baselines in `bench-baselines/`.
+//!
+//! Every file in the baseline directory must have a counterpart in the
+//! current directory. Virtual-time leaves must match **exactly** (the
+//! simulation is deterministic; a drifting virtual number is a real
+//! perf or protocol change someone must own), while wall-clock-derived
+//! leaves (`*wall*`, `*per_sec*`) get ±10% (see `bench::trend`).
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_trend            # compare, exit 1 on any drift
+//! perf_trend --update   # copy current artifacts over the baselines
+//! ```
+//!
+//! A deliberate perf change therefore lands as: regenerate the
+//! artifact, run `perf_trend --update`, and commit the new baseline
+//! next to the change that caused it — the trajectory stays reviewable
+//! in git history.
+
+use bench::trend;
+use sim::json;
+use std::path::Path;
+
+const BASELINE_DIR: &str = "bench-baselines";
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+fn main() {
+    let update = match std::env::args().nth(1).as_deref() {
+        None => false,
+        Some("--update") => true,
+        Some(other) => {
+            eprintln!("unknown flag {other:?} (only --update is supported)");
+            std::process::exit(2);
+        }
+    };
+
+    let dir = Path::new(BASELINE_DIR);
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("reading {BASELINE_DIR}/: {e} (run from the repo root)"))
+        .map(|e| e.expect("dir entry").file_name().into_string().expect("utf-8 name"))
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "{BASELINE_DIR}/ holds no BENCH_*.json baselines");
+
+    let mut failed = false;
+    for name in &names {
+        let current = Path::new(name);
+        if !current.exists() {
+            eprintln!("FAIL {name}: artifact not regenerated (expected ./{name})");
+            failed = true;
+            continue;
+        }
+        if update {
+            std::fs::copy(current, dir.join(name))
+                .unwrap_or_else(|e| panic!("updating {name}: {e}"));
+            println!("updated {BASELINE_DIR}/{name}");
+            continue;
+        }
+        let base = json::parse(&read(&dir.join(name)))
+            .unwrap_or_else(|e| panic!("{BASELINE_DIR}/{name}: {e}"));
+        let cur = json::parse(&read(current)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut diffs = Vec::new();
+        trend::compare(&base, &cur, "", &mut diffs);
+        if diffs.is_empty() {
+            println!("ok   {name}");
+        } else {
+            failed = true;
+            eprintln!("FAIL {name}: {} difference(s) vs committed baseline", diffs.len());
+            for d in &diffs {
+                eprintln!("  {d}");
+            }
+        }
+    }
+
+    if failed {
+        eprintln!("perf trajectory drifted; if intentional, rerun with --update and commit");
+        std::process::exit(1);
+    }
+    println!("perf trajectory holds across {} artifact(s)", names.len());
+}

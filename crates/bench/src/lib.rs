@@ -25,6 +25,7 @@
 pub mod loc;
 pub mod report;
 pub mod suite;
+pub mod trend;
 
 /// Parse the common CLI flags: `--quick` (reduced sizes) and
 /// `--nodes N`.

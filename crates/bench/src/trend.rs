@@ -1,0 +1,140 @@
+//! Perf-trajectory comparison: a committed baseline `BENCH_*.json`
+//! against a freshly generated one.
+//!
+//! The repo's benchmark artifacts are *virtual-time* measurements from
+//! the simulated cluster, so almost every field is byte-deterministic
+//! and must match the committed baseline **exactly** — a changed
+//! virtual number is a real behavior change, not noise. The only
+//! exceptions are wall-clock-derived leaves (key contains `wall` or
+//! `per_sec`), which depend on the machine and get a relative
+//! tolerance instead.
+
+use sim::json::Value;
+
+/// Relative tolerance (percent) for wall-clock-derived leaves.
+pub const WALL_TOLERANCE_PCT: f64 = 10.0;
+
+/// Cap on reported differences per file — enough to diagnose, not a
+/// dump of every row after a schema change.
+const MAX_DIFFS: usize = 12;
+
+/// Whether a key names a wall-clock-derived quantity (machine
+/// dependent, tolerated) rather than a virtual-time one (exact).
+pub fn is_wall_key(key: &str) -> bool {
+    key.contains("wall") || key.contains("per_sec")
+}
+
+/// Compare `current` against `baseline`, appending human-readable
+/// difference descriptions to `diffs`. `path` is the JSON-pointer-ish
+/// location prefix ("" at the root).
+pub fn compare(baseline: &Value, current: &Value, path: &str, diffs: &mut Vec<String>) {
+    if diffs.len() >= MAX_DIFFS {
+        return;
+    }
+    match (baseline, current) {
+        (Value::Obj(b), Value::Obj(c)) => {
+            for key in b.keys().chain(c.keys().filter(|k| !b.contains_key(*k))) {
+                let at = if path.is_empty() { key.clone() } else { format!("{path}.{key}") };
+                match (b.get(key), c.get(key)) {
+                    (Some(bv), Some(cv)) => compare_leaf_or_node(key, bv, cv, &at, diffs),
+                    (Some(_), None) => diffs.push(format!("{at}: missing from current run")),
+                    (None, Some(_)) => diffs.push(format!("{at}: not in baseline")),
+                    (None, None) => unreachable!(),
+                }
+                if diffs.len() >= MAX_DIFFS {
+                    return;
+                }
+            }
+        }
+        (Value::Arr(b), Value::Arr(c)) => {
+            if b.len() != c.len() {
+                diffs.push(format!("{path}: length {} -> {}", b.len(), c.len()));
+                return;
+            }
+            for (i, (bv, cv)) in b.iter().zip(c).enumerate() {
+                compare(bv, cv, &format!("{path}[{i}]"), diffs);
+                if diffs.len() >= MAX_DIFFS {
+                    return;
+                }
+            }
+        }
+        _ => {
+            if baseline != current {
+                diffs.push(format!("{path}: {baseline:?} -> {current:?}"));
+            }
+        }
+    }
+}
+
+/// Numbers under a wall-clock key get the tolerance; everything else
+/// recurses into the exact comparison.
+fn compare_leaf_or_node(key: &str, baseline: &Value, current: &Value, at: &str, diffs: &mut Vec<String>) {
+    if let (Value::Num(b), Value::Num(c)) = (baseline, current) {
+        if is_wall_key(key) {
+            if (c - b).abs() > b.abs() * WALL_TOLERANCE_PCT / 100.0 {
+                diffs.push(format!(
+                    "{at}: {b} -> {c} (beyond ±{WALL_TOLERANCE_PCT}% wall-clock tolerance)"
+                ));
+            }
+            return;
+        }
+    }
+    compare(baseline, current, at, diffs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::json;
+
+    fn diffs(base: &str, cur: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        compare(&json::parse(base).unwrap(), &json::parse(cur).unwrap(), "", &mut out);
+        out
+    }
+
+    #[test]
+    fn identical_documents_have_no_diffs() {
+        let doc = r#"{"a": 1, "rows": [{"x": 2}, {"x": 3}], "s": "hi"}"#;
+        assert!(diffs(doc, doc).is_empty());
+    }
+
+    #[test]
+    fn virtual_numbers_must_match_exactly() {
+        let d = diffs(r#"{"makespan_ns": 1000}"#, r#"{"makespan_ns": 1001}"#);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].starts_with("makespan_ns:"), "{d:?}");
+    }
+
+    #[test]
+    fn wall_clock_numbers_get_ten_percent() {
+        assert!(diffs(r#"{"sharded_wall_ms": 100}"#, r#"{"sharded_wall_ms": 109}"#).is_empty());
+        assert!(diffs(r#"{"events_per_sec": 1000}"#, r#"{"events_per_sec": 905}"#).is_empty());
+        let d = diffs(r#"{"sharded_wall_ms": 100}"#, r#"{"sharded_wall_ms": 111}"#);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].contains("tolerance"), "{d:?}");
+    }
+
+    #[test]
+    fn a_zero_wall_baseline_tolerates_only_zero() {
+        assert!(diffs(r#"{"wall_ns": 0}"#, r#"{"wall_ns": 0}"#).is_empty());
+        assert_eq!(diffs(r#"{"wall_ns": 0}"#, r#"{"wall_ns": 1}"#).len(), 1);
+    }
+
+    #[test]
+    fn structural_changes_are_reported() {
+        let d = diffs(r#"{"rows": [1, 2]}"#, r#"{"rows": [1, 2, 3]}"#);
+        assert!(d[0].contains("length 2 -> 3"), "{d:?}");
+        let d = diffs(r#"{"a": 1}"#, r#"{"b": 1}"#);
+        assert_eq!(d.len(), 2, "one missing, one new: {d:?}");
+    }
+
+    #[test]
+    fn diff_flood_is_capped() {
+        let base: String =
+            format!("{{{}}}", (0..40).map(|i| format!("\"k{i:02}\": 0")).collect::<Vec<_>>().join(", "));
+        let cur: String =
+            format!("{{{}}}", (0..40).map(|i| format!("\"k{i:02}\": 1")).collect::<Vec<_>>().join(", "));
+        assert_eq!(diffs(&base, &cur).len(), MAX_DIFFS);
+    }
+}

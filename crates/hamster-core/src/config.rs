@@ -6,6 +6,7 @@
 
 use cluster::{ConfigMap, EngineMode, FabricConfig, LinkKind, SyncTopology};
 use hybriddsm::HybridConfig;
+use memwire::PageId;
 use sim::CostModel;
 use std::str::FromStr;
 use swdsm::DsmConfig;
@@ -37,6 +38,67 @@ impl FromStr for PlatformKind {
     }
 }
 
+/// Explicit placement overrides applied to the software DSM at bring-up
+/// — the tuner's output, carried as configuration in the spirit of
+/// paper §5.4: between runs "only the configuration of HAMSTER ... is
+/// changed"; the application binary is not.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Placement {
+    /// Page homes: `(page, home node)`. Regions are named by their
+    /// deterministic collective-allocation ids, so a placement computed
+    /// from one run's trace addresses the same pages in the next run.
+    pub homes: Vec<(PageId, usize)>,
+    /// Lock managers: `(lock id, manager node)`.
+    pub locks: Vec<(u32, usize)>,
+}
+
+impl Placement {
+    /// Whether there is nothing to apply.
+    pub fn is_empty(&self) -> bool {
+        self.homes.is_empty() && self.locks.is_empty()
+    }
+
+    /// Parse a `place_home` value: comma-separated
+    /// `region:page:node` triples, e.g. `0:0:1, 0:3:2`.
+    pub fn parse_homes(text: &str) -> Result<Vec<(PageId, usize)>, String> {
+        split_list(text)
+            .map(|item| {
+                let [region, index, node] = split_fields(item, 3, "region:page:node")?;
+                Ok((PageId { region, index }, node as usize))
+            })
+            .collect()
+    }
+
+    /// Parse a `place_lock` value: comma-separated `lock:node` pairs,
+    /// e.g. `1:3, 7:0`.
+    pub fn parse_locks(text: &str) -> Result<Vec<(u32, usize)>, String> {
+        split_list(text)
+            .map(|item| {
+                let [lock, node] = split_fields(item, 2, "lock:node")?;
+                Ok((lock, node as usize))
+            })
+            .collect()
+    }
+}
+
+fn split_list(text: &str) -> impl Iterator<Item = &str> {
+    text.split(',').map(str::trim).filter(|s| !s.is_empty())
+}
+
+fn split_fields<const N: usize>(item: &str, n: usize, shape: &str) -> Result<[u32; N], String> {
+    let parts: Vec<_> = item.split(':').map(str::trim).collect();
+    if parts.len() != n {
+        return Err(format!("placement entry {item:?}: expected {shape}"));
+    }
+    let mut out = [0u32; N];
+    for (slot, part) in out.iter_mut().zip(&parts) {
+        *slot = part
+            .parse::<u32>()
+            .map_err(|e| format!("placement entry {item:?}: {e}"))?;
+    }
+    Ok(out)
+}
+
 /// Full configuration of a HAMSTER run.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -58,6 +120,9 @@ pub struct ClusterConfig {
     /// Synchronization topology: which barrier, lock, and write-notice
     /// protocols the platforms run (default: centralized managers).
     pub sync: SyncTopology,
+    /// Explicit page-home and lock-manager placements (tuner output),
+    /// applied to software-DSM backends at bring-up.
+    pub placement: Placement,
 }
 
 impl ClusterConfig {
@@ -72,6 +137,7 @@ impl ClusterConfig {
             unified_messaging: true,
             engine: EngineMode::default(),
             sync: SyncTopology::default(),
+            placement: Placement::default(),
         }
     }
 
@@ -80,7 +146,8 @@ impl ClusterConfig {
     /// required), `unified_messaging` (bool), `engine`
     /// (`threads` | `sharded` | `sharded:N`), `sync`
     /// (`centralized` | `scalable` | `tree` | `tree:K` |
-    /// `dissemination`).
+    /// `dissemination`), `place_home` (`region:page:node` list), and
+    /// `place_lock` (`lock:node` list).
     pub fn from_config_map(map: &ConfigMap) -> Result<Self, String> {
         let nodes = map
             .get_as::<usize>("nodes")?
@@ -100,6 +167,12 @@ impl ClusterConfig {
         }
         if let Some(v) = map.get_as::<SyncTopology>("sync")? {
             cfg.sync = v;
+        }
+        if let Some(v) = map.get("place_home") {
+            cfg.placement.homes = Placement::parse_homes(v)?;
+        }
+        if let Some(v) = map.get("place_lock") {
+            cfg.placement.locks = Placement::parse_locks(v)?;
         }
         Ok(cfg)
     }
@@ -187,6 +260,22 @@ mod tests {
         let cfg = ClusterConfig::parse("nodes=2\nplatform=swdsm\nengine=sharded:3").unwrap();
         assert_eq!(cfg.engine, EngineMode::Sharded { workers: 3 });
         assert!(ClusterConfig::parse("nodes=2\nplatform=swdsm\nengine=warp").is_err());
+    }
+
+    #[test]
+    fn placement_keys_parse_lists() {
+        let cfg = ClusterConfig::parse(
+            "nodes=4\nplatform=swdsm\nplace_home = 0:0:1, 0:3:2\nplace_lock = 1:3",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.placement.homes,
+            vec![(PageId { region: 0, index: 0 }, 1), (PageId { region: 0, index: 3 }, 2)]
+        );
+        assert_eq!(cfg.placement.locks, vec![(1, 3)]);
+        assert!(ClusterConfig::new(4, PlatformKind::SwDsm).placement.is_empty());
+        assert!(ClusterConfig::parse("nodes=4\nplatform=swdsm\nplace_home=0:1").is_err());
+        assert!(ClusterConfig::parse("nodes=4\nplatform=swdsm\nplace_lock=1:x").is_err());
     }
 
     #[test]

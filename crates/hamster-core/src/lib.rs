@@ -49,7 +49,7 @@ pub mod timing;
 pub mod trace;
 
 pub use cluster::RunReport;
-pub use config::{ClusterConfig, PlatformKind};
+pub use config::{ClusterConfig, Placement, PlatformKind};
 pub use hamster::Hamster;
 pub use mem_mgmt::{AllocSpec, CoherenceReq, MemError, Region};
 pub use mixed::EngineHint;

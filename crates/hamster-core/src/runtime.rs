@@ -118,6 +118,22 @@ impl Runtime {
                 HybridDsm::install(&cluster, config.hybrid),
             ),
         };
+        // Explicit placement (the tuner's output) is run configuration:
+        // applied at bring-up, before any node starts. A bad placement
+        // is a configuration error, same as an unparsable config file.
+        if let Backend::Sw(dsm) | Backend::Mixed(dsm, _) = &backend {
+            for &(page, node) in &config.placement.homes {
+                dsm.place_home(page, node).expect("config placement");
+            }
+            for &(lock, node) in &config.placement.locks {
+                dsm.place_lock(lock, node).expect("config placement");
+            }
+        } else {
+            assert!(
+                config.placement.is_empty(),
+                "placement overrides only apply to software-DSM platforms"
+            );
+        }
         let inner = Arc::new_cyclic(|weak| RuntimeInner {
             config,
             cluster,

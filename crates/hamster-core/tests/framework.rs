@@ -45,6 +45,32 @@ fn config_file_selects_platform() {
 }
 
 #[test]
+fn config_placement_reaches_the_dsm() {
+    // The tuner's output is plain configuration (§5.4): a placement
+    // line re-homes region 0's first page and pins lock 1's manager,
+    // and the identical program runs correctly with it applied.
+    let cfg = ClusterConfig::parse(
+        "nodes=4\nplatform=swdsm\nplace_home = 0:0:3\nplace_lock = 1:2",
+    )
+    .unwrap();
+    let rt = Runtime::new(cfg);
+    let (_, results) = rt.run(|ham| {
+        let r = ham.mem().alloc_default(4096).unwrap();
+        ham.sync().barrier(1);
+        ham.sync().lock(1);
+        let v = ham.mem().read_u64(r.addr());
+        ham.mem().write_u64(r.addr(), v + 1);
+        ham.sync().unlock(1);
+        ham.cons().barrier_sync(2);
+        ham.mem().read_u64(r.addr())
+    });
+    assert_eq!(results, vec![4; 4]);
+    let stats = rt.platform_stats(3);
+    assert_eq!(stats["pages_rehomed"], 1);
+    assert_eq!(rt.platform_stats(2)["tuner_actions"], 1);
+}
+
+#[test]
 fn capability_probe_differs_by_platform() {
     let probe = |p: PlatformKind| {
         let rt = Runtime::new(ClusterConfig::new(2, p));

@@ -63,7 +63,7 @@ enum Envelope {
     /// daemon charges receive overhead, matches the id against its
     /// dedup window, and drops it — exactly what an idempotent
     /// transport layer does.
-    Dup { kind: u32, req_id: u64, arrive_ns: u64 },
+    Dup { src: NodeId, kind: u32, req_id: u64, arrive_ns: u64 },
     /// A fault-destroyed request. The typed error is routed through the
     /// destination daemon rather than handed to the requester
     /// synchronously: the virtual timing is identical (`ready_ns` is
@@ -201,6 +201,9 @@ struct DeferredReply {
     /// departs no earlier than this.
     ready_ns: u64,
     deadline_ns: u64,
+    /// Delivery id of the parked request, so the discharge can emit the
+    /// same `net/not_before` stall span a direct reply would.
+    req_id: u64,
 }
 
 impl NetShared {
@@ -288,6 +291,22 @@ impl NetShared {
                 panic!("node {node}: no deferred reply parked under key {key:#x} for node {who}")
             });
         let ready_ns = parked.ready_ns.max(not_before_ns);
+        if ready_ns > parked.ready_ns && sim::trace::enabled() {
+            // Mirror the direct-reply `net/not_before` stall span: the
+            // discharge floor held this reply past its service end.
+            // Emitting it here too keeps the trace stream independent
+            // of *which* same-instant arrival happened to be served
+            // last (and so replied directly instead of deferring).
+            sim::trace::span_corr(
+                parked.ready_ns,
+                ready_ns - parked.ready_ns,
+                node,
+                "net",
+                "not_before",
+                ready_ns,
+                parked.req_id,
+            );
+        }
         send_reply(
             self,
             node,
@@ -329,6 +348,19 @@ impl NetShared {
             }
         };
         let ready_ns = parked.ready_ns.max(not_before_ns);
+        if ready_ns > parked.ready_ns && sim::trace::enabled() {
+            // See `complete_deferred`: deferred discharges emit the same
+            // stall span a direct reply would.
+            sim::trace::span_corr(
+                parked.ready_ns,
+                ready_ns - parked.ready_ns,
+                node,
+                "net",
+                "not_before",
+                ready_ns,
+                parked.req_id,
+            );
+        }
         send_reply(
             self,
             node,
@@ -426,7 +458,7 @@ impl NetShared {
         if d.dup {
             self.stats.add("faults_dup", 1);
             sim::trace::instant(depart, src, "fault", "dup", kind as u64);
-            self.deliver(dst, Envelope::Dup { kind, req_id, arrive_ns }, can_block);
+            self.deliver(dst, Envelope::Dup { src, kind, req_id, arrive_ns }, can_block);
         }
         req_id
     }
@@ -708,7 +740,7 @@ fn process_envelope(shared: &NetShared, node: NodeId, env: Envelope) {
     shared.stats.at(STAT_DELIVERED).incr();
     match env {
         Envelope::Stop => {}
-        Envelope::Dup { kind, req_id, arrive_ns } => {
+        Envelope::Dup { src: _, kind, req_id, arrive_ns } => {
             // The transport pays receive overhead for the copy,
             // then recognizes the request id and discards it: this
             // is the de-duplication boundary duplicated deliveries
@@ -812,7 +844,7 @@ fn process_envelope(shared: &NetShared, node: NodeId, env: Envelope) {
                 });
                 shared.deferred.lock().insert(
                     (node, key, src),
-                    DeferredReply { tx, kind, ready_ns: end, deadline_ns },
+                    DeferredReply { tx, kind, ready_ns: end, deadline_ns, req_id },
                 );
                 shared.deferred_cv.notify_all();
                 return;
@@ -873,14 +905,20 @@ fn drive_node(shared: &NetShared, node: NodeId) -> bool {
             return nq.retire();
         }
         // Batched virtual-time delivery: process the batch in virtual
-        // arrival order. The sort is stable, so same-instant envelopes
-        // (a delivery and its fault-injected duplicate) keep enqueue
-        // order.
+        // arrival order, with ties broken by (src, kind) rather than
+        // enqueue order — two same-instant arrivals from different
+        // senders race in real time, and the service-bus accounting
+        // they trigger is order-sensitive under window saturation, so
+        // an enqueue-order tiebreak would leak real time into virtual
+        // time. The sort is stable, so a delivery and its
+        // fault-injected duplicate (same src, kind, instant) keep
+        // enqueue order and the dedup window sees the original first.
         if batch.len() > 1 {
             batch.sort_by_key(|env| match env {
-                Envelope::User { arrive_ns, .. } | Envelope::Dup { arrive_ns, .. } => *arrive_ns,
-                Envelope::Fail { ready_ns, .. } => *ready_ns,
-                Envelope::Stop => 0,
+                Envelope::User { arrive_ns, src, kind, .. }
+                | Envelope::Dup { arrive_ns, src, kind, .. } => (*arrive_ns, *src, *kind),
+                Envelope::Fail { ready_ns, .. } => (*ready_ns, usize::MAX, u32::MAX),
+                Envelope::Stop => (0, 0, 0),
             });
         }
         let full = batch.len() == ENGINE_BATCH;

@@ -8,6 +8,48 @@
 
 use crate::addr::{GlobalAddr, RegionId, PAGE_SIZE};
 
+/// Layout hint for a shared allocation: how much to pad each logical
+/// element run (a matrix row, a counter slot) so that concurrent
+/// writers land on disjoint pages or cache lines.
+///
+/// This is the memory side of the tuner's false-sharing action: the
+/// analyzer flags pages written by several nodes at disjoint offsets,
+/// and the advisor answers with a `PadTo` hint that the workload's
+/// allocation honors on the next run. Padding never changes the values
+/// a workload computes — only where they live — so checksums are
+/// unaffected by any hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AlignHint {
+    /// Natural packed layout (stride = element size).
+    #[default]
+    None,
+    /// Round each element run up to the next multiple of `bytes`
+    /// (a power of two; `PAGE_SIZE` gives every run its own page).
+    PadTo(u32),
+}
+
+impl AlignHint {
+    /// The hint that pads each element run to a whole page.
+    pub fn page() -> Self {
+        AlignHint::PadTo(PAGE_SIZE as u32)
+    }
+
+    /// The stride (bytes between consecutive element runs) this hint
+    /// produces for runs of `natural` bytes.
+    pub fn padded_stride(self, natural: usize) -> usize {
+        match self {
+            AlignHint::None => natural,
+            AlignHint::PadTo(bytes) => {
+                assert!(
+                    bytes.is_power_of_two(),
+                    "AlignHint::PadTo must be a power of two, got {bytes}"
+                );
+                natural.div_ceil(bytes as usize) * bytes as usize
+            }
+        }
+    }
+}
+
 /// How a region's pages are assigned home nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Distribution {
@@ -96,6 +138,22 @@ impl Arena {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn align_hint_strides() {
+        assert_eq!(AlignHint::None.padded_stride(960), 960);
+        assert_eq!(AlignHint::PadTo(64).padded_stride(960), 960);
+        assert_eq!(AlignHint::PadTo(64).padded_stride(970), 1024);
+        assert_eq!(AlignHint::page().padded_stride(960), PAGE_SIZE);
+        assert_eq!(AlignHint::page().padded_stride(PAGE_SIZE), PAGE_SIZE);
+        assert_eq!(AlignHint::page().padded_stride(PAGE_SIZE + 1), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn align_hint_rejects_non_power_of_two() {
+        let _ = AlignHint::PadTo(96).padded_stride(100);
+    }
 
     #[test]
     fn block_distribution_chunks() {

@@ -26,7 +26,7 @@ pub mod page;
 pub mod store;
 
 pub use addr::{page_span, pages_for, GlobalAddr, PageId, RegionId, PAGE_SIZE};
-pub use arena::{Arena, Distribution};
+pub use arena::{AlignHint, Arena, Distribution};
 pub use dir::{RegionDir, RegionMeta};
 pub use diff::Diff;
 pub use notice::{Interval, WriteNotice};

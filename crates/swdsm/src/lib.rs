@@ -58,4 +58,4 @@ pub mod proto;
 pub use interconnect::Page;
 pub use memwire::{RegionDir, RegionMeta};
 pub use home::HomeStore;
-pub use node::{DsmConfig, DsmError, DsmNode, SwDsm};
+pub use node::{DsmConfig, DsmError, DsmNode, PlaceError, SwDsm, LOCAL_REGION_BASE};

@@ -16,6 +16,7 @@ use memwire::{
 use parking_lot::Mutex;
 use sim::{Histogram, MachineCost, StatSet};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Barrier ids with the top bit set are reserved for internal use
@@ -53,9 +54,49 @@ impl std::error::Error for DsmError {
     }
 }
 
+/// An explicit placement request (tuner action) was rejected. Rejections
+/// are counted under `plan_rejected`; the caller keeps the default
+/// placement and loses only the optimization, never correctness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaceError {
+    /// Explicit home placement is incompatible with write-notice
+    /// digests: digest validation compares per-home page version
+    /// counters, and a page whose home moves restarts its versions at
+    /// the new home, silently passing stale cached copies as valid.
+    /// (The same constraint rejects `home_migration` at install time.)
+    DigestActive,
+    /// The requested target rank does not exist on this cluster.
+    NoSuchNode {
+        /// The requested (out-of-range) rank.
+        to: usize,
+        /// Number of nodes in the cluster.
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaceError::DigestActive => write!(
+                f,
+                "explicit placement rejected: write-notice digests validate against \
+                 per-home page versions, which a home change would reset"
+            ),
+            PlaceError::NoSuchNode { to, nodes } => {
+                write!(f, "placement target {to} out of range (cluster has {nodes} nodes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
 /// Region ids at or above this belong to single-node (TreadMarks-style)
 /// allocations and encode the allocating rank.
-const LOCAL_REGION_BASE: u32 = 1 << 24;
+/// First region id of the single-node (non-collective) allocation
+/// space; collective region ids are below this. Pages in local regions
+/// are homed on the allocating rank and are never re-homing candidates.
+pub const LOCAL_REGION_BASE: u32 = 1 << 24;
 
 /// Protocol tunables of the software DSM.
 #[derive(Debug, Clone, Copy)]
@@ -130,7 +171,18 @@ pub struct SwDsm {
     stats: Vec<StatSet>,
     /// Pages whose home moved away from their distribution-derived node
     /// (the migration directory; real JiaJia piggybacks it on barriers).
+    /// Fed by adaptive migration and by explicit [`SwDsm::place_home`]
+    /// tuner actions.
     home_override: parking_lot::RwLock<HashMap<PageId, usize>>,
+    /// Fast-path flag: true once `home_override` has any entry, so the
+    /// hot `home_of` lookup skips the read lock on untuned runs.
+    home_overridden: AtomicBool,
+    /// Locks whose manager moved away from `lock % nodes` (explicit
+    /// [`SwDsm::place_lock`] tuner actions; applied before the run so
+    /// no queue state ever lives at the displaced manager).
+    lock_override: parking_lot::RwLock<HashMap<u32, usize>>,
+    /// Fast-path flag mirroring `home_overridden` for `lock_override`.
+    lock_overridden: AtomicBool,
     /// Per-home tracking of consecutive same-writer diffs, and the
     /// migration candidates gathered for the next barrier.
     migration: Vec<Mutex<MigrationTrack>>,
@@ -171,6 +223,9 @@ pub const STAT_NAMES: &[&str] = &[
     "digest_misses",
     "token_forwards",
     "tree_waves",
+    "tuner_actions",
+    "pages_rehomed",
+    "plan_rejected",
 ];
 
 impl SwDsm {
@@ -223,6 +278,9 @@ impl SwDsm {
                 .collect(),
             stats: (0..nodes).map(|_| StatSet::new(STAT_NAMES)).collect(),
             home_override: parking_lot::RwLock::new(HashMap::new()),
+            home_overridden: AtomicBool::new(false),
+            lock_override: parking_lot::RwLock::new(HashMap::new()),
+            lock_overridden: AtomicBool::new(false),
             migration: (0..nodes).map(|_| Mutex::new(MigrationTrack::default())).collect(),
             release_seen: (0..nodes).map(|_| Mutex::new(HashMap::new())).collect(),
             lock_hist: Histogram::new(),
@@ -334,10 +392,11 @@ impl SwDsm {
         self.lock_hist.clone()
     }
 
-    /// Home node of `page` (migration directory first, then the
-    /// allocation's distribution).
+    /// Home node of `page` (override directory first — adaptive
+    /// migrations and explicit placements — then the allocation's
+    /// distribution).
     pub fn home_of(&self, page: PageId) -> usize {
-        if self.cfg.home_migration {
+        if self.home_overridden.load(Ordering::Acquire) {
             if let Some(&home) = self.home_override.read().get(&page) {
                 return home;
             }
@@ -348,6 +407,71 @@ impl SwDsm {
         } else {
             self.dir.meta(page.region).home_of(page.index, self.nodes)
         }
+    }
+
+    /// Manager node of `lock` (override directory first — explicit
+    /// [`SwDsm::place_lock`] tuner actions — then the default
+    /// round-robin `lock % nodes` mapping).
+    pub fn lock_mgr_of(&self, lock: u32) -> usize {
+        if self.lock_overridden.load(Ordering::Acquire) {
+            if let Some(&mgr) = self.lock_override.read().get(&lock) {
+                return mgr;
+            }
+        }
+        lock as usize % self.nodes
+    }
+
+    /// Explicitly place the home of `page` on node `to` (the tuner's
+    /// re-homing action). Call *before* [`Cluster::run`]: placement is
+    /// part of run configuration, like the sync topology — moving a
+    /// home mid-run outside the barrier quiescent point would race the
+    /// page's own diff traffic.
+    ///
+    /// Rejected (counted under `plan_rejected` at `to`) when write-notice
+    /// digests are active: digest validation relies on per-home page
+    /// version counters, which an explicit home change would reset —
+    /// the same constraint that bars `home_migration` at install time.
+    /// On success the master copy (if any) moves to `to` and
+    /// `pages_rehomed` + `tuner_actions` are counted there.
+    pub fn place_home(&self, page: PageId, to: usize) -> Result<(), PlaceError> {
+        if to >= self.nodes {
+            return Err(PlaceError::NoSuchNode { to, nodes: self.nodes });
+        }
+        if self.digest_runs().is_some() {
+            self.stats[to].add("plan_rejected", 1);
+            return Err(PlaceError::DigestActive);
+        }
+        // Placement usually precedes the run that allocates the region
+        // (ids are deterministic under collective allocation), so there
+        // is nothing to move yet — the new home zero-fills lazily. Only
+        // an already-allocated region can hold a master copy to carry.
+        if page.region < LOCAL_REGION_BASE && self.dir.exists(page.region) {
+            let old = self.home_of(page);
+            if old != to {
+                let bytes = self.homes[old].lock().snapshot(page);
+                self.homes[to].lock().replace(page, bytes);
+            }
+        }
+        self.home_override.write().insert(page, to);
+        self.home_overridden.store(true, Ordering::Release);
+        self.stats[to].add("pages_rehomed", 1);
+        self.stats[to].add("tuner_actions", 1);
+        Ok(())
+    }
+
+    /// Explicitly place the manager of `lock` on node `to` (the tuner's
+    /// lock-placement action, e.g. toward the dominant acquirer). Call
+    /// *before* [`Cluster::run`]: every node must agree on the manager
+    /// before the first acquire, or queue state would strand at the
+    /// displaced manager. Counted under `tuner_actions` at `to`.
+    pub fn place_lock(&self, lock: u32, to: usize) -> Result<(), PlaceError> {
+        if to >= self.nodes {
+            return Err(PlaceError::NoSuchNode { to, nodes: self.nodes });
+        }
+        self.lock_override.write().insert(lock, to);
+        self.lock_overridden.store(true, Ordering::Release);
+        self.stats[to].add("tuner_actions", 1);
+        Ok(())
     }
 
     /// Record a remote diff for migration tracking (at the home `node`).
@@ -396,6 +520,7 @@ impl SwDsm {
                 let bytes = self.homes[old_home].lock().snapshot(page);
                 self.homes[new_home].lock().replace(page, bytes);
                 self.home_override.write().insert(page, new_home);
+                self.home_overridden.store(true, Ordering::Release);
                 self.stats[new_home].add("migrations", 1);
                 moved += 1;
             }
@@ -838,7 +963,7 @@ impl SwDsm {
             move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
                 let req = downcast::<TokAcquireLocal>(p);
                 let seq = dsm.lockmgrs[node].lock().tok_begin_acquire(req.lock);
-                let mgr = req.lock as usize % dsm.nodes;
+                let mgr = dsm.lock_mgr_of(req.lock);
                 dsm.count_sync(node, mgr, 0);
                 ctx.post(mgr, kinds::TOK_ACQ, TokAcquire { lock: req.lock, who: node, seq }, 24);
                 Outcome::done()
@@ -898,7 +1023,7 @@ impl SwDsm {
                 {
                     match step {
                         TokHolderStep::Claim { succ } => {
-                            let mgr = msg.lock as usize % dsm.nodes;
+                            let mgr = dsm.lock_mgr_of(msg.lock);
                             dsm.count_sync(node, mgr, 0);
                             ctx.post(mgr, kinds::TOK_CLAIM, TokClaim { lock: msg.lock, succ }, 16);
                         }
@@ -922,7 +1047,7 @@ impl SwDsm {
                         dsm.send_token_pass(ctx, node, msg.lock, to, notices);
                     }
                     TokHolderStep::Return { seq, notices } => {
-                        let mgr = msg.lock as usize % dsm.nodes;
+                        let mgr = dsm.lock_mgr_of(msg.lock);
                         let records = notices.iter().map(|(_, iv)| iv.notices.len() as u64).sum();
                         let ret = TokReturn { lock: msg.lock, who: node, seq, notices };
                         let bytes = ret.wire_bytes();
@@ -1747,7 +1872,7 @@ impl DsmNode {
     fn try_acquire_mode(&self, lock: u32, mode: crate::lockmgr::Mode) -> Result<(), DsmError> {
         let t0 = self.ctx.clock().now();
         self.stat("lock_acquires", 1);
-        let mgr = lock as usize % self.dsm.nodes;
+        let mgr = self.dsm.lock_mgr_of(lock);
         let notices = if self.dsm.sync.locks == LockTopology::TokenQueue {
             // MCS-style token queue (shared mode serializes as
             // exclusive): kick the local handler, which enqueues at the
@@ -1853,7 +1978,7 @@ impl DsmNode {
             sim::trace::instant_corr(self.ctx.clock().now(), self.rank, "swdsm", "lock_release", lock as u64, corr);
             return Ok(());
         }
-        let mgr = lock as usize % self.dsm.nodes;
+        let mgr = self.dsm.lock_mgr_of(lock);
         let rel = LockRel { lock, releaser: self.rank, interval };
         let bytes = 16 + rel.interval.wire_bytes();
         if self.resilient() {

@@ -1,0 +1,168 @@
+//! Reading `hamster-analysis-v1` report documents back into the typed
+//! summary the advisor works from.
+//!
+//! The tuner deliberately consumes the *rendered artifact* rather than
+//! the analyzer's in-memory structs: the loop is configuration-driven
+//! end to end, so a committed `BENCH_*.json` from a past run tunes a
+//! future run just as well as a fresh in-process report.
+
+use sim::json::{self, Value};
+
+/// Lane order used throughout (matches the analyzer's `Lane::all`).
+pub const LANE_NAMES: [&str; 5] =
+    ["compute_ns", "net_ns", "page_fault_ns", "lock_wait_ns", "barrier_wait_ns"];
+
+/// One lock row of the report (`locks[]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockRow {
+    /// Module that owns the lock ("swdsm", "hybriddsm", ...).
+    pub module: String,
+    /// Lock id.
+    pub lock: u32,
+    /// Completed acquisitions.
+    pub acquires: u64,
+    /// Total wait time.
+    pub wait_ns: u64,
+    /// Node with the most acquisitions.
+    pub top_acquirer: usize,
+    /// That node's acquisition count.
+    pub top_acquirer_acquires: u64,
+}
+
+/// One page row of the report (`pages[]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageRow {
+    /// Packed page id (`memwire::PageId::pack`).
+    pub page: u64,
+    /// Read faults.
+    pub faults: u64,
+    /// Total fault stall time.
+    pub fault_ns: u64,
+    /// Distinct writing nodes.
+    pub writers: u64,
+    /// Total writes.
+    pub writes: u64,
+    /// Node with the most writes.
+    pub top_writer: usize,
+    /// That node's write count.
+    pub top_writer_writes: u64,
+}
+
+/// The slice of a report the advisor needs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReportSummary {
+    /// End-to-end virtual-time makespan.
+    pub makespan_ns: u64,
+    /// Cluster size (length of the per-node breakdown).
+    pub nodes: usize,
+    /// Lane totals summed across nodes, in [`LANE_NAMES`] order.
+    pub lanes: [u64; 5],
+    /// Per-lock contention rows.
+    pub locks: Vec<LockRow>,
+    /// Per-page fault/write rows.
+    pub pages: Vec<PageRow>,
+    /// Packed ids of pages flagged for false sharing.
+    pub false_sharing: Vec<u64>,
+}
+
+fn num(v: &Value, key: &str, at: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_num)
+        .map(|n| n as u64)
+        .ok_or_else(|| format!("{at}: missing number '{key}'"))
+}
+
+/// Parse a `hamster-analysis-v1` JSON document into a summary.
+pub fn parse_report(text: &str) -> Result<ReportSummary, String> {
+    let v = json::parse(text)?;
+    if v.get("schema").and_then(Value::as_str) != Some("hamster-analysis-v1") {
+        return Err("not a hamster-analysis-v1 document".into());
+    }
+    let mut out = ReportSummary { makespan_ns: num(&v, "makespan_ns", "report")?, ..Default::default() };
+    let nodes = v.get("nodes").and_then(Value::as_array).ok_or("missing 'nodes'")?;
+    out.nodes = nodes.len();
+    for n in nodes {
+        let lanes = n.get("lanes").ok_or("node row: missing 'lanes'")?;
+        for (slot, key) in out.lanes.iter_mut().zip(LANE_NAMES) {
+            *slot += num(lanes, key, "lanes")?;
+        }
+    }
+    for l in v.get("locks").and_then(Value::as_array).ok_or("missing 'locks'")? {
+        out.locks.push(LockRow {
+            module: l
+                .get("module")
+                .and_then(Value::as_str)
+                .ok_or("lock row: missing 'module'")?
+                .to_string(),
+            lock: num(l, "lock", "lock row")? as u32,
+            acquires: num(l, "acquires", "lock row")?,
+            wait_ns: num(l, "wait_ns", "lock row")?,
+            top_acquirer: num(l, "top_acquirer", "lock row")? as usize,
+            top_acquirer_acquires: num(l, "top_acquirer_acquires", "lock row")?,
+        });
+    }
+    for p in v.get("pages").and_then(Value::as_array).ok_or("missing 'pages'")? {
+        out.pages.push(PageRow {
+            page: num(p, "page", "page row")?,
+            faults: num(p, "faults", "page row")?,
+            fault_ns: num(p, "fault_ns", "page row")?,
+            writers: num(p, "writers", "page row")?,
+            writes: num(p, "writes", "page row")?,
+            top_writer: num(p, "top_writer", "page row")? as usize,
+            top_writer_writes: num(p, "top_writer_writes", "page row")?,
+        });
+    }
+    for f in v.get("false_sharing").and_then(Value::as_array).ok_or("missing 'false_sharing'")? {
+        out.false_sharing.push(num(f, "page", "false_sharing row")?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+      "schema": "hamster-analysis-v1",
+      "makespan_ns": 1000,
+      "events": 4,
+      "nodes": [
+        {"node": 0, "makespan_ns": 1000, "lanes": {"compute_ns": 600, "net_ns": 100, "page_fault_ns": 100, "lock_wait_ns": 100, "barrier_wait_ns": 100}},
+        {"node": 1, "makespan_ns": 1000, "lanes": {"compute_ns": 500, "net_ns": 0, "page_fault_ns": 0, "lock_wait_ns": 400, "barrier_wait_ns": 100}}
+      ],
+      "critical_path": {"total_ns": 1000, "steps": 2, "contributors": []},
+      "locks": [
+        {"module": "swdsm", "lock": 1, "acquires": 10, "wait_ns": 500, "wait": {"count": 10, "p50": 50, "p90": 50, "p99": 50, "max": 50, "mean": 50}, "holds": 10, "hold_ns": 100, "grants": 10, "handoffs": 4, "top_acquirer": 1, "top_acquirer_acquires": 8}
+      ],
+      "pages": [
+        {"page": 4294967298, "faults": 12, "fault_ns": 900, "writers": 2, "writes": 20, "top_writer": 1, "top_writer_writes": 18}
+      ],
+      "false_sharing": [
+        {"page": 3, "nodes": [0, 1], "offsets": [0, 512]}
+      ],
+      "invalidations": 2,
+      "net_rtt": {"count": 0, "p50": 0, "p90": 0, "p99": 0, "max": 0, "mean": 0},
+      "lock_wait": {"count": 0, "p50": 0, "p90": 0, "p99": 0, "max": 0, "mean": 0},
+      "phases": []
+    }"#;
+
+    #[test]
+    fn parses_the_fields_the_advisor_needs() {
+        let s = parse_report(SAMPLE).unwrap();
+        assert_eq!(s.makespan_ns, 1000);
+        assert_eq!(s.nodes, 2);
+        assert_eq!(s.lanes, [1100, 100, 100, 500, 200]);
+        assert_eq!(s.locks.len(), 1);
+        assert_eq!((s.locks[0].lock, s.locks[0].top_acquirer), (1, 1));
+        assert_eq!(s.pages.len(), 1);
+        assert_eq!((s.pages[0].page, s.pages[0].top_writer_writes), (4294967298, 18));
+        assert_eq!(s.false_sharing, vec![3]);
+    }
+
+    #[test]
+    fn rejects_foreign_documents() {
+        assert!(parse_report("{}").is_err());
+        assert!(parse_report("{\"schema\": \"other\"}").is_err());
+        assert!(parse_report("not json").is_err());
+    }
+}

@@ -87,9 +87,23 @@ pub fn run_native_sync<T: Send>(
     sync: cluster::SyncTopology,
     f: impl Fn(&NativeWorld) -> T + Send + Sync,
 ) -> (cluster::RunReport, Vec<T>) {
+    run_native_cost(nodes, dsm_cfg, sync, sim::CostModel::default(), f)
+}
+
+/// [`run_native_sync`] with an explicit cost model (the figure harness
+/// pins the Ethernet link rate below bus-window saturation so virtual
+/// times are exactly reproducible).
+pub fn run_native_cost<T: Send>(
+    nodes: usize,
+    dsm_cfg: swdsm::DsmConfig,
+    sync: cluster::SyncTopology,
+    cost: sim::CostModel,
+    f: impl Fn(&NativeWorld) -> T + Send + Sync,
+) -> (cluster::RunReport, Vec<T>) {
     let fabric = cluster::FabricConfig::builder()
         .nodes(nodes)
         .link(cluster::LinkKind::Ethernet)
+        .cost(cost)
         .sync(sync)
         .build();
     let c = cluster::Cluster::new(fabric);

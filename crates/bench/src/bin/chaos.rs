@@ -7,10 +7,13 @@
 //! * the same seed reproduces the identical fault schedule, retry
 //!   counts, and virtual times (asserted by running the chaos
 //!   configuration twice),
-//! * both under the centralized sync protocols and under the tree
-//!   barrier with digest waves (the scalable preset minus the token
-//!   queue, which the resilience layer refuses to combine with fault
-//!   injection).
+//! * both under the centralized sync protocols and under the full
+//!   scalable preset — tree barrier, digest waves, and the token queue
+//!   (whose manager-mediated resilient grant machine replays lost or
+//!   duplicated handoffs),
+//! * and additionally under elastic-membership churn: a node leaves and
+//!   recovers twice mid-run on top of the link faults, and the
+//!   checksums still match the fault-free run bit for bit.
 //!
 //! Emits `BENCH_chaos.json` with runs-to-completion, fault/retry
 //! counters, and the virtual latency the faults added.
@@ -22,7 +25,7 @@ use bench::suite::Sizes;
 use bench::Args;
 use cluster::{Cluster, FabricConfig, LinkKind, RunReport};
 use interconnect::fault::{CrashWindow, FaultPlan, LinkFaults};
-use interconnect::Resilience;
+use interconnect::{MembershipPlan, Resilience};
 use std::collections::BTreeMap;
 
 /// The fixed chaos seed: every run of this binary injects the identical
@@ -52,7 +55,19 @@ fn chaos_plan(nodes: usize) -> FaultPlan {
     plan
 }
 
-fn fabric(nodes: usize, sync: cluster::SyncTopology, faults: Option<FaultPlan>) -> FabricConfig {
+/// Two leave/recover cycles after the chaos crash window heals: the
+/// victim (never node 0) departs and rejoins while link faults are
+/// still firing, exercising view-epoch fencing on top of retries.
+fn churn_plan(nodes: usize) -> MembershipPlan {
+    MembershipPlan::churn(SEED, nodes, 14_000_000, 26_000_000, 2)
+}
+
+fn fabric(
+    nodes: usize,
+    sync: cluster::SyncTopology,
+    faults: Option<FaultPlan>,
+    membership: Option<MembershipPlan>,
+) -> FabricConfig {
     // Pin Ethernet at 250 MB/s, below bus-window saturation: the
     // determinism this binary asserts is only guaranteed while link
     // windows stay unsaturated (a saturated window's slowdown depends
@@ -69,17 +84,20 @@ fn fabric(nodes: usize, sync: cluster::SyncTopology, faults: Option<FaultPlan>) 
     if let Some(plan) = faults {
         b = b.chaos(plan).resilience(Resilience::default());
     }
+    if let Some(plan) = membership {
+        b = b.membership(plan);
+    }
     b.build()
 }
 
-/// The tree-barrier topology chaos also runs under: fanout-4 tree with
-/// digest waves. Locks stay manager-owned — the resilient install
-/// rejects the token queue, whose forwarded grants are not idempotent
-/// under retries.
+/// The scalable topology chaos also runs under: fanout-4 tree barrier,
+/// digest waves, and token-queue locks — the resilient token machine
+/// (sequence-numbered tenures, manager-mediated replay) makes
+/// token-queue handoff idempotent under drops, duplicates, and crashes.
 fn tree_sync() -> cluster::SyncTopology {
     cluster::SyncTopology {
         barrier: cluster::BarrierTopology::Tree { fanout: 4 },
-        locks: cluster::LockTopology::Manager,
+        locks: cluster::LockTopology::TokenQueue,
         notices: cluster::NoticeWire::Digest { max_runs: 64 },
     }
 }
@@ -95,9 +113,10 @@ fn run(
     nodes: usize,
     sync: cluster::SyncTopology,
     faults: Option<FaultPlan>,
+    membership: Option<MembershipPlan>,
     bench: impl Fn(&NativeWorld) -> BenchResult + Send + Sync,
 ) -> ChaosRun {
-    let cluster = Cluster::new(fabric(nodes, sync, faults));
+    let cluster = Cluster::new(fabric(nodes, sync, faults, membership));
     let dsm = swdsm::SwDsm::install(&cluster, swdsm::DsmConfig::default());
     let (report, rs) = cluster.run(|ctx| bench(&NativeWorld::new(dsm.node(ctx))));
     let mut sums: BTreeMap<&'static str, u64> = BTreeMap::new();
@@ -113,13 +132,15 @@ fn workload_row(
     name: &str,
     nodes: usize,
     sync: cluster::SyncTopology,
+    churn: bool,
     base: &ChaosRun,
     bench: impl Fn(&NativeWorld) -> BenchResult + Send + Sync,
 ) -> Json {
+    let membership = || churn.then(|| churn_plan(nodes));
     eprintln!("{name}: chaos run (seed {SEED})...");
-    let chaos = run(nodes, sync, Some(chaos_plan(nodes)), &bench);
+    let chaos = run(nodes, sync, Some(chaos_plan(nodes)), membership(), &bench);
     eprintln!("{name}: chaos run again (determinism check)...");
-    let again = run(nodes, sync, Some(chaos_plan(nodes)), &bench);
+    let again = run(nodes, sync, Some(chaos_plan(nodes)), membership(), &bench);
 
     // Bit-identical numerical results despite drops, dups, delays, and
     // the crash window: the retry/replay machinery is exactly-once.
@@ -143,6 +164,9 @@ fn workload_row(
     assert!(stat("faults_dropped") > 0, "{name}: no drops injected");
     assert!(stat("faults_dup") > 0, "{name}: no duplicates injected");
     assert!(stat("retries") > 0, "{name}: no retries exercised");
+    if churn {
+        assert!(stat("nodedown") > 0, "{name}: churn absence windows never observed");
+    }
 
     let base_ns = base.report.sim_time_ns;
     let chaos_ns = chaos.report.sim_time_ns;
@@ -199,14 +223,17 @@ fn main() {
     let sor = |w: &NativeWorld| apps::sor::sor(w, sor_n, sor_iters, true);
     let lu = |w: &NativeWorld| apps::lu::lu(w, lu_n);
     eprintln!("SOR: fault-free baseline...");
-    let sor_base = run(args.nodes, cluster::SyncTopology::centralized(), None, sor);
+    let sor_base = run(args.nodes, cluster::SyncTopology::centralized(), None, None, sor);
     eprintln!("LU: fault-free baseline...");
-    let lu_base = run(args.nodes, cluster::SyncTopology::centralized(), None, lu);
+    let lu_base = run(args.nodes, cluster::SyncTopology::centralized(), None, None, lu);
+    let central = cluster::SyncTopology::centralized;
     let rows = vec![
-        workload_row("SOR/central", args.nodes, cluster::SyncTopology::centralized(), &sor_base, sor),
-        workload_row("SOR/tree", args.nodes, tree_sync(), &sor_base, sor),
-        workload_row("LU/central", args.nodes, cluster::SyncTopology::centralized(), &lu_base, lu),
-        workload_row("LU/tree", args.nodes, tree_sync(), &lu_base, lu),
+        workload_row("SOR/central", args.nodes, central(), false, &sor_base, sor),
+        workload_row("SOR/tree", args.nodes, tree_sync(), false, &sor_base, sor),
+        workload_row("SOR/churn", args.nodes, tree_sync(), true, &sor_base, sor),
+        workload_row("LU/central", args.nodes, central(), false, &lu_base, lu),
+        workload_row("LU/tree", args.nodes, tree_sync(), false, &lu_base, lu),
+        workload_row("LU/churn", args.nodes, tree_sync(), true, &lu_base, lu),
     ];
     println!("{:-<100}", "");
     println!("all workloads completed with bit-identical checksums; schedules reproduced exactly");
@@ -223,6 +250,8 @@ fn main() {
             ("dup_ppm", Json::int(20_000)),
             ("delay_ppm", Json::int(50_000)),
             ("crash_window_ns", Json::Arr(vec![Json::int(6_000_000), Json::int(12_000_000)])),
+            ("churn_window_ns", Json::Arr(vec![Json::int(14_000_000), Json::int(26_000_000)])),
+            ("churn_cycles", Json::int(2)),
             ("rows", Json::Arr(rows)),
         ]),
     );

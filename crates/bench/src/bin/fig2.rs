@@ -8,7 +8,7 @@
 //! Positive = slowdown under HAMSTER; negative = speedup.
 
 use bench::report::{write_report, Json};
-use bench::suite::{suite_hamster_repeat, suite_native_repeat, Sizes, ROWS};
+use bench::suite::{suite_hamster_pinned, suite_native_pinned, Sizes, PINNED_ETHERNET_BPS, ROWS};
 use bench::{bar, Args};
 use hamster_core::PlatformKind;
 
@@ -16,10 +16,16 @@ fn main() {
     let args = Args::parse(4);
     let sizes = Sizes::choose(args.quick);
     let repeat = if args.quick { 1 } else { 3 };
+    // Ethernet pinned at 250 MB/s (below bus-window saturation, like the
+    // chaos bench) so this figure's report is committed to
+    // bench-baselines/ and gated. Gating is banded, not exact: PI and
+    // WATER contend on locks, and contended grant order follows real
+    // message arrival (OBSERVABILITY.md, "Contended locks"), so those
+    // rows' virtual times legitimately jitter a few percent.
     eprintln!("running native suite ({} nodes, best of {repeat})...", args.nodes);
-    let native = suite_native_repeat(args.nodes, sizes, repeat);
+    let native = suite_native_pinned(args.nodes, sizes, repeat);
     eprintln!("running HAMSTER suite ({} nodes, best of {repeat})...", args.nodes);
-    let ham = suite_hamster_repeat(args.nodes, PlatformKind::SwDsm, sizes, repeat);
+    let ham = suite_hamster_pinned(args.nodes, PlatformKind::SwDsm, sizes, repeat);
 
     let rows = ROWS
         .iter()
@@ -42,6 +48,8 @@ fn main() {
             ("nodes", Json::int(args.nodes)),
             ("quick", Json::Bool(args.quick)),
             ("repeat", Json::int(repeat)),
+            ("ethernet_bytes_per_sec", Json::int(PINNED_ETHERNET_BPS)),
+            ("tolerance_pct", Json::num(10.0)),
             ("rows", Json::Arr(rows)),
         ]),
     );

@@ -5,13 +5,16 @@
 //! current directory. Virtual-time leaves must match **exactly** (the
 //! simulation is deterministic; a drifting virtual number is a real
 //! perf or protocol change someone must own), while wall-clock-derived
-//! leaves (`*wall*`, `*per_sec*`) get ±10% (see `bench::trend`).
+//! leaves (`*wall*`, `*per_sec*`) get ±10%, and an artifact declaring
+//! `"tolerance_pct"` at its root (fig2/fig3, whose lock-contended rows
+//! jitter with real grant order) gets that band (see `bench::trend`).
 //!
 //! Usage:
 //!
 //! ```text
-//! perf_trend            # compare, exit 1 on any drift
-//! perf_trend --update   # copy current artifacts over the baselines
+//! perf_trend                 # compare, exit 1 on any drift
+//! perf_trend --update        # copy current artifacts over the baselines
+//! perf_trend --only <name>   # gate one artifact (e.g. --only membership)
 //! ```
 //!
 //! A deliberate perf change therefore lands as: regenerate the
@@ -30,14 +33,24 @@ fn read(path: &Path) -> String {
 }
 
 fn main() {
-    let update = match std::env::args().nth(1).as_deref() {
-        None => false,
-        Some("--update") => true,
-        Some(other) => {
-            eprintln!("unknown flag {other:?} (only --update is supported)");
-            std::process::exit(2);
+    let mut update = false;
+    let mut only: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--update" => update = true,
+            "--only" => {
+                only = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--only needs an artifact name (e.g. --only membership)");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown flag {other:?} (supported: --update, --only <name>)");
+                std::process::exit(2);
+            }
         }
-    };
+    }
 
     let dir = Path::new(BASELINE_DIR);
     let mut names: Vec<String> = std::fs::read_dir(dir)
@@ -46,6 +59,11 @@ fn main() {
         .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
         .collect();
     names.sort();
+    if let Some(only) = &only {
+        // Accept both the bare figure name and the full file name.
+        names.retain(|n| n == only || *n == format!("BENCH_{only}.json"));
+        assert!(!names.is_empty(), "--only {only:?} matches no baseline in {BASELINE_DIR}/");
+    }
     assert!(!names.is_empty(), "{BASELINE_DIR}/ holds no BENCH_*.json baselines");
 
     let mut failed = false;

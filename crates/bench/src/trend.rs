@@ -4,15 +4,34 @@
 //! The repo's benchmark artifacts are *virtual-time* measurements from
 //! the simulated cluster, so almost every field is byte-deterministic
 //! and must match the committed baseline **exactly** — a changed
-//! virtual number is a real behavior change, not noise. The only
-//! exceptions are wall-clock-derived leaves (key contains `wall` or
-//! `per_sec`), which depend on the machine and get a relative
-//! tolerance instead.
+//! virtual number is a real behavior change, not noise. Two
+//! exceptions:
+//!
+//! * wall-clock-derived leaves (key contains `wall` or `per_sec`)
+//!   depend on the machine and get a relative tolerance;
+//! * an artifact whose root object declares `"tolerance_pct": N`
+//!   opts its numeric leaves into a ±N% band (absolute ±N points for
+//!   `*_pct` leaves, whose baselines sit near zero). fig2/fig3 use
+//!   this: their PI and WATER rows contend on locks, and contended
+//!   grant order follows real message arrival (see OBSERVABILITY.md,
+//!   "Contended locks"), so those virtual times legitimately jitter.
 
 use sim::json::Value;
 
 /// Relative tolerance (percent) for wall-clock-derived leaves.
 pub const WALL_TOLERANCE_PCT: f64 = 10.0;
+
+/// The tolerance an artifact's root object declares for its own
+/// numeric leaves (0 = exact, the default).
+pub fn declared_tolerance_pct(baseline: &Value) -> f64 {
+    match baseline {
+        Value::Obj(m) => match m.get("tolerance_pct") {
+            Some(Value::Num(n)) => *n,
+            _ => 0.0,
+        },
+        _ => 0.0,
+    }
+}
 
 /// Cap on reported differences per file — enough to diagnose, not a
 /// dump of every row after a schema change.
@@ -26,8 +45,14 @@ pub fn is_wall_key(key: &str) -> bool {
 
 /// Compare `current` against `baseline`, appending human-readable
 /// difference descriptions to `diffs`. `path` is the JSON-pointer-ish
-/// location prefix ("" at the root).
+/// location prefix ("" at the root); a root call reads the baseline's
+/// declared tolerance (see module docs).
 pub fn compare(baseline: &Value, current: &Value, path: &str, diffs: &mut Vec<String>) {
+    let tol = if path.is_empty() { declared_tolerance_pct(baseline) } else { 0.0 };
+    compare_at(baseline, current, path, diffs, tol);
+}
+
+fn compare_at(baseline: &Value, current: &Value, path: &str, diffs: &mut Vec<String>, tol: f64) {
     if diffs.len() >= MAX_DIFFS {
         return;
     }
@@ -36,7 +61,7 @@ pub fn compare(baseline: &Value, current: &Value, path: &str, diffs: &mut Vec<St
             for key in b.keys().chain(c.keys().filter(|k| !b.contains_key(*k))) {
                 let at = if path.is_empty() { key.clone() } else { format!("{path}.{key}") };
                 match (b.get(key), c.get(key)) {
-                    (Some(bv), Some(cv)) => compare_leaf_or_node(key, bv, cv, &at, diffs),
+                    (Some(bv), Some(cv)) => compare_leaf_or_node(key, bv, cv, &at, diffs, tol),
                     (Some(_), None) => diffs.push(format!("{at}: missing from current run")),
                     (None, Some(_)) => diffs.push(format!("{at}: not in baseline")),
                     (None, None) => unreachable!(),
@@ -52,7 +77,7 @@ pub fn compare(baseline: &Value, current: &Value, path: &str, diffs: &mut Vec<St
                 return;
             }
             for (i, (bv, cv)) in b.iter().zip(c).enumerate() {
-                compare(bv, cv, &format!("{path}[{i}]"), diffs);
+                compare_at(bv, cv, &format!("{path}[{i}]"), diffs, tol);
                 if diffs.len() >= MAX_DIFFS {
                     return;
                 }
@@ -66,9 +91,19 @@ pub fn compare(baseline: &Value, current: &Value, path: &str, diffs: &mut Vec<St
     }
 }
 
-/// Numbers under a wall-clock key get the tolerance; everything else
-/// recurses into the exact comparison.
-fn compare_leaf_or_node(key: &str, baseline: &Value, current: &Value, at: &str, diffs: &mut Vec<String>) {
+/// Numbers under a wall-clock key get the wall tolerance; numbers in
+/// an artifact with a declared tolerance get that band (relative for
+/// plain leaves, absolute percentage *points* for `*_pct` leaves,
+/// whose baselines sit near zero where a relative band means
+/// nothing); everything else recurses into the exact comparison.
+fn compare_leaf_or_node(
+    key: &str,
+    baseline: &Value,
+    current: &Value,
+    at: &str,
+    diffs: &mut Vec<String>,
+    tol: f64,
+) {
     if let (Value::Num(b), Value::Num(c)) = (baseline, current) {
         if is_wall_key(key) {
             if (c - b).abs() > b.abs() * WALL_TOLERANCE_PCT / 100.0 {
@@ -78,8 +113,17 @@ fn compare_leaf_or_node(key: &str, baseline: &Value, current: &Value, at: &str, 
             }
             return;
         }
+        if tol > 0.0 {
+            let limit = if key.ends_with("_pct") { tol } else { b.abs() * tol / 100.0 };
+            if (c - b).abs() > limit {
+                diffs.push(format!(
+                    "{at}: {b} -> {c} (beyond the artifact's declared ±{tol}% tolerance)"
+                ));
+            }
+            return;
+        }
     }
-    compare(baseline, current, at, diffs);
+    compare_at(baseline, current, at, diffs, tol);
 }
 
 #[cfg(test)]
@@ -119,6 +163,29 @@ mod tests {
     fn a_zero_wall_baseline_tolerates_only_zero() {
         assert!(diffs(r#"{"wall_ns": 0}"#, r#"{"wall_ns": 0}"#).is_empty());
         assert_eq!(diffs(r#"{"wall_ns": 0}"#, r#"{"wall_ns": 1}"#).len(), 1);
+    }
+
+    #[test]
+    fn declared_tolerance_widens_numeric_leaves() {
+        let base = r#"{"tolerance_pct": 10, "rows": [{"hamster_s": 100.0}]}"#;
+        assert!(diffs(base, r#"{"tolerance_pct": 10, "rows": [{"hamster_s": 109.0}]}"#).is_empty());
+        let d = diffs(base, r#"{"tolerance_pct": 10, "rows": [{"hamster_s": 111.0}]}"#);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].contains("declared ±10% tolerance"), "{d:?}");
+    }
+
+    #[test]
+    fn pct_leaves_under_declared_tolerance_get_absolute_points() {
+        // *_pct baselines sit near zero, where a relative band means
+        // nothing — the declared tolerance is absolute points there.
+        let base = r#"{"tolerance_pct": 10, "overhead_pct": 2.0}"#;
+        assert!(diffs(base, r#"{"tolerance_pct": 10, "overhead_pct": 11.5}"#).is_empty());
+        assert_eq!(diffs(base, r#"{"tolerance_pct": 10, "overhead_pct": 12.5}"#).len(), 1);
+    }
+
+    #[test]
+    fn without_a_declaration_leaves_stay_exact() {
+        assert_eq!(diffs(r#"{"hamster_s": 100.0}"#, r#"{"hamster_s": 100.1}"#).len(), 1);
     }
 
     #[test]

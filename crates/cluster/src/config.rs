@@ -1,7 +1,7 @@
 //! Fabric configuration and the textual configuration-file format.
 
 use interconnect::fault::{FaultPlan, Resilience};
-use interconnect::{EngineMode, SyncTopology};
+use interconnect::{EngineMode, MembershipPlan, SyncTopology};
 use sim::{CostModel, LinkCost};
 use std::collections::BTreeMap;
 use std::str::FromStr;
@@ -51,6 +51,13 @@ pub struct FabricConfig {
     /// Timeout/retry policy for the resilient request path. Defaults to
     /// [`Resilience::default`] whenever a fault plan is installed.
     pub resilience: Option<Resilience>,
+    /// Elastic-membership schedule (join/leave/recover churn). The
+    /// cluster layer epoch-fences in-flight traffic against it and
+    /// merges its absence windows into the fault plan's crash windows
+    /// (installing a default plan and resilience policy when none is
+    /// configured), so a departed node is unreachable until it
+    /// recovers. `None` keeps membership static.
+    pub membership: Option<MembershipPlan>,
     /// Which delivery engine runs the fabric (default: the sharded
     /// event-driven scheduler). Virtual-time results are identical
     /// across engines; only wall-clock throughput differs.
@@ -74,6 +81,7 @@ impl FabricConfig {
             unified_messaging: false,
             faults: None,
             resilience: None,
+            membership: None,
             engine: EngineMode::default(),
             sync: SyncTopology::default(),
         }
@@ -173,6 +181,13 @@ impl FabricConfigBuilder {
     /// Install a timeout/retry policy for the resilient request path.
     pub fn resilience(mut self, r: Resilience) -> Self {
         self.cfg.resilience = Some(r);
+        self
+    }
+
+    /// Install an elastic-membership schedule (see
+    /// [`FabricConfig::membership`]).
+    pub fn membership(mut self, plan: MembershipPlan) -> Self {
+        self.cfg.membership = Some(plan);
         self
     }
 

@@ -26,7 +26,10 @@ pub mod registry;
 pub mod runner;
 
 pub use config::{ConfigMap, FabricConfig, FabricConfigBuilder, LinkKind};
-pub use interconnect::{BarrierTopology, EngineMode, LockTopology, NoticeWire, SyncTopology};
+pub use interconnect::{
+    BarrierTopology, EngineMode, LockTopology, MembershipPlan, MembershipSpec, NoticeWire,
+    SyncTopology, ViewChange,
+};
 pub use node::NodeCtx;
 pub use registry::{NodeInfo, Registry};
 pub use runner::{Cluster, RunReport};

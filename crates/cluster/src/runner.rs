@@ -41,10 +41,25 @@ impl Cluster {
     /// Bring up a cluster per `config`: network fabric, per-node clocks,
     /// registry, and memory buses.
     pub fn new(config: FabricConfig) -> Self {
+        // Elastic membership rides on the fault layer: a departed node
+        // is "crashed" until it recovers, so the plan's absence windows
+        // are merged into the crash schedule (creating a fault plan —
+        // and thereby a default resilience policy — when chaos is not
+        // otherwise configured). The plan itself goes to the fabric for
+        // view-epoch fencing.
+        let mut faults = config.faults.clone();
+        if let Some(mp) = &config.membership {
+            let plan = faults.get_or_insert_with(|| interconnect::FaultPlan {
+                seed: mp.seed,
+                ..interconnect::FaultPlan::default()
+            });
+            plan.crashes.extend(mp.outages());
+        }
         let network = Network::builder(config.nodes, config.link_cost())
             .unified(config.unified_saving_ns())
-            .faults(config.faults.clone())
+            .faults(faults)
             .resilience(config.resilience)
+            .membership(config.membership.clone())
             .engine(config.engine)
             .build();
         let clocks = (0..config.nodes).map(|_| VirtualClock::starting_at(STARTUP_NS)).collect();

@@ -4,7 +4,9 @@
 //! configuration file) is changed between experiments; the actual codes
 //! are not modified, and in fact we use the identical binaries."
 
-use cluster::{ConfigMap, EngineMode, FabricConfig, LinkKind, SyncTopology};
+use cluster::{
+    ConfigMap, EngineMode, FabricConfig, LinkKind, MembershipPlan, MembershipSpec, SyncTopology,
+};
 use hybriddsm::HybridConfig;
 use memwire::PageId;
 use sim::CostModel;
@@ -123,6 +125,9 @@ pub struct ClusterConfig {
     /// Explicit page-home and lock-manager placements (tuner output),
     /// applied to software-DSM backends at bring-up.
     pub placement: Placement,
+    /// Elastic-membership schedule: nodes leave and recover while the
+    /// workload runs. `None` (the default) keeps membership static.
+    pub membership: Option<MembershipPlan>,
 }
 
 impl ClusterConfig {
@@ -138,6 +143,7 @@ impl ClusterConfig {
             engine: EngineMode::default(),
             sync: SyncTopology::default(),
             placement: Placement::default(),
+            membership: None,
         }
     }
 
@@ -146,8 +152,11 @@ impl ClusterConfig {
     /// required), `unified_messaging` (bool), `engine`
     /// (`threads` | `sharded` | `sharded:N`), `sync`
     /// (`centralized` | `scalable` | `tree` | `tree:K` |
-    /// `dissemination`), `place_home` (`region:page:node` list), and
-    /// `place_lock` (`lock:node` list).
+    /// `dissemination`), `place_home` (`region:page:node` list),
+    /// `place_lock` (`lock:node` list), `membership`
+    /// (`seed:cycles:from_ns:until_ns` churn spec), and
+    /// `delta_max_records` (adaptive state-transfer cutoff for the
+    /// software DSM; `0` disables snapshot sync).
     pub fn from_config_map(map: &ConfigMap) -> Result<Self, String> {
         let nodes = map
             .get_as::<usize>("nodes")?
@@ -174,6 +183,12 @@ impl ClusterConfig {
         if let Some(v) = map.get("place_lock") {
             cfg.placement.locks = Placement::parse_locks(v)?;
         }
+        if let Some(spec) = map.get_as::<MembershipSpec>("membership")? {
+            cfg.membership = Some(spec.plan(nodes));
+        }
+        if let Some(v) = map.get_as::<u64>("delta_max_records")? {
+            cfg.dsm.delta_max_records = v;
+        }
         Ok(cfg)
     }
 
@@ -197,14 +212,17 @@ impl ClusterConfig {
 
     /// The fabric configuration for this run.
     pub fn fabric(&self) -> FabricConfig {
-        FabricConfig::builder()
+        let mut b = FabricConfig::builder()
             .nodes(self.nodes)
             .link(self.link())
             .cost(self.cost)
             .unified_messaging(self.unified_messaging)
             .engine(self.engine)
-            .sync(self.sync)
-            .build()
+            .sync(self.sync);
+        if let Some(plan) = &self.membership {
+            b = b.membership(plan.clone());
+        }
+        b.build()
     }
 }
 
@@ -276,6 +294,27 @@ mod tests {
         assert!(ClusterConfig::new(4, PlatformKind::SwDsm).placement.is_empty());
         assert!(ClusterConfig::parse("nodes=4\nplatform=swdsm\nplace_home=0:1").is_err());
         assert!(ClusterConfig::parse("nodes=4\nplatform=swdsm\nplace_lock=1:x").is_err());
+    }
+
+    #[test]
+    fn membership_key_builds_a_churn_plan() {
+        let cfg = ClusterConfig::parse("nodes=4\nplatform=swdsm\nmembership=7:2:1000000:9000000")
+            .unwrap();
+        let plan = cfg.membership.as_ref().expect("membership plan");
+        assert_eq!(plan.seed, 7);
+        assert!(!plan.events.is_empty());
+        assert!(cfg.fabric().membership.is_some());
+        assert!(ClusterConfig::new(4, PlatformKind::SwDsm).membership.is_none());
+        assert!(ClusterConfig::parse("nodes=4\nplatform=swdsm\nmembership=7:2").is_err());
+    }
+
+    #[test]
+    fn delta_max_records_key_sets_dsm_cutoff() {
+        let cfg =
+            ClusterConfig::parse("nodes=2\nplatform=swdsm\ndelta_max_records=64").unwrap();
+        assert_eq!(cfg.dsm.delta_max_records, 64);
+        assert_eq!(ClusterConfig::new(2, PlatformKind::SwDsm).dsm.delta_max_records, 0);
+        assert!(ClusterConfig::parse("nodes=2\nplatform=swdsm\ndelta_max_records=x").is_err());
     }
 
     #[test]

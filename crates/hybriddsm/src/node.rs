@@ -53,6 +53,7 @@ pub const STAT_NAMES: &[&str] = &[
     "flushes",
     "lock_acquires",
     "barriers",
+    "view_changes",
 ];
 
 /// Cluster-shared state of the hybrid DSM.
@@ -360,6 +361,20 @@ impl HybridNode {
         self.flush();
         self.sync.barrier(id);
         self.drop_cache();
+    }
+
+    /// Re-enter the computation after a membership view change (the
+    /// elastic-membership mirror of [`swdsm::DsmNode::rejoin`]). The
+    /// hybrid DSM is write-through with no page cache, so catching up
+    /// needs no state transfer: drop the stale remote-read cache, drain
+    /// the write buffer, and re-synchronize at `id`. Returns the virtual
+    /// time the rejoin took.
+    pub fn rejoin(&self, id: u32) -> u64 {
+        let t0 = self.ctx.clock().now();
+        self.stat("view_changes", 1);
+        self.sync_point();
+        self.barrier(id);
+        self.ctx.clock().now().saturating_sub(t0)
     }
 
     /// Orderly exit.

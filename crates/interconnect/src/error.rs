@@ -19,6 +19,16 @@ pub enum RequestError {
         /// Virtual time at which the failure was detected.
         at_ns: u64,
     },
+    /// The message departed in one membership view epoch and would have
+    /// arrived in another; the fabric fenced it at the view boundary
+    /// (see `membership::MembershipPlan`). Transient: a retried send
+    /// departs inside the new epoch and passes the fence.
+    StaleView {
+        /// The view epoch in force when the message would have arrived.
+        epoch: u64,
+        /// Virtual time at which the fence refused the message.
+        at_ns: u64,
+    },
     /// The fabric is tearing down; no further delivery will happen.
     /// Fatal.
     FabricStopped,
@@ -35,7 +45,12 @@ pub enum RequestError {
 impl RequestError {
     /// Transient errors are worth retrying; fatal ones are not.
     pub fn is_transient(&self) -> bool {
-        matches!(self, RequestError::Timeout { .. } | RequestError::NodeDown { .. })
+        matches!(
+            self,
+            RequestError::Timeout { .. }
+                | RequestError::NodeDown { .. }
+                | RequestError::StaleView { .. }
+        )
     }
 }
 
@@ -47,6 +62,9 @@ impl std::fmt::Display for RequestError {
             }
             RequestError::NodeDown { node, at_ns } => {
                 write!(f, "node {node} down (detected at t={at_ns}ns)")
+            }
+            RequestError::StaleView { epoch, at_ns } => {
+                write!(f, "fenced at view epoch {epoch} (t={at_ns}ns)")
             }
             RequestError::FabricStopped => write!(f, "fabric stopped"),
             RequestError::HandlerFailed { kind, reason } => {

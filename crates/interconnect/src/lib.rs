@@ -28,11 +28,15 @@
 //! * [`fault`] — deterministic, seeded fault injection (drop, duplicate,
 //!   delay, reorder, crash, partition) plus the [`fault::Resilience`]
 //!   timeout/retry policy; failures surface as typed [`RequestError`]s.
+//! * [`membership`] — deterministic join/leave/recover schedules
+//!   ([`MembershipPlan`]) whose view epochs fence in-flight messages
+//!   across view changes ([`RequestError::StaleView`]).
 
 pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod mailbox;
+pub mod membership;
 pub mod message;
 pub mod network;
 pub mod router;
@@ -41,6 +45,7 @@ pub mod topology;
 pub use engine::EngineMode;
 pub use error::{DispatchError, RequestError};
 pub use fault::{FaultPlan, LinkFaults, Resilience, RetryPolicy};
+pub use membership::{MembershipEvent, MembershipPlan, MembershipSpec, ViewChange};
 pub use mailbox::Mailbox;
 pub use message::{downcast, try_downcast, HandlerCtx, NodeId, Outcome, Page, Payload};
 pub use network::{Network, NetworkBuilder, NodePort};

@@ -1,0 +1,308 @@
+//! Deterministic membership plans: scripted or seeded join/leave/recover
+//! churn, mirroring [`crate::fault::FaultPlan`] so view-change schedules
+//! are exactly as reproducible as fault schedules.
+//!
+//! A [`MembershipPlan`] is pure data plus pure functions of virtual
+//! time: the cluster's **view epoch** at instant `t` is the number of
+//! membership events at or before `t`, and a node's absence windows
+//! (between a `Leave` and the matching `Recover`, or before a late
+//! `Join`) convert into [`CrashWindow`]s that the fault layer already
+//! knows how to enforce. Nothing here reads real time or mutable state,
+//! so two runs with the same plan see the identical view history.
+//!
+//! The fabric uses the plan for **epoch fencing**: a message that
+//! departs in one view epoch and would arrive in another is refused
+//! with the transient [`crate::RequestError::StaleView`] error instead
+//! of being delivered across the view change. Retried sends depart in
+//! the new epoch and pass. This is the simulated form of the fencing
+//! tokens real membership services attach to in-flight requests.
+
+use crate::fault::{mix, CrashWindow};
+use std::str::FromStr;
+
+/// What happened to a node at a membership event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewChange {
+    /// A node not previously part of the cluster becomes a member. A
+    /// node whose first event is a `Join` at `t` is absent during
+    /// `[0, t)`.
+    Join,
+    /// A member departs. `graceful` departures are announced (the node
+    /// drained its protocol state first); abrupt ones are
+    /// indistinguishable from a crash. Both fence the epoch and open an
+    /// absence window; the flag is carried so protocols and benches can
+    /// treat announced departures differently.
+    Leave {
+        /// Whether the departure was announced (drained) or a crash.
+        graceful: bool,
+    },
+    /// A previously departed member returns with its memory intact but
+    /// its caches stale — the state-transfer case.
+    Recover,
+}
+
+/// One scheduled membership event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipEvent {
+    /// The node joining, leaving, or recovering.
+    pub node: usize,
+    /// Virtual instant of the view change.
+    pub at_ns: u64,
+    /// The change itself.
+    pub change: ViewChange,
+}
+
+/// A deterministic schedule of membership churn.
+///
+/// ```
+/// use interconnect::membership::{MembershipPlan, MembershipEvent, ViewChange};
+///
+/// let plan = MembershipPlan::scripted(1, vec![
+///     MembershipEvent { node: 2, at_ns: 5_000_000, change: ViewChange::Leave { graceful: false } },
+///     MembershipEvent { node: 2, at_ns: 9_000_000, change: ViewChange::Recover },
+/// ]);
+/// assert_eq!(plan.epoch_at(4_999_999), 0);
+/// assert_eq!(plan.epoch_at(5_000_000), 1);
+/// assert_eq!(plan.epoch_at(9_000_000), 2);
+/// assert!(plan.down_at(2, 6_000_000));
+/// assert!(!plan.down_at(2, 9_000_000));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipPlan {
+    /// Seed the churn generator drew from (carried for reporting; a
+    /// scripted plan keeps whatever seed it was given).
+    pub seed: u64,
+    /// The events, sorted by `(at_ns, node)`.
+    pub events: Vec<MembershipEvent>,
+}
+
+impl MembershipPlan {
+    /// A plan from explicit events (sorted internally so epoch counting
+    /// is well defined regardless of input order).
+    pub fn scripted(seed: u64, mut events: Vec<MembershipEvent>) -> Self {
+        events.sort_by_key(|e| (e.at_ns, e.node));
+        Self { seed, events }
+    }
+
+    /// Seeded churn: `cycles` leave/recover pairs spread
+    /// deterministically over `[from_ns, until_ns)`. Victims are drawn
+    /// from `1..nodes` (node 0 stays up as the stable sponsor every
+    /// recovering node can reach), the leave instant from the first 60%
+    /// of each cycle's slice, and the recovery from its second half;
+    /// every third departure is graceful. Same arguments, same schedule
+    /// — always.
+    pub fn churn(seed: u64, nodes: usize, from_ns: u64, until_ns: u64, cycles: usize) -> Self {
+        assert!(nodes >= 2, "churn needs a victim and a survivor");
+        assert!(until_ns > from_ns, "empty churn window");
+        let span = until_ns - from_ns;
+        let slice = span / cycles.max(1) as u64;
+        let mut events = Vec::with_capacity(cycles * 2);
+        for c in 0..cycles {
+            let base = from_ns + c as u64 * slice;
+            let node = 1 + (mix(seed ^ mix(c as u64 ^ 0x6d65_6d62)) as usize) % (nodes - 1);
+            let leave_off = mix(seed ^ mix(c as u64 ^ 0x6c76)) % (slice * 6 / 10).max(1);
+            let heal_off = mix(seed ^ mix(c as u64 ^ 0x7263)) % (slice * 3 / 10).max(1);
+            let leave_ns = base + leave_off;
+            let recover_ns = base + slice * 7 / 10 + heal_off;
+            events.push(MembershipEvent {
+                node,
+                at_ns: leave_ns,
+                change: ViewChange::Leave { graceful: c % 3 == 2 },
+            });
+            events.push(MembershipEvent { node, at_ns: recover_ns, change: ViewChange::Recover });
+        }
+        Self::scripted(seed, events)
+    }
+
+    /// Whether the plan schedules anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The view epoch at virtual instant `t_ns`: the number of events
+    /// at or before `t_ns`. Pure — two calls with the same argument
+    /// always agree, which is what makes epoch fencing deterministic.
+    pub fn epoch_at(&self, t_ns: u64) -> u64 {
+        // Events are sorted by time; partition_point is the count with
+        // at_ns <= t_ns.
+        self.events.partition_point(|e| e.at_ns <= t_ns) as u64
+    }
+
+    /// The absence windows the plan implies, as [`CrashWindow`]s the
+    /// fault layer enforces: `[Leave, Recover)` for every departure
+    /// (open-ended if the node never recovers) and `[0, Join)` for a
+    /// node whose first event is a join.
+    pub fn outages(&self) -> Vec<CrashWindow> {
+        let mut out = Vec::new();
+        let mut nodes: Vec<usize> = self.events.iter().map(|e| e.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        for node in nodes {
+            let mut absent_since: Option<u64> = None;
+            let mut first = true;
+            for e in self.events.iter().filter(|e| e.node == node) {
+                match e.change {
+                    ViewChange::Join if first => {
+                        out.push(CrashWindow { node, from_ns: 0, until_ns: e.at_ns });
+                    }
+                    ViewChange::Join | ViewChange::Recover => {
+                        if let Some(from_ns) = absent_since.take() {
+                            out.push(CrashWindow { node, from_ns, until_ns: e.at_ns });
+                        }
+                    }
+                    ViewChange::Leave { .. } => {
+                        if absent_since.is_none() {
+                            absent_since = Some(e.at_ns);
+                        }
+                    }
+                }
+                first = false;
+            }
+            if let Some(from_ns) = absent_since {
+                out.push(CrashWindow { node, from_ns, until_ns: u64::MAX });
+            }
+        }
+        out
+    }
+
+    /// Whether `node` is outside the cluster at instant `t`.
+    pub fn down_at(&self, node: usize, t: u64) -> bool {
+        self.outages().iter().any(|w| w.node == node && t >= w.from_ns && t < w.until_ns)
+    }
+
+    /// Total number of view changes the plan schedules.
+    pub fn view_changes(&self) -> u64 {
+        self.events.len() as u64
+    }
+}
+
+/// A compact textual churn spec for configuration files:
+/// `seed:cycles:from_ns:until_ns` (e.g. `42:3:6000000:30000000`).
+/// Turned into a [`MembershipPlan`] once the node count is known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipSpec {
+    /// Churn generator seed.
+    pub seed: u64,
+    /// Number of leave/recover cycles.
+    pub cycles: usize,
+    /// Start of the churn window (virtual ns).
+    pub from_ns: u64,
+    /// End of the churn window (virtual ns).
+    pub until_ns: u64,
+}
+
+impl MembershipSpec {
+    /// Instantiate the plan for a cluster of `nodes`.
+    pub fn plan(&self, nodes: usize) -> MembershipPlan {
+        MembershipPlan::churn(self.seed, nodes, self.from_ns, self.until_ns, self.cycles)
+    }
+}
+
+impl FromStr for MembershipSpec {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split(':').map(str::trim).collect();
+        if parts.len() != 4 {
+            return Err(format!("membership spec {s:?}: expected seed:cycles:from_ns:until_ns"));
+        }
+        let num =
+            |p: &str| -> Result<u64, String> { p.parse().map_err(|e| format!("membership spec {s:?}: {e}")) };
+        let spec = MembershipSpec {
+            seed: num(parts[0])?,
+            cycles: num(parts[1])? as usize,
+            from_ns: num(parts[2])?,
+            until_ns: num(parts[3])?,
+        };
+        if spec.cycles == 0 {
+            return Err(format!("membership spec {s:?}: cycles must be positive"));
+        }
+        if spec.until_ns <= spec.from_ns {
+            return Err(format!("membership spec {s:?}: empty churn window"));
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_count_events() {
+        let plan = MembershipPlan::scripted(
+            0,
+            vec![
+                MembershipEvent { node: 1, at_ns: 100, change: ViewChange::Leave { graceful: true } },
+                MembershipEvent { node: 1, at_ns: 300, change: ViewChange::Recover },
+                MembershipEvent { node: 3, at_ns: 300, change: ViewChange::Leave { graceful: false } },
+            ],
+        );
+        assert_eq!(plan.epoch_at(0), 0);
+        assert_eq!(plan.epoch_at(99), 0);
+        assert_eq!(plan.epoch_at(100), 1);
+        assert_eq!(plan.epoch_at(299), 1);
+        assert_eq!(plan.epoch_at(300), 3);
+        assert_eq!(plan.epoch_at(u64::MAX), 3);
+        assert_eq!(plan.view_changes(), 3);
+    }
+
+    #[test]
+    fn outages_pair_leave_with_recover() {
+        let plan = MembershipPlan::scripted(
+            0,
+            vec![
+                MembershipEvent { node: 2, at_ns: 100, change: ViewChange::Leave { graceful: false } },
+                MembershipEvent { node: 2, at_ns: 400, change: ViewChange::Recover },
+                MembershipEvent { node: 3, at_ns: 200, change: ViewChange::Leave { graceful: true } },
+            ],
+        );
+        let w = plan.outages();
+        assert_eq!(w.len(), 2);
+        assert!(w.iter().any(|c| c.node == 2 && c.from_ns == 100 && c.until_ns == 400));
+        assert!(w.iter().any(|c| c.node == 3 && c.from_ns == 200 && c.until_ns == u64::MAX));
+        assert!(plan.down_at(2, 100) && !plan.down_at(2, 400));
+        assert!(plan.down_at(3, u64::MAX - 1));
+        assert!(!plan.down_at(0, 150));
+    }
+
+    #[test]
+    fn late_joiner_is_absent_until_join() {
+        let plan = MembershipPlan::scripted(
+            0,
+            vec![MembershipEvent { node: 4, at_ns: 700, change: ViewChange::Join }],
+        );
+        assert!(plan.down_at(4, 0) && plan.down_at(4, 699));
+        assert!(!plan.down_at(4, 700));
+        assert_eq!(plan.epoch_at(700), 1);
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_bounded() {
+        let a = MembershipPlan::churn(42, 8, 6_000_000, 30_000_000, 4);
+        let b = MembershipPlan::churn(42, 8, 6_000_000, 30_000_000, 4);
+        assert_eq!(a, b, "same arguments must give the same schedule");
+        assert_eq!(a.events.len(), 8);
+        for e in &a.events {
+            assert!(e.node >= 1 && e.node < 8, "node 0 never churns");
+            assert!(e.at_ns >= 6_000_000 && e.at_ns < 30_000_000);
+        }
+        // Every leave heals within the window.
+        for w in a.outages() {
+            assert!(w.until_ns < 30_000_000);
+        }
+        let c = MembershipPlan::churn(43, 8, 6_000_000, 30_000_000, 4);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn spec_parses_and_instantiates() {
+        let spec: MembershipSpec = "42:3:6000000:30000000".parse().unwrap();
+        assert_eq!(spec, MembershipSpec { seed: 42, cycles: 3, from_ns: 6_000_000, until_ns: 30_000_000 });
+        let plan = spec.plan(4);
+        assert_eq!(plan.events.len(), 6);
+        assert!("42:3:6000000".parse::<MembershipSpec>().is_err());
+        assert!("42:0:1:2".parse::<MembershipSpec>().is_err());
+        assert!("42:1:5:5".parse::<MembershipSpec>().is_err());
+        assert!("x:1:1:2".parse::<MembershipSpec>().is_err());
+    }
+}

@@ -19,6 +19,7 @@ use crate::engine::{EngineMode, NodeQueue, ENGINE_BATCH};
 use crate::error::RequestError;
 use crate::fault::{FaultDecision, FaultPlan, Resilience, mix, REPLY_STREAM, RETRY_STREAM};
 use crate::mailbox::Mailbox;
+use crate::membership::MembershipPlan;
 use crate::message::{HandlerCtx, NodeId, Outcome, Payload};
 
 use crate::router::Router;
@@ -26,7 +27,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use sim::{Bus, Histogram, LinkCost, StatSet, VirtualClock};
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -173,6 +174,19 @@ pub struct NetShared {
     rtt_hist: Histogram,
     faults: Option<FaultState>,
     resilience: Option<Resilience>,
+    /// Membership schedule, when the cluster is elastic. Every send is
+    /// epoch-fenced against it: a message departing in one view epoch
+    /// and arriving in another is refused with the transient
+    /// [`RequestError::StaleView`] instead of crossing the view change.
+    /// Pure virtual-time data, so fencing is deterministic. Replies are
+    /// not fenced — a request served inside an epoch completes — and
+    /// the absence windows the plan implies are enforced by the fault
+    /// layer's crash windows (merged in by the cluster layer).
+    membership: Option<MembershipPlan>,
+    /// Number of activated node slots: the initial set plus every
+    /// [`Network::join_node`] so far. Slots in `active..capacity` are
+    /// reserved but latent (no delivery service yet).
+    active: AtomicUsize,
     /// Teardown flag: once set, requests fail with `FabricStopped` and
     /// posts are dropped instead of racing the daemons' exit.
     stopped: AtomicBool,
@@ -207,8 +221,14 @@ struct DeferredReply {
 }
 
 impl NetShared {
-    /// Number of nodes in the fabric.
+    /// Number of activated nodes in the fabric (latent reserved slots
+    /// are excluded until [`Network::join_node`] brings them up).
     pub fn nodes(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Total node slots, activated or latent.
+    fn capacity(&self) -> usize {
         match &self.ingress {
             Ingress::Threads(inboxes) => inboxes.len(),
             Ingress::Sharded { queues, .. } => queues.len(),
@@ -408,6 +428,20 @@ impl NetShared {
             return 0;
         }
         let arrive_ns = self.wire_arrival(src, dst, depart, wire_bytes);
+        if let Some(mp) = &self.membership {
+            let arrive_epoch = mp.epoch_at(arrive_ns);
+            if mp.epoch_at(depart) != arrive_epoch {
+                // View-change fence: the message spans a membership
+                // epoch boundary. Refuse it deterministically — the
+                // requester's retry departs inside the new epoch.
+                self.stats.add("view_fenced", 1);
+                sim::trace::instant(depart, src, "fault", "view_fence", kind as u64);
+                let deadline_ns = depart + self.timeout_ns();
+                let err = RequestError::StaleView { epoch: arrive_epoch, at_ns: arrive_ns };
+                self.fail_delivery(dst, reply, wake_tag, err, deadline_ns, can_block);
+                return 0;
+            }
+        }
         let Some(fs) = &self.faults else {
             // Sends to stopped fabrics are ignored: a handler may
             // legitimately fire a post while the run is tearing down
@@ -474,7 +508,7 @@ impl NetShared {
         can_block: bool,
     ) {
         let ready_ns = match &err {
-            RequestError::NodeDown { at_ns, .. } => *at_ns,
+            RequestError::NodeDown { at_ns, .. } | RequestError::StaleView { at_ns, .. } => *at_ns,
             _ => deadline_ns,
         };
         if let Some(tx) = reply {
@@ -544,15 +578,18 @@ pub const NET_STAT_NAMES: &[&str] = &[
     "dedup_hits",
     "tombstones",
     "handler_failures",
+    "view_fenced",
 ];
 
 /// Builder for a [`Network`].
 pub struct NetworkBuilder {
     nodes: usize,
+    reserve: usize,
     cost: LinkCost,
     unified_saving_ns: u64,
     faults: Option<FaultPlan>,
     resilience: Option<Resilience>,
+    membership: Option<MembershipPlan>,
     engine: EngineMode,
 }
 
@@ -562,12 +599,32 @@ impl NetworkBuilder {
         assert!(nodes > 0, "need at least one node");
         Self {
             nodes,
+            reserve: 0,
             cost,
             unified_saving_ns: 0,
             faults: None,
             resilience: None,
+            membership: None,
             engine: EngineMode::default(),
         }
+    }
+
+    /// Pre-allocate `extra` latent node slots beyond the initial set.
+    /// Reserved slots have routers, mailboxes and cost-model state from
+    /// the start but no delivery service until [`Network::join_node`]
+    /// activates them, so elastic growth never reallocates shared state.
+    pub fn reserve_nodes(mut self, extra: usize) -> Self {
+        self.reserve = extra;
+        self
+    }
+
+    /// Install a membership schedule. Every send is epoch-fenced against
+    /// the plan's view changes (see [`MembershipPlan::epoch_at`]); the
+    /// caller is responsible for merging the plan's absence windows into
+    /// the fault plan (the cluster layer does this).
+    pub fn membership(mut self, plan: Option<MembershipPlan>) -> Self {
+        self.membership = plan;
+        self
     }
 
     /// Select the delivery engine (default: [`EngineMode::Sharded`]
@@ -614,11 +671,14 @@ impl NetworkBuilder {
         let send_eff_ns = self.cost.send_overhead_ns.saturating_sub(self.unified_saving_ns).max(floor_send);
         let recv_eff_ns = self.cost.recv_overhead_ns.saturating_sub(self.unified_saving_ns).max(floor_recv);
 
-        let workers = self.engine.resolved_workers(self.nodes);
+        // Reserved slots share the fabric's state vectors from the
+        // start; only their delivery service is latent until joined.
+        let slots = self.nodes + self.reserve;
+        let workers = self.engine.resolved_workers(slots);
         let mut receivers: Vec<Receiver<Envelope>> = Vec::new();
         let ingress = if workers == 0 {
-            let mut inboxes = Vec::with_capacity(self.nodes);
-            for _ in 0..self.nodes {
+            let mut inboxes = Vec::with_capacity(slots);
+            for _ in 0..slots {
                 let (tx, rx) = unbounded();
                 inboxes.push(tx);
                 receivers.push(rx);
@@ -626,26 +686,26 @@ impl NetworkBuilder {
             Ingress::Threads(inboxes)
         } else {
             Ingress::Sharded {
-                queues: (0..self.nodes).map(|_| NodeQueue::new()).collect(),
+                queues: (0..slots).map(|_| NodeQueue::new()).collect(),
                 shards: sim::sched::Shards::new(workers),
             }
         };
         let resilience = self.resilience.or(self.faults.as_ref().map(|_| Resilience::default()));
         let faults = self.faults.map(|plan| FaultState {
             plan,
-            seqs: (0..self.nodes).map(|_| Mutex::new(HashMap::new())).collect(),
-            dedup: (0..self.nodes).map(|_| Mutex::new(DedupWindow::default())).collect(),
+            seqs: (0..slots).map(|_| Mutex::new(HashMap::new())).collect(),
+            dedup: (0..slots).map(|_| Mutex::new(DedupWindow::default())).collect(),
         });
         let shared = Arc::new(NetShared {
             ingress,
-            servers: (0..self.nodes)
+            servers: (0..slots)
                 .map(|_| Bus::with_bandwidth(1_000_000_000))
                 .collect(),
-            egress: (0..self.nodes)
+            egress: (0..slots)
                 .map(|_| Bus::with_bandwidth(self.cost.bytes_per_sec))
                 .collect(),
-            routers: (0..self.nodes).map(|_| Arc::new(Router::new())).collect(),
-            mailboxes: (0..self.nodes).map(|_| Arc::new(Mailbox::new())).collect(),
+            routers: (0..slots).map(|_| Arc::new(Router::new())).collect(),
+            mailboxes: (0..slots).map(|_| Arc::new(Mailbox::new())).collect(),
             cost: self.cost,
             send_eff_ns,
             recv_eff_ns,
@@ -653,6 +713,8 @@ impl NetworkBuilder {
             rtt_hist: Histogram::new(),
             faults,
             resilience,
+            membership: self.membership,
+            active: AtomicUsize::new(self.nodes),
             stopped: AtomicBool::new(false),
             bp_waits: AtomicU64::new(0),
             next_req_id: AtomicU64::new(0),
@@ -660,19 +722,20 @@ impl NetworkBuilder {
             deferred_cv: Condvar::new(),
         });
 
+        // The drain set covers every slot — including latent ones —
+        // so teardown answers stranded envelopes of late joiners too.
         let drains = receivers.clone();
+        let mut latent: VecDeque<(NodeId, Receiver<Envelope>)> = VecDeque::new();
         let daemons = if workers == 0 {
-            receivers
-                .into_iter()
-                .enumerate()
-                .map(|(node, rx)| {
-                    let shared = shared.clone();
-                    std::thread::Builder::new()
-                        .name(format!("commd-{node}"))
-                        .spawn(move || daemon_loop(node, rx, shared))
-                        .expect("spawn communication daemon")
-                })
-                .collect()
+            let mut handles = Vec::with_capacity(self.nodes);
+            for (node, rx) in receivers.into_iter().enumerate() {
+                if node >= self.nodes {
+                    latent.push_back((node, rx));
+                    continue;
+                }
+                handles.push(spawn_daemon(node, rx, shared.clone()));
+            }
+            handles
         } else {
             let Ingress::Sharded { shards, .. } = &shared.ingress else { unreachable!() };
             let worker_shared = shared.clone();
@@ -681,7 +744,7 @@ impl NetworkBuilder {
             })
         };
 
-        Network { shared, daemons, drains }
+        Network { shared, daemons: Mutex::new(daemons), latent: Mutex::new(latent), drains }
     }
 }
 
@@ -873,13 +936,56 @@ fn process_envelope(shared: &NetShared, node: NodeId, env: Envelope) {
     }
 }
 
+/// Batched virtual-time delivery order, shared by both engines: virtual
+/// arrival first, ties broken by (src, kind) rather than enqueue order —
+/// two same-instant arrivals from different senders race in real time,
+/// and the service-bus accounting they trigger is order-sensitive under
+/// window saturation, so an enqueue-order tiebreak would leak real time
+/// into virtual time. `Stop` sorts last: everything drained ahead of the
+/// shutdown marker still gets processed.
+fn delivery_order(env: &Envelope) -> (u64, usize, u32) {
+    match env {
+        Envelope::User { arrive_ns, src, kind, .. }
+        | Envelope::Dup { arrive_ns, src, kind, .. } => (*arrive_ns, *src, *kind),
+        Envelope::Fail { ready_ns, .. } => (*ready_ns, usize::MAX, u32::MAX),
+        Envelope::Stop => (u64::MAX, usize::MAX, u32::MAX),
+    }
+}
+
 /// Legacy engine: one communication daemon blocking on its node's inbox.
+/// Like the sharded engine's [`drive_node`], the daemon drains whatever
+/// has queued up and processes it in [`delivery_order`] — without the
+/// sort, a burst of same-window arrivals (64-node barrier and page
+/// storms) would hit the order-sensitive handler-bus windows in real
+/// enqueue order and virtual times would stop reproducing.
 fn daemon_loop(node: NodeId, rx: Receiver<Envelope>, shared: Arc<NetShared>) {
-    for env in rx.iter() {
-        if matches!(env, Envelope::Stop) {
-            break;
+    let mut batch: Vec<Envelope> = Vec::with_capacity(ENGINE_BATCH);
+    loop {
+        let Ok(first) = rx.recv() else { return };
+        batch.push(first);
+        while batch.len() < ENGINE_BATCH {
+            match rx.try_recv() {
+                Some(env) => batch.push(env),
+                None => break,
+            }
         }
-        process_envelope(&shared, node, env);
+        // Stable: a delivery and its fault-injected duplicate (same
+        // src, kind, instant) keep enqueue order, so the dedup window
+        // sees the original first.
+        if batch.len() > 1 {
+            batch.sort_by_key(delivery_order);
+        }
+        let mut stop = false;
+        for env in batch.drain(..) {
+            if matches!(env, Envelope::Stop) {
+                stop = true;
+                break;
+            }
+            process_envelope(&shared, node, env);
+        }
+        if stop {
+            return;
+        }
     }
 }
 
@@ -904,22 +1010,12 @@ fn drive_node(shared: &NetShared, node: NodeId) -> bool {
         if batch.is_empty() {
             return nq.retire();
         }
-        // Batched virtual-time delivery: process the batch in virtual
-        // arrival order, with ties broken by (src, kind) rather than
-        // enqueue order — two same-instant arrivals from different
-        // senders race in real time, and the service-bus accounting
-        // they trigger is order-sensitive under window saturation, so
-        // an enqueue-order tiebreak would leak real time into virtual
-        // time. The sort is stable, so a delivery and its
-        // fault-injected duplicate (same src, kind, instant) keep
-        // enqueue order and the dedup window sees the original first.
+        // Batched virtual-time delivery (see [`delivery_order`]). The
+        // sort is stable, so a delivery and its fault-injected
+        // duplicate (same src, kind, instant) keep enqueue order and
+        // the dedup window sees the original first.
         if batch.len() > 1 {
-            batch.sort_by_key(|env| match env {
-                Envelope::User { arrive_ns, src, kind, .. }
-                | Envelope::Dup { arrive_ns, src, kind, .. } => (*arrive_ns, *src, *kind),
-                Envelope::Fail { ready_ns, .. } => (*ready_ns, usize::MAX, u32::MAX),
-                Envelope::Stop => (0, 0, 0),
-            });
+            batch.sort_by_key(delivery_order);
         }
         let full = batch.len() == ENGINE_BATCH;
         for env in batch.drain(..) {
@@ -936,10 +1032,27 @@ fn drive_node(shared: &NetShared, node: NodeId) -> bool {
 /// A running fabric. Dropping it stops the communication daemons.
 pub struct Network {
     shared: Arc<NetShared>,
-    daemons: Vec<JoinHandle<()>>,
-    /// Inbox receivers, kept so teardown can atomically close each
-    /// channel and answer stranded in-flight requests.
+    /// Daemon threads: the initial set plus any spawned by
+    /// [`Network::join_node`] (hence the lock — joins take `&self`).
+    daemons: Mutex<Vec<JoinHandle<()>>>,
+    /// Reserved thread-per-node inbox receivers awaiting activation, in
+    /// slot order. Empty under the sharded engine (the shard workers
+    /// serve reserved queues from the start).
+    latent: Mutex<VecDeque<(NodeId, Receiver<Envelope>)>>,
+    /// Inbox receivers of *every* slot — initial, joined, and still
+    /// latent — kept so teardown can atomically close each channel and
+    /// answer stranded in-flight requests, no matter when the node
+    /// joined.
     drains: Vec<Receiver<Envelope>>,
+}
+
+/// Spawn the communication daemon serving `node` (thread-per-node
+/// engine).
+fn spawn_daemon(node: NodeId, rx: Receiver<Envelope>, shared: Arc<NetShared>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("commd-{node}"))
+        .spawn(move || daemon_loop(node, rx, shared))
+        .expect("spawn communication daemon")
 }
 
 impl Network {
@@ -951,6 +1064,31 @@ impl Network {
     /// Number of nodes.
     pub fn nodes(&self) -> usize {
         self.shared.nodes()
+    }
+
+    /// Activate the next reserved node slot (see
+    /// [`NetworkBuilder::reserve_nodes`]) and return its id. Under the
+    /// thread-per-node engine this spawns the slot's communication
+    /// daemon; under the sharded engine the shard workers already serve
+    /// it. Panics when no reserved slots remain or the fabric is
+    /// stopping.
+    pub fn join_node(&self) -> NodeId {
+        assert!(
+            !self.shared.stopped.load(Ordering::Acquire),
+            "join_node on a stopping fabric"
+        );
+        // Hold the latent lock across the activation so concurrent
+        // joins hand out distinct slots in order.
+        let mut latent = self.latent.lock();
+        let node = self.shared.active.load(Ordering::Acquire);
+        assert!(node < self.shared.capacity(), "no reserved node slots left");
+        if let Ingress::Threads(_) = &self.shared.ingress {
+            let (slot, rx) = latent.pop_front().expect("latent receiver for reserved slot");
+            debug_assert_eq!(slot, node);
+            self.daemons.lock().push(spawn_daemon(node, rx, self.shared.clone()));
+        }
+        self.shared.active.store(node + 1, Ordering::Release);
+        node
     }
 
     /// The handler router of `node` (register protocol handlers here).
@@ -1036,7 +1174,7 @@ impl Drop for Network {
                 shards.stop();
             }
         }
-        for d in self.daemons.drain(..) {
+        for d in self.daemons.lock().drain(..) {
             let _ = d.join();
         }
         // Everything enqueued after the stop (sends that raced the
@@ -1979,5 +2117,76 @@ mod batch_tests {
             bytes_per_sec: 1_000_000_000,
             handler_ns: 50,
         }
+    }
+
+    #[test]
+    fn view_fence_refuses_cross_epoch_send_then_retry_passes() {
+        use crate::membership::{MembershipEvent, MembershipPlan, ViewChange};
+        // One view change at t=1000ns: a request departing at ~100ns
+        // would arrive at ~1108ns, crossing the epoch boundary — the
+        // fence must refuse it with StaleView. The retry departs after
+        // the boundary and goes through.
+        let run = || {
+            let plan = MembershipPlan::scripted(
+                7,
+                vec![MembershipEvent {
+                    node: 1,
+                    at_ns: 1_000,
+                    change: ViewChange::Leave { graceful: true },
+                }],
+            );
+            let net = Network::builder(2, tiny()).membership(Some(plan)).build();
+            net.router(1).register(0x50, |_c, _s, _p| Outcome::reply((), 0));
+            let c = VirtualClock::new();
+            let p = net.port(0, c.clone());
+            let err = p.try_request(1, 0x50, (), 8).unwrap_err();
+            assert!(
+                matches!(err, RequestError::StaleView { epoch: 1, .. }),
+                "expected StaleView fence, got {err}"
+            );
+            assert!(err.is_transient());
+            // The waiter clock advanced past the boundary: the retry
+            // departs inside epoch 1 and passes the fence.
+            assert!(c.now() >= 1_000, "fence wakes the waiter at the boundary");
+            p.try_request(1, 0x50, (), 8).expect("same-epoch send passes the fence");
+            (c.now(), net.stats().get("view_fenced"), net.stats().get("delivered"))
+        };
+        let a = run();
+        assert_eq!(a.1, 1, "exactly the cross-epoch send is fenced");
+        assert_eq!(a, run(), "fencing is deterministic in virtual time");
+    }
+
+    #[test]
+    fn late_joiner_serves_requests_and_drains_at_teardown() {
+        for engine in [EngineMode::ThreadPerNode, EngineMode::Sharded { workers: 2 }] {
+            let net = Network::builder(2, tiny())
+                .reserve_nodes(1)
+                .resilience(Some(Resilience::default()))
+                .engine(engine)
+                .build();
+            assert_eq!(net.nodes(), 2);
+            let node = net.join_node();
+            assert_eq!((node, net.nodes()), (2, 3));
+            // The joined node serves requests like any initial node.
+            net.router(node).register(0x51, |_c, _s, p| {
+                Outcome::reply(downcast::<u64>(p) + 1, 8)
+            });
+            let p = net.port(0, VirtualClock::new());
+            assert_eq!(downcast::<u64>(p.request(node, 0x51, 41u64, 8)), 42);
+            // A reply parked on the late joiner must be answered at
+            // teardown — the drop-drain walks joined slots too.
+            net.router(node).register(0x52, |_c, _s, _p| Outcome::defer(2));
+            let h = std::thread::spawn(move || p.try_request(node, 0x52, (), 8));
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            drop(net);
+            assert_eq!(h.join().unwrap().unwrap_err(), RequestError::FabricStopped);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no reserved node slots left")]
+    fn join_without_reserved_slot_panics() {
+        let net = Network::builder(2, tiny()).build();
+        let _ = net.join_node();
     }
 }

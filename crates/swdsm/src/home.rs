@@ -66,6 +66,27 @@ impl HomeStore {
         self.versions.get(&page).copied().unwrap_or(0)
     }
 
+    /// Export the master copy together with its modification counter,
+    /// for home migration. Unlike [`HomeStore::replace`], exporting does
+    /// not bump the counter: the page is moving, not changing.
+    pub fn export(&mut self, page: PageId) -> (Page, u64) {
+        let bytes = self.snapshot(page);
+        (bytes, self.version(page))
+    }
+
+    /// Adopt a migrated master copy at its new home. The incoming
+    /// modification counter is merged by maximum with any counter the
+    /// page already has here (a page can migrate away and back), so
+    /// cached copies elsewhere never observe the counter move backwards
+    /// across a migration — the invariant the digest validation round
+    /// depends on.
+    pub fn adopt(&mut self, page: PageId, bytes: Page, version: u64) {
+        assert_eq!(bytes.len(), PAGE_SIZE);
+        let v = self.versions.entry(page).or_insert(0);
+        *v = (*v).max(version);
+        self.pages.insert(page, bytes);
+    }
+
     /// Read `out.len()` bytes at `offset` within `page`.
     pub fn read(&mut self, page: PageId, offset: usize, out: &mut [u8]) {
         let p = self.pages.entry(page).or_insert_with(|| Page::zeroed(PAGE_SIZE));
@@ -163,6 +184,30 @@ mod tests {
         assert_eq!(h.version(pid(6)), 2);
         h.replace(pid(6), Page::zeroed(PAGE_SIZE));
         assert_eq!(h.version(pid(6)), 3);
+    }
+
+    #[test]
+    fn export_adopt_round_trip_keeps_version_monotonic() {
+        let mut old_home = HomeStore::new();
+        old_home.write(pid(7), 0, &[9]);
+        old_home.write(pid(7), 1, &[8]);
+        assert_eq!(old_home.version(pid(7)), 2);
+        let (bytes, v) = old_home.export(pid(7));
+        assert_eq!(v, 2, "export must not bump the counter");
+        // The new home saw an older incarnation of the page (version 5
+        // from a previous residence): adopt keeps the larger counter.
+        let mut new_home = HomeStore::new();
+        new_home.versions.insert(pid(7), 5);
+        new_home.adopt(pid(7), bytes, v);
+        assert_eq!(new_home.version(pid(7)), 5);
+        let mut out = [0u8; 2];
+        new_home.read(pid(7), 0, &mut out);
+        assert_eq!(out, [9, 8]);
+        // A fresh home adopts the incoming counter as-is.
+        let (bytes, v) = new_home.export(pid(7));
+        let mut fresh = HomeStore::new();
+        fresh.adopt(pid(7), bytes, v);
+        assert_eq!(fresh.version(pid(7)), 5);
     }
 
     #[test]

@@ -152,14 +152,51 @@ pub enum TokHolderStep {
     },
 }
 
+/// Manager-side state of one lock under the *resilient* token queue
+/// (`rtok_*`). Unlike the MCS machine, every token movement is a
+/// manager round: the holder is always known here, so a lost grant or
+/// release resolves by replaying the manager's record of the tenure
+/// instead of corrupting a distributed slot machine.
+#[derive(Debug, Default)]
+struct RTokenLock {
+    /// The current holder and its tenure sequence number.
+    holder: Option<(usize, u64)>,
+    /// The notices handed to the current holder at grant time, kept so
+    /// a retried acquire of the same tenure replays the identical
+    /// grant.
+    granted: Vec<(usize, Interval)>,
+    /// The token's accumulated notices while no one holds it.
+    notices: Vec<(usize, Interval)>,
+    /// Waiters `(who, seq, arrive_ns)`; grants follow virtual arrival
+    /// order (ties by rank), like the centralized queue.
+    queue: Vec<(usize, u64, u64)>,
+    /// Highest tenure each node has completed (idempotent release).
+    done: HashMap<usize, u64>,
+}
+
+/// Manager's answer to a resilient token acquire.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RTokStep {
+    /// The token was free: granted, carrying these notices.
+    Grant(Vec<(usize, Interval)>),
+    /// Held; a grant will be posted on release.
+    Queued,
+    /// This exact tenure was already granted (the earlier reply or
+    /// grant post was lost): the identical grant, re-issued.
+    Replay(Vec<(usize, Interval)>),
+}
+
 /// All locks managed by one node: centralized state, plus the
 /// token-queue manager state (for locks managed here) and holder state
-/// (for locks this node acquires).
+/// (for locks this node acquires). `rtokens`/`rseqs` are the resilient
+/// token queue's manager machine and holder-side tenure counters.
 #[derive(Debug, Default)]
 pub struct LockMgr {
     locks: HashMap<u32, LockState>,
     tokens: HashMap<u32, TokenLock>,
     slots: HashMap<u32, TokenSlot>,
+    rtokens: HashMap<u32, RTokenLock>,
+    rseqs: HashMap<u32, u64>,
 }
 
 /// Outcome of an acquire attempt at the manager.
@@ -316,6 +353,10 @@ impl LockMgr {
         for slot in self.slots.values_mut() {
             slot.token.clear();
         }
+        for tok in self.rtokens.values_mut() {
+            tok.notices.clear();
+            tok.granted.clear();
+        }
     }
 
     // ---- token queue (`LockTopology::TokenQueue`) ----
@@ -458,6 +499,99 @@ impl LockMgr {
             }
             TokenHold::Idle => panic!("successor notification for a forwarded tenure"),
         }
+    }
+
+    // ---- resilient token queue (`rtok_*`) ----
+    //
+    // Used instead of the MCS `tok_*` machine on faulty fabrics. The
+    // manager mediates every handover, so retried requests resolve
+    // against its authoritative tenure record: a duplicate acquire of
+    // the granted tenure replays the grant, a duplicate release is a
+    // no-op. Holder side needs only a per-lock tenure counter.
+
+    /// Holder: start a new tenure for `lock`. Returns its sequence
+    /// number; retries of the acquire reuse it.
+    pub fn rtok_begin(&mut self, lock: u32) -> u64 {
+        let seq = self.rseqs.entry(lock).or_insert(0);
+        *seq += 1;
+        *seq
+    }
+
+    /// Holder: the sequence number of the current (or last) tenure for
+    /// `lock` — what the release must carry.
+    pub fn rtok_seq(&self, lock: u32) -> u64 {
+        self.rseqs.get(&lock).copied().unwrap_or(0)
+    }
+
+    /// Manager: node `who` (tenure `seq`, arriving at virtual time
+    /// `arrive_ns`) asks for `lock`'s token.
+    pub fn rtok_acquire(&mut self, lock: u32, who: usize, seq: u64, arrive_ns: u64) -> RTokStep {
+        let tok = self.rtokens.entry(lock).or_default();
+        if tok.holder == Some((who, seq)) {
+            // The earlier grant (reply or posted pass) was lost and the
+            // requester retried: replay it verbatim.
+            return RTokStep::Replay(tok.granted.clone());
+        }
+        if tok.done.get(&who).is_some_and(|&d| d >= seq) {
+            // A duplicate of an acquire whose whole tenure already
+            // completed (transport-level duplication past the dedup
+            // window): nothing to grant, nobody is waiting.
+            return RTokStep::Replay(Vec::new());
+        }
+        if tok.queue.iter().any(|&(n, s, _)| n == who && s == seq) {
+            // Retried request from a queued tenure: keep the original
+            // queue entry (and its arrival time).
+            return RTokStep::Queued;
+        }
+        if tok.holder.is_none() {
+            let notices = std::mem::take(&mut tok.notices);
+            tok.granted = notices.clone();
+            tok.holder = Some((who, seq));
+            return RTokStep::Grant(notices);
+        }
+        tok.queue.push((who, seq, arrive_ns));
+        RTokStep::Queued
+    }
+
+    /// Manager: node `who` ends tenure `seq`, publishing `interval`.
+    /// Returns the next tenure to grant, with the notices it must
+    /// apply, or `None` (nobody queued, or duplicate release).
+    pub fn rtok_release(
+        &mut self,
+        lock: u32,
+        who: usize,
+        seq: u64,
+        interval: Interval,
+    ) -> Option<(usize, Vec<(usize, Interval)>)> {
+        let tok = self.rtokens.get_mut(&lock)?;
+        if tok.holder != Some((who, seq)) {
+            // Retried release whose first copy was already applied (the
+            // ack was lost) — the token may even be elsewhere by now.
+            return None;
+        }
+        tok.holder = None;
+        let d = tok.done.entry(who).or_insert(0);
+        *d = (*d).max(seq);
+        let mut notices = std::mem::take(&mut tok.granted);
+        if !interval.is_empty() {
+            match notices.iter_mut().find(|(n, _)| *n == who) {
+                Some((_, iv)) => iv.merge(&interval),
+                None => notices.push((who, interval)),
+            }
+        }
+        tok.notices = notices;
+        // Grant the earliest virtual arrival (ties by rank).
+        let next_i = tok
+            .queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(n, _, t))| (t, n))
+            .map(|(i, _)| i)?;
+        let (next, nseq, _) = tok.queue.remove(next_i);
+        let notices = std::mem::take(&mut tok.notices);
+        tok.granted = notices.clone();
+        tok.holder = Some((next, nseq));
+        Some((next, notices))
     }
 
     /// Introspection for tests: the state of `lock`.
@@ -751,6 +885,64 @@ mod token_tests {
         // The new tenure proceeds untouched.
         a.tok_pass_received(5, vec![]);
         assert!(matches!(a.tok_release(5, 0, iv(&[])), TokHolderStep::Return { .. }));
+    }
+
+    #[test]
+    fn rtok_grant_queue_and_handover_follow_virtual_arrival() {
+        let mut mgr = LockMgr::new();
+        let mut a = LockMgr::new();
+        let sa = a.rtok_begin(5);
+        assert_eq!(sa, 1);
+        assert_eq!(mgr.rtok_acquire(5, 0, sa, 10), RTokStep::Grant(vec![]));
+        // Two waiters queue; the later-ranked but earlier-arriving node
+        // is granted first.
+        assert_eq!(mgr.rtok_acquire(5, 2, 1, 30), RTokStep::Queued);
+        assert_eq!(mgr.rtok_acquire(5, 1, 1, 20), RTokStep::Queued);
+        let (next, notices) = mgr.rtok_release(5, 0, sa, iv(&[3])).expect("handover");
+        assert_eq!(next, 1);
+        assert_eq!(notices, vec![(0, iv(&[3]))]);
+        let (next, notices) = mgr.rtok_release(5, 1, 1, iv(&[7])).expect("handover");
+        assert_eq!(next, 2);
+        assert_eq!(notices, vec![(0, iv(&[3])), (1, iv(&[7]))]);
+        assert_eq!(mgr.rtok_release(5, 2, 1, Interval::default()), None);
+    }
+
+    #[test]
+    fn rtok_duplicate_acquire_replays_identical_grant() {
+        let mut mgr = LockMgr::new();
+        mgr.rtok_acquire(5, 0, 1, 0);
+        mgr.rtok_release(5, 0, 1, iv(&[2]));
+        // Second tenure granted; the grant reply is lost and retried.
+        assert_eq!(mgr.rtok_acquire(5, 0, 2, 10), RTokStep::Grant(vec![(0, iv(&[2]))]));
+        assert_eq!(mgr.rtok_acquire(5, 0, 2, 15), RTokStep::Replay(vec![(0, iv(&[2]))]));
+        // A queued tenure retrying stays queued exactly once.
+        assert_eq!(mgr.rtok_acquire(5, 1, 1, 20), RTokStep::Queued);
+        assert_eq!(mgr.rtok_acquire(5, 1, 1, 25), RTokStep::Queued);
+        let (next, _) = mgr.rtok_release(5, 0, 2, Interval::default()).unwrap();
+        assert_eq!(next, 1);
+    }
+
+    #[test]
+    fn rtok_duplicate_release_is_a_noop() {
+        let mut mgr = LockMgr::new();
+        mgr.rtok_acquire(5, 0, 1, 0);
+        assert!(mgr.rtok_release(5, 0, 1, iv(&[1])).is_none());
+        // The retried copy of the release finds the tenure closed.
+        assert!(mgr.rtok_release(5, 0, 1, iv(&[1])).is_none());
+        // A stray acquire for the completed tenure replays empty rather
+        // than re-granting.
+        assert_eq!(mgr.rtok_acquire(5, 0, 1, 5), RTokStep::Replay(vec![]));
+        // The notices survive for the next real tenure, unduplicated.
+        assert_eq!(mgr.rtok_acquire(5, 1, 1, 9), RTokStep::Grant(vec![(0, iv(&[1]))]));
+    }
+
+    #[test]
+    fn rtok_barrier_clears_notices() {
+        let mut mgr = LockMgr::new();
+        mgr.rtok_acquire(5, 0, 1, 0);
+        mgr.rtok_release(5, 0, 1, iv(&[4]));
+        mgr.clear_notices();
+        assert_eq!(mgr.rtok_acquire(5, 1, 1, 9), RTokStep::Grant(vec![]));
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::barriermgr::{BarrierMgr, BarrierStep, TreeBarrier, TreeStep};
 
 use crate::home::HomeStore;
 use crate::kinds;
-use crate::lockmgr::{Acquire, LockMgr, TokHolderStep, TokMgrStep};
+use crate::lockmgr::{Acquire, LockMgr, RTokStep, TokHolderStep, TokMgrStep};
 use crate::proto::*;
 use cluster::{BarrierTopology, Cluster, LockTopology, NodeCtx, NoticeWire, SyncTopology};
 use interconnect::{downcast, try_downcast, Outcome, Page, RequestError};
@@ -16,7 +16,7 @@ use memwire::{
 use parking_lot::Mutex;
 use sim::{Histogram, MachineCost, StatSet};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Barrier ids with the top bit set are reserved for internal use
@@ -59,12 +59,6 @@ impl std::error::Error for DsmError {
 /// placement and loses only the optimization, never correctness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlaceError {
-    /// Explicit home placement is incompatible with write-notice
-    /// digests: digest validation compares per-home page version
-    /// counters, and a page whose home moves restarts its versions at
-    /// the new home, silently passing stale cached copies as valid.
-    /// (The same constraint rejects `home_migration` at install time.)
-    DigestActive,
     /// The requested target rank does not exist on this cluster.
     NoSuchNode {
         /// The requested (out-of-range) rank.
@@ -77,11 +71,6 @@ pub enum PlaceError {
 impl std::fmt::Display for PlaceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PlaceError::DigestActive => write!(
-                f,
-                "explicit placement rejected: write-notice digests validate against \
-                 per-home page versions, which a home change would reset"
-            ),
             PlaceError::NoSuchNode { to, nodes } => {
                 write!(f, "placement target {to} out of range (cluster has {nodes} nodes)")
             }
@@ -132,6 +121,14 @@ pub struct DsmConfig {
     pub home_migration: bool,
     /// Consecutive same-writer diffs before a page migrates.
     pub migration_threshold: u32,
+    /// Adaptive state transfer cutoff: a barrier release carrying more
+    /// than this many notice records is applied as a bulk *snapshot
+    /// sync* (drop every cached copy and eagerly refetch, counted under
+    /// `snapshot_bytes`) instead of incremental delta replay (counted
+    /// under `delta_records`). The choice is a pure function of the
+    /// release contents, hence deterministic. 0 disables the snapshot
+    /// path — every release replays incrementally (the default).
+    pub delta_max_records: u64,
 }
 
 impl Default for DsmConfig {
@@ -148,6 +145,7 @@ impl Default for DsmConfig {
             cache_pages: 0,
             home_migration: false,
             migration_threshold: 2,
+            delta_max_records: 0,
         }
     }
 }
@@ -186,6 +184,10 @@ pub struct SwDsm {
     /// Per-home tracking of consecutive same-writer diffs, and the
     /// migration candidates gathered for the next barrier.
     migration: Vec<Mutex<MigrationTrack>>,
+    /// Bumped once per home-migration round (adaptive or explicit).
+    /// Rides `PageReply::Moved` redirects so traces can correlate a
+    /// stale-directory fetch with the re-homing that outdated it.
+    migration_epoch: AtomicU64,
     /// Per-node: barrier id → highest release epoch whose notice-clear
     /// already ran, so a replayed release does not wipe notices that
     /// accumulated after the original broadcast.
@@ -226,6 +228,11 @@ pub const STAT_NAMES: &[&str] = &[
     "tuner_actions",
     "pages_rehomed",
     "plan_rejected",
+    "view_changes",
+    "pages_migrated",
+    "snapshot_bytes",
+    "delta_records",
+    "token_replays",
 ];
 
 impl SwDsm {
@@ -240,22 +247,20 @@ impl SwDsm {
             "dissemination barriers have no retry protocol: \
              use a Central or Tree barrier on a fabric with a resilience policy"
         );
-        assert!(
-            !resilient || sync.locks == LockTopology::Manager,
-            "the lock-token queue has no retry protocol: \
-             use LockTopology::Manager on a fabric with a resilience policy"
-        );
+        // Token-queue locks on a resilient fabric switch to the
+        // manager-mediated `rtok_*` machine (every handover a retryable
+        // manager round with tenure-sequence replay); the MCS
+        // direct-forward machine keeps serving fault-free fabrics.
         let digest = !matches!(sync.notices, NoticeWire::Explicit);
         assert!(
             !digest || sync.barrier != BarrierTopology::Dissemination,
             "write-notice digests do not ride dissemination rounds: \
              use a Central or Tree barrier with NoticeWire::Digest"
         );
-        assert!(
-            !digest || !cfg.home_migration,
-            "home migration resets page version counters at the new home, \
-             which would defeat digest validation: disable one of the two"
-        );
+        // Home migration composes with digests: migrations carry the
+        // page's modification counter to the new home (export/adopt
+        // merges by maximum), so digest validation never sees a counter
+        // move backwards across a re-homing.
         let fanout = match sync.barrier {
             BarrierTopology::Tree { fanout } => fanout,
             _ => 2,
@@ -282,6 +287,7 @@ impl SwDsm {
             lock_override: parking_lot::RwLock::new(HashMap::new()),
             lock_overridden: AtomicBool::new(false),
             migration: (0..nodes).map(|_| Mutex::new(MigrationTrack::default())).collect(),
+            migration_epoch: AtomicU64::new(0),
             release_seen: (0..nodes).map(|_| Mutex::new(HashMap::new())).collect(),
             lock_hist: Histogram::new(),
         });
@@ -427,19 +433,14 @@ impl SwDsm {
     /// home mid-run outside the barrier quiescent point would race the
     /// page's own diff traffic.
     ///
-    /// Rejected (counted under `plan_rejected` at `to`) when write-notice
-    /// digests are active: digest validation relies on per-home page
-    /// version counters, which an explicit home change would reset —
-    /// the same constraint that bars `home_migration` at install time.
-    /// On success the master copy (if any) moves to `to` and
-    /// `pages_rehomed` + `tuner_actions` are counted there.
+    /// The master copy (if any) moves to `to` as a version-carrying
+    /// migration record — the page's modification counter travels with
+    /// the bytes and merges by maximum at the new home, so write-notice
+    /// digests stay valid across the move. `pages_rehomed` +
+    /// `tuner_actions` are counted at `to`.
     pub fn place_home(&self, page: PageId, to: usize) -> Result<(), PlaceError> {
         if to >= self.nodes {
             return Err(PlaceError::NoSuchNode { to, nodes: self.nodes });
-        }
-        if self.digest_runs().is_some() {
-            self.stats[to].add("plan_rejected", 1);
-            return Err(PlaceError::DigestActive);
         }
         // Placement usually precedes the run that allocates the region
         // (ids are deterministic under collective allocation), so there
@@ -448,8 +449,10 @@ impl SwDsm {
         if page.region < LOCAL_REGION_BASE && self.dir.exists(page.region) {
             let old = self.home_of(page);
             if old != to {
-                let bytes = self.homes[old].lock().snapshot(page);
-                self.homes[to].lock().replace(page, bytes);
+                let (bytes, version) = self.homes[old].lock().export(page);
+                self.homes[to].lock().adopt(page, bytes, version);
+                self.stats[to].add("pages_migrated", 1);
+                self.migration_epoch.fetch_add(1, Ordering::AcqRel);
             }
         }
         self.home_override.write().insert(page, to);
@@ -517,13 +520,20 @@ impl SwDsm {
                 if old_home == new_home {
                     continue;
                 }
-                let bytes = self.homes[old_home].lock().snapshot(page);
-                self.homes[new_home].lock().replace(page, bytes);
+                // Version-carrying migration record: the modification
+                // counter rides along and merges by maximum, keeping
+                // digest validation sound across the move.
+                let (bytes, version) = self.homes[old_home].lock().export(page);
+                self.homes[new_home].lock().adopt(page, bytes, version);
                 self.home_override.write().insert(page, new_home);
                 self.home_overridden.store(true, Ordering::Release);
                 self.stats[new_home].add("migrations", 1);
+                self.stats[new_home].add("pages_migrated", 1);
                 moved += 1;
             }
+        }
+        if moved > 0 {
+            self.migration_epoch.fetch_add(1, Ordering::AcqRel);
         }
         moved
     }
@@ -542,13 +552,22 @@ impl SwDsm {
             let dsm = dsm.clone();
             move |_ctx: &interconnect::HandlerCtx<'_>, _src, p| {
                 let req = try_downcast::<GetPage>(p)?;
-                debug_assert_eq!(dsm.home_of(req.page), node, "fetch sent to non-home");
+                let home = dsm.home_of(req.page);
+                if home != node {
+                    // The fetch crossed a re-homing round (the request
+                    // departed under the old directory, or a delayed
+                    // duplicate outlived the migration): redirect to
+                    // the current home instead of serving a non-master
+                    // copy.
+                    let epoch = dsm.migration_epoch.load(Ordering::Acquire);
+                    return Ok(Outcome::reply(PageReply::Moved { to: home, epoch }, 24));
+                }
                 let (bytes, version) = {
                     let mut home = dsm.homes[node].lock();
                     (home.snapshot(req.page), home.version(req.page))
                 };
                 Ok(Outcome::reply_costing(
-                    PageData { bytes, version },
+                    PageReply::Data(PageData { bytes, version }),
                     PAGE_SIZE as u64 + 24,
                     dsm.cfg.page_copy_ns,
                 ))
@@ -1111,6 +1130,79 @@ impl SwDsm {
                 Ok(Outcome::reply(ValidateRep { versions }, bytes))
             }
         });
+
+        // Resilient token queue: manager-mediated acquire. Every reply
+        // derives from the manager's tenure record, so a retried
+        // request replays the identical answer (counted under
+        // `token_replays`) instead of corrupting holder state.
+        let dsm = self.clone();
+        net.register_all(kinds::RTOK_ACQ, move |node| {
+            let dsm = dsm.clone();
+            move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                let req = downcast::<RTokAcquire>(p);
+                let step =
+                    dsm.lockmgrs[node].lock().rtok_acquire(req.lock, req.who, req.seq, ctx.now);
+                match step {
+                    RTokStep::Grant(notices) => {
+                        let corr = ((req.who as u64 + 1) << 32) | (req.lock as u64 + 1);
+                        sim::trace::instant_corr(
+                            ctx.now,
+                            node,
+                            "swdsm",
+                            "lock_grant",
+                            req.lock as u64,
+                            corr,
+                        );
+                        let bytes = notices_wire_bytes(&notices);
+                        Outcome::reply(RTokReply::Grant(notices), bytes)
+                    }
+                    RTokStep::Queued => Outcome::reply(RTokReply::Queued, 8),
+                    RTokStep::Replay(notices) => {
+                        dsm.stats[node].add("token_replays", 1);
+                        let bytes = notices_wire_bytes(&notices);
+                        Outcome::reply(RTokReply::Replay(notices), bytes)
+                    }
+                }
+            }
+        });
+
+        // Resilient token queue: manager-mediated release (idempotent —
+        // a retried copy finds the tenure closed and acks again). A
+        // handover posts the grant as a tagged deposit, so a grant lost
+        // in flight tombstones the waiter's mailbox and its re-request
+        // resolves as a replay.
+        let dsm = self.clone();
+        net.register_all(kinds::RTOK_REL, move |node| {
+            let dsm = dsm.clone();
+            move |ctx: &interconnect::HandlerCtx<'_>, _src, p| {
+                let rel = downcast::<RTokRelease>(p);
+                if let Some((next, notices)) = dsm.lockmgrs[node].lock().rtok_release(
+                    rel.lock,
+                    rel.who,
+                    rel.seq,
+                    rel.interval.clone(),
+                ) {
+                    let corr = ((next as u64 + 1) << 32) | (rel.lock as u64 + 1);
+                    sim::trace::instant_corr(
+                        ctx.now,
+                        node,
+                        "swdsm",
+                        "lock_grant",
+                        rel.lock as u64,
+                        corr,
+                    );
+                    let bytes = notices_wire_bytes(&notices);
+                    ctx.post_tagged(
+                        next,
+                        kinds::LOCK_GRANT,
+                        LockGrant { lock: rel.lock, notices },
+                        bytes,
+                        interconnect::mailbox::tag(kinds::LOCK_GRANT, rel.lock),
+                    );
+                }
+                Outcome::reply((), 8)
+            }
+        });
     }
 
     /// Post one subtree aggregate up the barrier tree.
@@ -1198,6 +1290,8 @@ impl SwDsm {
             epoch_mods: Mutex::new(Interval::default()),
             next_region: Mutex::new(NextRegions { collective: 1, local: 0 }),
             epochs: Mutex::new(HashMap::new()),
+            last_transfer_ns: AtomicU64::new(0),
+            last_transfer_snapshot: AtomicBool::new(false),
         }
     }
 }
@@ -1235,6 +1329,12 @@ pub struct DsmNode {
     next_region: Mutex<NextRegions>,
     /// Barrier id → next epoch.
     epochs: Mutex<HashMap<u32, u64>>,
+    /// Virtual duration of the last release application (delta replay
+    /// or snapshot sync) — the membership bench's per-node probe.
+    last_transfer_ns: AtomicU64,
+    /// Whether the last release application took the bulk-snapshot
+    /// path.
+    last_transfer_snapshot: AtomicBool,
 }
 
 impl DsmNode {
@@ -1256,6 +1356,30 @@ impl DsmNode {
     /// The cluster-wide DSM instance.
     pub fn dsm(&self) -> &Arc<SwDsm> {
         &self.dsm
+    }
+
+    /// How the last release application went: `(virtual ns it took,
+    /// whether it was a bulk snapshot sync)`. Probed by the membership
+    /// bench right after [`DsmNode::rejoin`].
+    pub fn last_transfer(&self) -> (u64, bool) {
+        (
+            self.last_transfer_ns.load(Ordering::Relaxed),
+            self.last_transfer_snapshot.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Resynchronize after an absence (crash recovery or a membership
+    /// rejoin): counts the view change, then runs barrier `id`. Because
+    /// barriers block on every node, the release this node receives
+    /// carries exactly the writes it missed — the adaptive policy
+    /// ([`DsmConfig::delta_max_records`]) replays them incrementally or
+    /// falls back to a bulk snapshot sync. Returns the virtual time the
+    /// resynchronization took (rejoin-to-caught-up).
+    pub fn rejoin(&self, id: u32) -> u64 {
+        let t0 = self.ctx.clock().now();
+        self.stat("view_changes", 1);
+        self.barrier(id);
+        self.ctx.clock().now().saturating_sub(t0)
     }
 
     fn stat(&self, name: &str, n: u64) {
@@ -1501,21 +1625,40 @@ impl DsmNode {
         self.stat("getpages", 1);
         self.ctx.compute(self.dsm.cfg.fault_trap_ns);
         self.make_room();
-        let home = self.dsm.home_of(page);
-        let reply = if self.resilient() {
-            self.ctx
-                .port()
-                .request_retrying(home, kinds::GET_PAGE, GetPage { page }, 24)
-                .unwrap_or_else(|e| {
-                    panic!(
-                        "swdsm node {}: unrecoverable fault fetching page {page:?}: {e}",
+        let mut home = self.dsm.home_of(page);
+        let mut hops = 0u32;
+        let data = loop {
+            let reply = if self.resilient() {
+                self.ctx
+                    .port()
+                    .request_retrying(home, kinds::GET_PAGE, GetPage { page }, 24)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "swdsm node {}: unrecoverable fault fetching page {page:?}: {e}",
+                            self.rank
+                        )
+                    })
+            } else {
+                self.ctx.port().request(home, kinds::GET_PAGE, GetPage { page }, 24)
+            };
+            match downcast::<PageReply>(reply) {
+                PageReply::Data(data) => break data,
+                PageReply::Moved { to, .. } => {
+                    // Stale directory across a re-homing round: follow
+                    // the redirect (bounded — each hop lands on the
+                    // strictly fresher directory entry).
+                    hops += 1;
+                    assert!(
+                        hops <= MAX_SYNC_ROUNDS,
+                        "swdsm node {}: page {page:?} fetch still redirected after \
+                         {MAX_SYNC_ROUNDS} hops",
                         self.rank
-                    )
-                })
-        } else {
-            self.ctx.port().request(home, kinds::GET_PAGE, GetPage { page }, 24)
+                    );
+                    self.stat("retries", 1);
+                    home = to;
+                }
+            }
         };
-        let data = downcast::<PageData>(reply);
         // The one copy of the fetch path: the cached copy must be
         // privately mutable (twinning), so it leaves the shared Page.
         self.table.lock().install(page, CachedPage::read_only(data.bytes.to_vec()));
@@ -1680,11 +1823,58 @@ impl DsmNode {
     }
 
     /// Apply a released notice set in whichever encoding it arrived.
+    ///
+    /// This is the adaptive state-transfer choke point: when the
+    /// release carries more records than `DsmConfig::delta_max_records`
+    /// (and the cutoff is enabled), the node is far enough behind that
+    /// incremental replay would invalidate nearly everything anyway —
+    /// it switches to a bulk snapshot sync instead. The branch is a
+    /// pure function of the release contents, so every node (and every
+    /// rerun) decides identically.
     fn apply_release(&self, notices: NoticeSet) {
-        match notices {
-            NoticeSet::Explicit(v) => self.apply_notices(&v),
-            NoticeSet::Digest(ds) => self.apply_digests(&ds),
+        let t0 = self.ctx.clock().now();
+        let cutoff = self.dsm.cfg.delta_max_records;
+        let records = notices.records();
+        if cutoff > 0 && records > cutoff {
+            self.snapshot_sync();
+            self.last_transfer_snapshot.store(true, Ordering::Relaxed);
+        } else {
+            match notices {
+                NoticeSet::Explicit(v) => self.apply_notices(&v),
+                NoticeSet::Digest(ds) => self.apply_digests(&ds),
+            }
+            if cutoff > 0 {
+                self.stat("delta_records", records);
+            }
+            self.last_transfer_snapshot.store(false, Ordering::Relaxed);
         }
+        self.last_transfer_ns
+            .store(self.ctx.clock().now().saturating_sub(t0), Ordering::Relaxed);
+    }
+
+    /// Bulk snapshot sync: drop every cached copy and eagerly refetch
+    /// the same set from the homes, so the cache is warm and current in
+    /// one sweep of whole-page transfers (counted under
+    /// `snapshot_bytes`). Dirty copies flush home first — their diffs
+    /// land before the refetch reads the master back.
+    fn snapshot_sync(&self) {
+        let t0 = self.ctx.clock().now();
+        let mut pages = self.table.lock().cached_pages();
+        // A page whose home migrated *to* this node needs no copy.
+        pages.retain(|p| !self.is_home(*p));
+        self.flush_dirty_subset(&pages);
+        {
+            let mut table = self.table.lock();
+            let n = table.len() as u64;
+            table.clear();
+            self.stat("invalidations", n);
+        }
+        self.cache_versions.lock().clear();
+        for &page in &pages {
+            self.fetch_page(page);
+            self.stat("snapshot_bytes", PAGE_SIZE as u64);
+        }
+        self.trace_span(t0, "snapshot_sync", pages.len() as u64);
     }
 
     /// Apply digest-encoded notices: run-length digests invalidate their
@@ -1874,14 +2064,26 @@ impl DsmNode {
         self.stat("lock_acquires", 1);
         let mgr = self.dsm.lock_mgr_of(lock);
         let notices = if self.dsm.sync.locks == LockTopology::TokenQueue {
-            // MCS-style token queue (shared mode serializes as
-            // exclusive): kick the local handler, which enqueues at the
-            // manager; the token arrives as a LOCK_GRANT deposit.
-            let tag = interconnect::mailbox::tag(kinds::LOCK_GRANT, lock);
-            self.ctx.port().post(self.rank, kinds::TOK_ACQ_LOCAL, TokAcquireLocal { lock }, 8);
-            let grant = downcast::<LockGrant>(self.ctx.port().wait_mailbox(tag));
-            assert_eq!(grant.lock, lock);
-            grant.notices
+            if self.resilient() {
+                // Faulty fabric: the manager-mediated tenure machine
+                // (`rtok_*`) — every step a retryable manager round.
+                self.rtok_acquire_resilient(lock, mgr)?
+            } else {
+                // MCS-style token queue (shared mode serializes as
+                // exclusive): kick the local handler, which enqueues at
+                // the manager; the token arrives as a LOCK_GRANT
+                // deposit.
+                let tag = interconnect::mailbox::tag(kinds::LOCK_GRANT, lock);
+                self.ctx.port().post(
+                    self.rank,
+                    kinds::TOK_ACQ_LOCAL,
+                    TokAcquireLocal { lock },
+                    8,
+                );
+                let grant = downcast::<LockGrant>(self.ctx.port().wait_mailbox(tag));
+                assert_eq!(grant.lock, lock);
+                grant.notices
+            }
         } else if self.resilient() {
             self.acquire_notices_resilient(lock, mode, mgr)?
         } else {
@@ -1955,6 +2157,61 @@ impl DsmNode {
         }
     }
 
+    /// The resilient token-queue acquire: one new tenure sequence
+    /// number for the whole attempt, then the same request/park/retry
+    /// loop as [`DsmNode::acquire_notices_resilient`] against the
+    /// `rtok_*` manager machine. A duplicate request of the granted
+    /// tenure comes back as a replay carrying the identical notices.
+    fn rtok_acquire_resilient(
+        &self,
+        lock: u32,
+        mgr: usize,
+    ) -> Result<Vec<(usize, Interval)>, DsmError> {
+        let wrap = |err| DsmError { op: "lock_acquire", id: lock, err };
+        let seq = self.dsm.lockmgrs[self.rank].lock().rtok_begin(lock);
+        let mut rounds = 0u32;
+        'req: loop {
+            rounds += 1;
+            assert!(
+                rounds <= MAX_SYNC_ROUNDS,
+                "swdsm node {}: token lock {lock} acquire still failing after \
+                 {MAX_SYNC_ROUNDS} rounds",
+                self.rank
+            );
+            if rounds > 1 {
+                self.stat("retries", 1);
+            }
+            let reply = self
+                .ctx
+                .port()
+                .request_retrying(
+                    mgr,
+                    kinds::RTOK_ACQ,
+                    RTokAcquire { lock, who: self.rank, seq },
+                    24,
+                )
+                .map_err(wrap)?;
+            match downcast::<RTokReply>(reply) {
+                RTokReply::Grant(notices) | RTokReply::Replay(notices) => return Ok(notices),
+                RTokReply::Queued => {
+                    if rounds == 1 {
+                        self.stat("lock_queued", 1);
+                    }
+                    let tag = interconnect::mailbox::tag(kinds::LOCK_GRANT, lock);
+                    match self.ctx.port().wait_mailbox_checked(tag) {
+                        Ok(p) => {
+                            let grant = downcast::<LockGrant>(p);
+                            assert_eq!(grant.lock, lock);
+                            return Ok(grant.notices);
+                        }
+                        Err(e) if e.is_transient() => continue 'req,
+                        Err(e) => return Err(wrap(e)),
+                    }
+                }
+            }
+        }
+    }
+
     /// Release global lock `lock`, publishing this interval's writes.
     pub fn release(&self, lock: u32) {
         self.try_release(lock).unwrap_or_else(|e| self.fatal(&e));
@@ -1968,12 +2225,26 @@ impl DsmNode {
         let interval = self.flush_interval();
         self.epoch_mods.lock().merge(&interval);
         if self.dsm.sync.locks == LockTopology::TokenQueue {
-            // Merge this interval into the token and forward or return
-            // it — all handler-side, so the release is asynchronous
-            // like the central manager's one-way post.
-            let msg = TokRelease { lock, interval };
-            let bytes = 16 + msg.interval.wire_bytes();
-            self.ctx.port().post(self.rank, kinds::TOK_REL, msg, bytes);
+            if self.resilient() {
+                // Faulty fabric: an acknowledged (and retried) manager
+                // round; the manager's tenure record makes a duplicate
+                // release a no-op, so a lost ack cannot double-apply.
+                let seq = self.dsm.lockmgrs[self.rank].lock().rtok_seq(lock);
+                let mgr = self.dsm.lock_mgr_of(lock);
+                let msg = RTokRelease { lock, who: self.rank, seq, interval };
+                let bytes = 32 + msg.interval.wire_bytes();
+                self.ctx
+                    .port()
+                    .request_retrying(mgr, kinds::RTOK_REL, msg, bytes)
+                    .map_err(|err| DsmError { op: "lock_release", id: lock, err })?;
+            } else {
+                // Merge this interval into the token and forward or
+                // return it — all handler-side, so the release is
+                // asynchronous like the central manager's one-way post.
+                let msg = TokRelease { lock, interval };
+                let bytes = 16 + msg.interval.wire_bytes();
+                self.ctx.port().post(self.rank, kinds::TOK_REL, msg, bytes);
+            }
             let corr = ((self.rank as u64 + 1) << 32) | (lock as u64 + 1);
             sim::trace::instant_corr(self.ctx.clock().now(), self.rank, "swdsm", "lock_release", lock as u64, corr);
             return Ok(());

@@ -25,6 +25,26 @@ pub struct PageData {
     pub version: u64,
 }
 
+/// Reply to [`GetPage`]: the page, or a redirect to its current home.
+///
+/// Under home migration a fetch can race a re-homing round: the request
+/// was addressed per the requester's (stale) directory, and by arrival
+/// the master copy lives elsewhere. The old home answers with the new
+/// address instead of asserting, and the requester re-issues the fetch
+/// there.
+pub enum PageReply {
+    /// The destination is the page's home: here are the bytes.
+    Data(PageData),
+    /// The page migrated away; retry at `to`.
+    Moved {
+        /// The page's current home (per the replier's directory).
+        to: usize,
+        /// The replier's migration epoch — diagnostic, lets traces
+        /// correlate a redirect with the re-homing round that caused it.
+        epoch: u64,
+    },
+}
+
 /// Ship diffs (all homed at the destination) for application.
 #[derive(Clone)]
 pub struct ApplyDiffs {
@@ -446,6 +466,46 @@ pub struct TokClaim {
     pub lock: u32,
     /// The successor the token must go to.
     pub succ: usize,
+}
+
+/// Resilient token queue: node `who` (tenure `seq`) asks the manager
+/// for the lock. A request, not a one-way post — the reply (or its
+/// loss) drives the retry loop.
+#[derive(Debug, Clone, Copy)]
+pub struct RTokAcquire {
+    /// The lock to acquire.
+    pub lock: u32,
+    /// The acquiring node.
+    pub who: usize,
+    /// The acquirer's tenure sequence number. Retries of one tenure
+    /// reuse the number, so the manager can tell a lost-reply retry
+    /// from a new acquisition.
+    pub seq: u64,
+}
+
+/// Reply to [`RTokAcquire`].
+pub enum RTokReply {
+    /// The token is free: granted, with the notices it carries.
+    Grant(Vec<(usize, Interval)>),
+    /// The token is held; a `TOK_PASS` will be posted on release.
+    Queued,
+    /// The manager already granted this exact tenure (the earlier grant
+    /// or pass was lost): re-issued with the same notices.
+    Replay(Vec<(usize, Interval)>),
+}
+
+/// Resilient token queue: node `who` ends tenure `seq`, publishing its
+/// interval. Idempotent at the manager.
+#[derive(Clone)]
+pub struct RTokRelease {
+    /// The lock being released.
+    pub lock: u32,
+    /// The releasing node.
+    pub who: usize,
+    /// The ending tenure's sequence number.
+    pub seq: u64,
+    /// The releaser's interval (its writes in the critical section).
+    pub interval: Interval,
 }
 
 /// Digest fallback: ask a home for the current versions of `pages`

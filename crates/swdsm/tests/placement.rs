@@ -1,10 +1,10 @@
 //! Explicit placement (`place_home` / `place_lock`): the tuner's levers.
 //!
 //! Placement is *run configuration* — it is applied before `Cluster::run`
-//! and must compose with the synchronization topology. The key rule:
-//! write-notice digests validate against per-home page versions, so a
-//! home change under an active digest topology is rejected rather than
-//! silently corrupting validation.
+//! and must compose with the synchronization topology. Re-homing
+//! composes with write-notice digests because a migrating master copy
+//! carries its modification counter along (version-carrying migration
+//! records), so digest validation never sees a counter reset.
 
 use cluster::{Cluster, FabricConfig, LinkKind, SyncTopology};
 use memwire::{Distribution, GlobalAddr, PageId};
@@ -15,17 +15,31 @@ fn fabric(nodes: usize, sync: SyncTopology) -> Cluster {
 }
 
 #[test]
-fn place_home_rejects_when_digests_active() {
+fn place_home_applies_under_digest_topology() {
     let cluster = fabric(2, SyncTopology::scalable());
     let dsm = SwDsm::install(&cluster, DsmConfig::default());
     let page = PageId { region: 0, index: 0 };
-    match dsm.place_home(page, 1) {
-        Err(PlaceError::DigestActive) => {}
-        other => panic!("expected DigestActive, got {other:?}"),
-    }
-    assert_eq!(dsm.stats(1).get("plan_rejected"), 1);
-    assert_eq!(dsm.stats(1).get("pages_rehomed"), 0);
-    assert_eq!(dsm.stats(1).get("tuner_actions"), 0);
+    dsm.place_home(page, 1).unwrap();
+    assert_eq!(dsm.home_of(page), 1);
+    assert_eq!(dsm.stats(1).get("plan_rejected"), 0);
+    assert_eq!(dsm.stats(1).get("pages_rehomed"), 1);
+    assert_eq!(dsm.stats(1).get("tuner_actions"), 1);
+
+    // The placed home must stay correct under the digest notice wire:
+    // writes by node 0 to a page now homed on node 1 still invalidate
+    // node 0's peers through digest validation.
+    let d = dsm.clone();
+    let (_, results) = cluster.run(move |ctx| {
+        let node = d.node(ctx);
+        let a = node.alloc(2 * 4096, Distribution::Block);
+        if node.rank() == 0 {
+            node.write_u64(a, 11);
+            node.write_u64(a.add(4096), 22);
+        }
+        node.barrier(1);
+        node.read_u64(a) + node.read_u64(a.add(4096))
+    });
+    assert_eq!(results, vec![33, 33]);
 }
 
 #[test]

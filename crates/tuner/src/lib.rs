@@ -236,7 +236,7 @@ mod tests {
     }
 
     #[test]
-    fn apply_counts_digest_rejections() {
+    fn apply_rehomes_under_digest_topology() {
         let cluster = Cluster::new(
             FabricConfig::builder()
                 .nodes(2)
@@ -246,9 +246,11 @@ mod tests {
         );
         let dsm = SwDsm::install(&cluster, DsmConfig::default());
         let out = apply(&plan(), &dsm);
-        // The rehome is rejected under digests; the lock placement is
-        // topology-independent and still lands.
-        assert_eq!((out.applied, out.rejected), (1, 1));
-        assert_eq!(dsm.stats(1).get("plan_rejected"), 1);
+        // Re-homing composes with digests now that migrations carry the
+        // page's version counter to the new home: both placement
+        // actions land.
+        assert_eq!((out.applied, out.rejected), (2, 0));
+        assert_eq!(dsm.stats(1).get("plan_rejected"), 0);
+        assert_eq!(dsm.home_of(PageId { region: 1, index: 2 }), 1);
     }
 }

@@ -15,8 +15,8 @@ pub const SCHEMA: &str = "hamster-analysis-v1";
 
 fn quantiles_json(q: &Quantiles) -> String {
     format!(
-        "{{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}, \"mean\": {}}}",
-        q.count, q.p50, q.p90, q.p99, q.max, q.mean
+        "{{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}, \"mean\": {}}}",
+        q.count, q.p50, q.p90, q.p99, q.p999, q.max, q.mean
     )
 }
 
@@ -221,7 +221,7 @@ fn expect_num(v: &sim::json::Value, key: &str) -> Result<(), String> {
 
 fn expect_quantiles(v: &sim::json::Value, key: &str) -> Result<(), String> {
     let q = v.get(key).ok_or_else(|| format!("missing '{key}'"))?;
-    for f in ["count", "p50", "p90", "p99", "max", "mean"] {
+    for f in ["count", "p50", "p90", "p99", "p999", "max", "mean"] {
         expect_num(q, f).map_err(|e| format!("{key}: {e}"))?;
     }
     Ok(())

@@ -22,6 +22,7 @@
 //!   3 and 4 as well: identical benchmark code on all platforms).
 
 pub mod is;
+pub mod kv;
 pub mod lu;
 pub mod matmult;
 pub mod pi;

@@ -92,9 +92,10 @@ fn traced(
     // registered demand first — real-time order, not virtual order.
     // SOR's 56 KB diff bursts saturate fast-Ethernet windows (12.5 KB
     // per 1 ms window), so this artifact would not be byte-reproducible
-    // there; at 250 MB/s every burst fits and the schedule — hence the
-    // emitted JSON — is identical on every run. See OBSERVABILITY.md.
-    cfg.cost.ethernet.bytes_per_sec = 250_000_000;
+    // there; at the shared pinned rate every burst fits and the
+    // schedule — hence the emitted JSON — is identical on every run.
+    // See OBSERVABILITY.md and `bench::suite::PINNED_ETHERNET_BPS`.
+    cfg.cost = bench::suite::pinned_cost();
     let _ = run_hamster(&cfg, kernel);
     let events = session.finish();
     let platform_name = match platform {

@@ -68,14 +68,12 @@ fn fabric(
     faults: Option<FaultPlan>,
     membership: Option<MembershipPlan>,
 ) -> FabricConfig {
-    // Pin Ethernet at 250 MB/s, below bus-window saturation: the
-    // determinism this binary asserts is only guaranteed while link
-    // windows stay unsaturated (a saturated window's slowdown depends
-    // on real registration order — see OBSERVABILITY.md). At ≥4 nodes
-    // the centralized LU release burst saturates fast-Ethernet windows,
-    // which is exactly the residual wobble ROADMAP item 4 described.
-    let mut cost = sim::CostModel::default();
-    cost.ethernet.bytes_per_sec = 250_000_000;
+    // Pin Ethernet below bus-window saturation: the determinism this
+    // binary asserts is only guaranteed while link windows stay
+    // unsaturated (a saturated window's slowdown depends on real
+    // registration order — see OBSERVABILITY.md and the rationale on
+    // `bench::suite::PINNED_ETHERNET_BPS`).
+    let cost = bench::suite::pinned_cost();
     let mut b = FabricConfig::builder()
         .nodes(nodes)
         .link(LinkKind::Ethernet)

@@ -41,11 +41,10 @@ const LEAVE_NS: u64 = 80_000_000;
 const RECOVER_NS: u64 = 88_000_000;
 
 fn fabric(nodes: usize, membership: Option<MembershipPlan>) -> FabricConfig {
-    // Ethernet pinned at 250 MB/s, below bus-window saturation, like
-    // the chaos bench: the byte-identity this binary asserts needs
-    // exactly reproducible virtual times.
-    let mut cost = sim::CostModel::default();
-    cost.ethernet.bytes_per_sec = 250_000_000;
+    // Ethernet pinned below bus-window saturation, like the chaos
+    // bench: the byte-identity this binary asserts needs exactly
+    // reproducible virtual times (`bench::suite::PINNED_ETHERNET_BPS`).
+    let cost = bench::suite::pinned_cost();
     let mut b = FabricConfig::builder()
         .nodes(nodes)
         .link(LinkKind::Ethernet)

@@ -65,10 +65,9 @@ fn run_sync(
     sync: SyncTopology,
     f: impl Fn(&NativeWorld) -> BenchResult + Send + Sync,
 ) -> (cluster::RunReport, Vec<BenchResult>, Arc<SwDsm>) {
-    let mut cost = sim::CostModel::paper_testbed();
     // Below-saturation bus windows keep the schedule (and artifact)
-    // byte-reproducible; see the rationale in `analyze`.
-    cost.ethernet.bytes_per_sec = 250_000_000;
+    // byte-reproducible; see `bench::suite::PINNED_ETHERNET_BPS`.
+    let cost = bench::suite::pinned_cost();
     let fabric = FabricConfig::builder()
         .nodes(nodes)
         .link(LinkKind::Ethernet)

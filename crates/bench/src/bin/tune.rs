@@ -163,7 +163,7 @@ struct RunOut {
 fn traced(nodes: usize, kernel: Kernel, hint: AlignHint, placement: &Placement, sync: SyncTopology) -> RunOut {
     let session = sim::TraceSession::begin();
     let mut cfg = ClusterConfig::new(nodes, PlatformKind::SwDsm);
-    cfg.cost.ethernet.bytes_per_sec = 250_000_000;
+    cfg.cost = bench::suite::pinned_cost();
     cfg.placement = placement.clone();
     cfg.sync = sync;
     let (_, results) = run_hamster(&cfg, move |w| kernel.run(w, hint));

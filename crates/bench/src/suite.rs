@@ -4,12 +4,16 @@ use apps::world::{run_hamster, run_native, run_native_cost, World};
 use apps::BenchResult;
 use hamster_core::{ClusterConfig, PlatformKind};
 
-/// Ethernet rate the gated figure runs pin (bytes/s). The windowed bus
-/// model is only exactly reproducible while link windows stay
+/// Ethernet rate every determinism-gated bench pins (bytes/s) — the
+/// single authoritative copy; `analyze`, `chaos`, `tune`, `membership`,
+/// `scale`, `serve`, fig2, and fig3 all take it from here. The windowed
+/// bus model is only exactly reproducible while link windows stay
 /// unsaturated; the paper-testbed fast Ethernet saturates under the
 /// centralized LU release burst at ≥4 nodes (see OBSERVABILITY.md), so
-/// the figures whose virtual times feed the perf-trend gate run on a
-/// pinned 250 MB/s link — the same rate the chaos bench uses.
+/// the runs whose virtual times feed the perf-trend gate pin 250 MB/s.
+/// The pin is a workaround, not a fix: ROADMAP item 3
+/// (order-independent window accounting above saturation) is the work
+/// that would let these benches drop it and run the paper-testbed rate.
 pub const PINNED_ETHERNET_BPS: u64 = 250_000_000;
 
 /// The paper-testbed cost model with the Ethernet link pinned at

@@ -8,6 +8,7 @@ use cluster::{
     ConfigMap, EngineMode, FabricConfig, LinkKind, MembershipPlan, MembershipSpec, SyncTopology,
 };
 use hybriddsm::HybridConfig;
+use interconnect::fault::{FaultPlan, Resilience};
 use memwire::PageId;
 use sim::CostModel;
 use std::str::FromStr;
@@ -128,6 +129,12 @@ pub struct ClusterConfig {
     /// Elastic-membership schedule: nodes leave and recover while the
     /// workload runs. `None` (the default) keeps membership static.
     pub membership: Option<MembershipPlan>,
+    /// Seeded fault-injection plan applied to the fabric (drops,
+    /// duplicates, delays, reorders, crash windows). `None` (the
+    /// default) runs fault-free. Installing a plan also installs
+    /// [`Resilience::default`] timeouts/retries so requests survive the
+    /// injected faults — the SLO-under-faults lens of the serve bench.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ClusterConfig {
@@ -144,6 +151,7 @@ impl ClusterConfig {
             sync: SyncTopology::default(),
             placement: Placement::default(),
             membership: None,
+            faults: None,
         }
     }
 
@@ -221,6 +229,9 @@ impl ClusterConfig {
             .sync(self.sync);
         if let Some(plan) = &self.membership {
             b = b.membership(plan.clone());
+        }
+        if let Some(plan) = &self.faults {
+            b = b.chaos(plan.clone()).resilience(Resilience::default());
         }
         b.build()
     }
@@ -315,6 +326,17 @@ mod tests {
         assert_eq!(cfg.dsm.delta_max_records, 64);
         assert_eq!(ClusterConfig::new(2, PlatformKind::SwDsm).dsm.delta_max_records, 0);
         assert!(ClusterConfig::parse("nodes=2\nplatform=swdsm\ndelta_max_records=x").is_err());
+    }
+
+    #[test]
+    fn fault_plan_reaches_the_fabric_with_default_resilience() {
+        let mut cfg = ClusterConfig::new(2, PlatformKind::SwDsm);
+        assert!(cfg.fabric().faults.is_none());
+        assert!(cfg.fabric().resilience.is_none());
+        cfg.faults = Some(FaultPlan { seed: 42, ..FaultPlan::default() });
+        let fabric = cfg.fabric();
+        assert_eq!(fabric.faults.as_ref().expect("fault plan").seed, 42);
+        assert!(fabric.resilience.is_some());
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod runtime;
 pub mod smp;
 pub mod sync_mgmt;
 pub mod task_mgmt;
+pub mod telemetry;
 pub mod timing;
 pub mod trace;
 
@@ -56,6 +57,7 @@ pub use mixed::EngineHint;
 pub use platform::{Platform, PlatformCaps};
 pub use runtime::{run_spmd, Runtime};
 pub use task_mgmt::{TaskHandle, TaskMgmt};
+pub use telemetry::{ServiceOp, Telemetry};
 pub use timing::{PhaseAccumulator, PhaseTimer, Timer};
 pub use trace::{
     chrome_trace_json, gantt_summary, merge_timelines, validate_chrome_trace, TraceEvent,

@@ -104,6 +104,7 @@ impl ModuleStats {
                 snap.insert("rtt_p50", q.p50);
                 snap.insert("rtt_p90", q.p90);
                 snap.insert("rtt_p99", q.p99);
+                snap.insert("rtt_p999", q.p999);
                 snap.insert("rtt_max", q.max);
                 snap.insert("rtt_mean", q.mean);
             }

@@ -1,0 +1,207 @@
+//! Request-level SLO telemetry for service workloads.
+//!
+//! The paper's §4.3 monitoring story stops at aggregate module
+//! counters and offline traces. Service workloads (the `serve` bench's
+//! multi-tenant KV store) need the production lens instead: per-tenant
+//! request-latency quantiles (p50/p90/p99/p999) and a virtual-time
+//! metrics timeseries — throughput, inflight requests, retries, and
+//! view fences per window. [`Telemetry`] packages both on top of
+//! [`sim::stats::Sketch`] and [`sim::stats::MetricsSeries`], plus a
+//! `kv` trace lane so individual requests show up in Chrome traces
+//! next to the protocol spans that explain their latency.
+//!
+//! Everything recorded here is integer virtual time folded through
+//! commutative operations (bucket counts, window sums), so two runs
+//! that perform the same requests produce byte-identical quantiles and
+//! timeseries regardless of thread interleaving — the property the
+//! serve artifact's run-twice `cmp` gate checks.
+
+use sim::stats::{MetricId, MetricKind, MetricsRow, MetricsSeries, Quantiles, Sketch};
+use std::sync::Arc;
+
+/// A service request's operation kind, the `op` half of the
+/// `(tenant, op)` latency key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceOp {
+    /// A read (KV `get`).
+    Get,
+    /// A write (KV `put`).
+    Put,
+}
+
+impl ServiceOp {
+    /// The trace-lane / report name of the operation.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceOp::Get => "get",
+            ServiceOp::Put => "put",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            ServiceOp::Get => 0,
+            ServiceOp::Put => 1,
+        }
+    }
+}
+
+struct Inner {
+    /// `sketches[tenant][op]` — one sketch per `(tenant, op)` pair.
+    sketches: Vec<[Sketch; 2]>,
+    series: MetricsSeries,
+    /// Per-tenant completed-ops rate metric.
+    ops: Vec<MetricId>,
+    /// Requests in flight across all tenants (level gauge).
+    inflight: MetricId,
+    /// Fabric retries binned per window (from the `fault`/`retry`
+    /// trace instants).
+    retries: MetricId,
+    /// View fences binned per window (from `fault`/`view_fence`).
+    view_fences: MetricId,
+}
+
+/// Shared SLO-telemetry handle: per-`(tenant, op)` latency sketches, a
+/// windowed metrics timeseries, and `kv` trace-lane emission. Clones
+/// share storage (like the [`sim::stats`] primitives it wraps), so the
+/// workload records into the same state the bench harness reads.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl Telemetry {
+    /// Telemetry for `tenants` tenants with `window_ns`-wide
+    /// virtual-time windows.
+    pub fn new(tenants: usize, window_ns: u64) -> Self {
+        assert!(tenants > 0, "at least one tenant");
+        let series = MetricsSeries::new(window_ns);
+        let ops = (0..tenants)
+            .map(|t| series.register(&format!("tenant{t}_ops"), MetricKind::Rate))
+            .collect();
+        let inflight = series.register("inflight", MetricKind::Level);
+        let retries = series.register("retries", MetricKind::Rate);
+        let view_fences = series.register("view_fences", MetricKind::Rate);
+        Self {
+            inner: Arc::new(Inner {
+                sketches: (0..tenants).map(|_| [Sketch::new(), Sketch::new()]).collect(),
+                series,
+                ops,
+                inflight,
+                retries,
+                view_fences,
+            }),
+        }
+    }
+
+    /// Number of tenants.
+    pub fn tenants(&self) -> usize {
+        self.inner.sketches.len()
+    }
+
+    /// The timeseries window width in virtual nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.inner.series.window_ns()
+    }
+
+    /// Record one completed request: latency into the `(tenant, op)`
+    /// sketch, throughput/inflight into the timeseries, and a `kv`
+    /// trace span (visible when a [`sim::trace`] session is open).
+    /// `corr` correlates the span with related protocol events; the
+    /// span's `arg` is the tenant.
+    pub fn record(
+        &self,
+        node: usize,
+        tenant: usize,
+        op: ServiceOp,
+        start_ns: u64,
+        end_ns: u64,
+        corr: u64,
+    ) {
+        let dur = end_ns.saturating_sub(start_ns);
+        self.inner.sketches[tenant][op.index()].record(dur);
+        self.inner.series.add(self.inner.ops[tenant], end_ns, 1);
+        self.inner.series.add(self.inner.inflight, start_ns, 1);
+        self.inner.series.add(self.inner.inflight, end_ns, -1);
+        sim::trace::span_corr(start_ns, dur, node, "kv", op.name(), tenant as u64, corr);
+    }
+
+    /// Bin one fabric retry (a `fault`/`retry` trace instant) into the
+    /// timeseries at `t_ns`.
+    pub fn add_retry(&self, t_ns: u64) {
+        self.inner.series.add(self.inner.retries, t_ns, 1);
+    }
+
+    /// Bin one view fence (a `fault`/`view_fence` trace instant) into
+    /// the timeseries at `t_ns`.
+    pub fn add_view_fence(&self, t_ns: u64) {
+        self.inner.series.add(self.inner.view_fences, t_ns, 1);
+    }
+
+    /// Latency quantiles for one `(tenant, op)` pair.
+    pub fn quantiles(&self, tenant: usize, op: ServiceOp) -> Quantiles {
+        self.inner.sketches[tenant][op.index()].quantiles()
+    }
+
+    /// Latency quantiles for a tenant across both operations (the
+    /// sketches merge bucket-wise, so this equals recording every
+    /// sample into one sketch).
+    pub fn tenant_quantiles(&self, tenant: usize) -> Quantiles {
+        let all = Sketch::new();
+        all.merge(&self.inner.sketches[tenant][0]);
+        all.merge(&self.inner.sketches[tenant][1]);
+        all.quantiles()
+    }
+
+    /// The resolved metrics timeseries: per-tenant ops, inflight,
+    /// retries, and view fences per window, in registration order.
+    pub fn series_rows(&self) -> Vec<MetricsRow> {
+        self.inner.series.rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_fold_into_sketches_and_series() {
+        let t = Telemetry::new(2, 1_000);
+        t.record(0, 0, ServiceOp::Get, 0, 500, 1);
+        t.record(1, 0, ServiceOp::Get, 100, 700, 2);
+        t.record(0, 1, ServiceOp::Put, 1_200, 3_400, 3);
+        assert_eq!(t.quantiles(0, ServiceOp::Get).count, 2);
+        assert_eq!(t.quantiles(0, ServiceOp::Put).count, 0);
+        assert_eq!(t.tenant_quantiles(1).count, 1);
+        assert_eq!(t.tenant_quantiles(1).max, 2_200);
+        let rows = t.series_rows();
+        assert_eq!(rows[0].name, "tenant0_ops");
+        assert_eq!(rows[0].values, vec![2, 0, 0, 0]);
+        assert_eq!(rows[1].values, vec![0, 0, 0, 1]);
+        // Inflight level: both tenant-0 gets complete inside window 0;
+        // the put spans windows 1..3.
+        assert_eq!(rows[2].name, "inflight");
+        assert_eq!(rows[2].values, vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn fault_instants_bin_per_window() {
+        let t = Telemetry::new(1, 100);
+        t.add_retry(50);
+        t.add_retry(250);
+        t.add_view_fence(250);
+        let rows = t.series_rows();
+        let retries = rows.iter().find(|r| r.name == "retries").unwrap();
+        assert_eq!(retries.values, vec![1, 0, 1]);
+        let fences = rows.iter().find(|r| r.name == "view_fences").unwrap();
+        assert_eq!(fences.values, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Telemetry::new(1, 100);
+        let u = t.clone();
+        u.record(0, 0, ServiceOp::Get, 0, 10, 0);
+        assert_eq!(t.quantiles(0, ServiceOp::Get).count, 1);
+    }
+}
